@@ -1,0 +1,30 @@
+//! Alignment search strategies (Section 3.3 of the paper).
+//!
+//! When a new source is registered, Q must decide *which existing relations*
+//! to run the (expensive, at-least-quadratic) schema matcher against. This
+//! crate implements the three strategies compared in Figures 6–8:
+//!
+//! * [`ExhaustiveAligner`] — match the new source against every existing
+//!   relation.
+//! * [`ViewBasedAligner`] — Algorithm 2: match only against relations inside
+//!   the α-cost neighbourhood of the current view's keyword-matched nodes,
+//!   where α is the cost of the view's k-th best answer. This pruning is
+//!   guaranteed to preserve the view's top-k results.
+//! * [`PreferentialAligner`] — Algorithm 3: order existing relations by a
+//!   vertex prior (e.g. authoritativeness learned from feedback) and match
+//!   only against the most-preferred ones.
+//!
+//! Each run returns the proposed [`AttributeAlignment`]s together with
+//! [`AlignmentStats`] — wall-clock time, matcher calls and pairwise attribute
+//! comparisons with and without the value-overlap filter — which are exactly
+//! the quantities plotted in the paper's Figures 6, 7 and 8.
+
+pub mod aligner;
+pub mod stats;
+
+pub use aligner::{
+    AlignerConfig, AlignmentOutcome, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner,
+};
+pub use stats::AlignmentStats;
+
+pub use q_matchers::AttributeAlignment;

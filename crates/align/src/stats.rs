@@ -1,0 +1,107 @@
+//! Alignment cost accounting (the quantities of Figures 6, 7 and 8).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics collected while aligning one new source against the existing
+/// search graph.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AlignmentStats {
+    /// Number of relation-pair matcher invocations (`BASEMATCHER` calls).
+    pub matcher_calls: usize,
+    /// Number of existing relations considered as candidates.
+    pub candidate_relations: usize,
+    /// Pairwise attribute comparisons with no additional filter
+    /// (the "No Additional Filter" series of Figure 7, and the
+    /// "pairwise column comparisons" of Figure 8).
+    pub attribute_comparisons: usize,
+    /// Pairwise attribute comparisons remaining when only value-overlapping
+    /// pairs are compared (the "Value Overlap Filter" series of Figure 7).
+    pub filtered_comparisons: usize,
+    /// Number of alignments proposed by the matcher.
+    pub alignments_proposed: usize,
+    /// Wall-clock time spent in the alignment run (Figure 6).
+    pub elapsed: Duration,
+}
+
+impl AlignmentStats {
+    /// Merge another run's statistics into this one (used when a source has
+    /// several relations, or to accumulate across repeated trials).
+    pub fn merge(&mut self, other: &AlignmentStats) {
+        self.matcher_calls += other.matcher_calls;
+        self.candidate_relations += other.candidate_relations;
+        self.attribute_comparisons += other.attribute_comparisons;
+        self.filtered_comparisons += other.filtered_comparisons;
+        self.alignments_proposed += other.alignments_proposed;
+        self.elapsed += other.elapsed;
+    }
+
+    /// Average of a collection of runs (per-trial averaging used in the
+    /// paper's "averaged over introduction of 40 sources" figures).
+    pub fn mean(stats: &[AlignmentStats]) -> AlignmentStats {
+        if stats.is_empty() {
+            return AlignmentStats::default();
+        }
+        let n = stats.len();
+        let mut total = AlignmentStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        AlignmentStats {
+            matcher_calls: total.matcher_calls / n,
+            candidate_relations: total.candidate_relations / n,
+            attribute_comparisons: total.attribute_comparisons / n,
+            filtered_comparisons: total.filtered_comparisons / n,
+            alignments_proposed: total.alignments_proposed / n,
+            elapsed: total.elapsed / n as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_all_counters() {
+        let mut a = AlignmentStats {
+            matcher_calls: 1,
+            candidate_relations: 2,
+            attribute_comparisons: 10,
+            filtered_comparisons: 4,
+            alignments_proposed: 3,
+            elapsed: Duration::from_millis(5),
+        };
+        let b = AlignmentStats {
+            matcher_calls: 2,
+            candidate_relations: 1,
+            attribute_comparisons: 20,
+            filtered_comparisons: 6,
+            alignments_proposed: 1,
+            elapsed: Duration::from_millis(10),
+        };
+        a.merge(&b);
+        assert_eq!(a.matcher_calls, 3);
+        assert_eq!(a.attribute_comparisons, 30);
+        assert_eq!(a.filtered_comparisons, 10);
+        assert_eq!(a.alignments_proposed, 4);
+        assert_eq!(a.elapsed, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn mean_averages_counters() {
+        let runs = vec![
+            AlignmentStats {
+                attribute_comparisons: 10,
+                ..Default::default()
+            },
+            AlignmentStats {
+                attribute_comparisons: 30,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(AlignmentStats::mean(&runs).attribute_comparisons, 20);
+        assert_eq!(AlignmentStats::mean(&[]).attribute_comparisons, 0);
+    }
+}

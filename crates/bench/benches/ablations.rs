@@ -1,0 +1,135 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! the α-cost-neighbourhood pruning threshold, exact vs approximate Steiner
+//! search, MAD iteration count, and the MAD degree-one pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use q_align::{AlignerConfig, ViewBasedAligner};
+use q_core::{QConfig, QSystem};
+use q_datasets::gbco::{gbco_catalog, gbco_trials, GbcoConfig};
+use q_datasets::{interpro_go_catalog, InterproGoConfig};
+use q_graph::keyword::MatchConfig;
+use q_graph::{approx_top_k, exact_minimum_steiner, KeywordIndex, QueryGraph, SteinerConfig};
+use q_matchers::{MadConfig, MadMatcher, MetadataMatcher};
+use q_storage::{RelationSpec, SourceSpec};
+
+fn small_gbco() -> GbcoConfig {
+    GbcoConfig {
+        rows_per_table: 15,
+        seed: 17,
+    }
+}
+
+/// Sweep the α threshold of ViewBasedAligner: larger neighbourhoods mean more
+/// comparisons (Figure 5's intuition).
+fn ablation_alpha_sweep(c: &mut Criterion) {
+    let catalog = gbco_catalog(&small_gbco());
+    let mut q = QSystem::new(catalog, QConfig::default());
+    let trial = &gbco_trials()[0];
+    let keywords: Vec<&str> = trial.keywords.iter().map(String::as_str).collect();
+    let view_id = q.create_view(&keywords).unwrap();
+    let view_nodes = q.view_nodes(view_id);
+    let matcher = MetadataMatcher::new();
+    // A small new source to align.
+    let spec = SourceSpec::new("ablation_source").relation(
+        RelationSpec::new("ablation_rel", &["gene_id", "score"]).row(["GENE000001", "5"]),
+    );
+    let mut catalog = q.catalog().clone();
+    let source = spec.load_into(&mut catalog).unwrap();
+    let graph = q.graph().clone();
+
+    let mut group = c.benchmark_group("ablation_alpha_sweep");
+    for alpha in [0.5_f64, 1.5, 3.0, 100.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, alpha| {
+            b.iter(|| {
+                ViewBasedAligner::new(*alpha).align(
+                    &catalog,
+                    &graph,
+                    &matcher,
+                    source,
+                    &view_nodes,
+                    None,
+                    &AlignerConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Exact Dreyfus–Wagner vs the approximate top-k heuristic on the same query
+/// graph.
+fn ablation_steiner_exact_vs_approx(c: &mut Criterion) {
+    let catalog = interpro_go_catalog(&InterproGoConfig {
+        rows_per_table: 40,
+        seed: 42,
+    });
+    let mut q = QSystem::new(catalog, QConfig::default());
+    // Populate associations so the graph is connected.
+    let metadata = MetadataMatcher::new();
+    let relations: Vec<_> = q.catalog().relations().iter().map(|r| r.id).collect();
+    let mut alignments = Vec::new();
+    for r in &relations {
+        let others: Vec<_> = relations.iter().copied().filter(|x| x != r).collect();
+        alignments.extend(q_matchers::SchemaMatcher::match_against(
+            &metadata,
+            q.catalog(),
+            *r,
+            &others,
+            2,
+        ));
+    }
+    q.add_alignments(&alignments, "metadata");
+
+    let index = KeywordIndex::build(q.catalog());
+    let graph = q.graph().clone();
+    let qg = QueryGraph::build(&graph, &index, &["term", "entry"], &MatchConfig::default());
+    let terminals = qg.terminals();
+
+    let mut group = c.benchmark_group("ablation_steiner");
+    group.bench_function("approx_top5", |b| {
+        b.iter(|| approx_top_k(&qg, &terminals, &SteinerConfig { k: 5, max_roots: 0 }))
+    });
+    group.bench_function("exact_dreyfus_wagner", |b| {
+        b.iter(|| exact_minimum_steiner(&qg, &terminals))
+    });
+    group.finish();
+}
+
+/// MAD iteration count and degree-one pruning.
+fn ablation_mad(c: &mut Criterion) {
+    let catalog = interpro_go_catalog(&InterproGoConfig {
+        rows_per_table: 60,
+        seed: 42,
+    });
+    let mut group = c.benchmark_group("ablation_mad");
+    group.sample_size(10);
+    for iterations in [1usize, 3, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("iterations", iterations),
+            &iterations,
+            |b, iterations| {
+                let matcher = MadMatcher::with_config(MadConfig {
+                    iterations: *iterations,
+                    ..MadConfig::default()
+                });
+                b.iter(|| matcher.propagate(&catalog, &[]))
+            },
+        );
+    }
+    group.bench_function("no_degree_one_pruning", |b| {
+        let matcher = MadMatcher::with_config(MadConfig {
+            prune_degree_one: false,
+            ..MadConfig::default()
+        });
+        b.iter(|| matcher.propagate(&catalog, &[]))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_alpha_sweep, ablation_steiner_exact_vs_approx, ablation_mad
+);
+criterion_main!(ablations);

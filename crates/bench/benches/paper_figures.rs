@@ -1,0 +1,81 @@
+//! Criterion benches regenerating the paper's figures and tables
+//! (Figures 6–8, Table 1, Figures 10–12 / Table 2) on reduced-size
+//! configurations. Each bench group corresponds to one experiment; the
+//! `experiments` binary prints the full-size numbers recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use q_bench::{
+    run_aligner_experiment, run_learning_experiment, run_matcher_quality, run_scaling_experiment,
+    AlignerExperimentConfig, LearningConfig, MatcherQualityConfig, ScalingExperimentConfig,
+};
+use q_datasets::{GbcoConfig, InterproGoConfig};
+
+fn small_gbco() -> GbcoConfig {
+    GbcoConfig {
+        rows_per_table: 15,
+        seed: 17,
+    }
+}
+
+fn small_interpro() -> InterproGoConfig {
+    InterproGoConfig {
+        rows_per_table: 60,
+        seed: 42,
+    }
+}
+
+fn fig6_7_aligner_cost(c: &mut Criterion) {
+    let config = AlignerExperimentConfig {
+        gbco: small_gbco(),
+        max_trials: 4,
+        ..AlignerExperimentConfig::default()
+    };
+    c.bench_function("fig6_7_aligner_cost", |b| {
+        b.iter(|| run_aligner_experiment(&config))
+    });
+}
+
+fn fig8_scaling(c: &mut Criterion) {
+    let config = ScalingExperimentConfig {
+        gbco: small_gbco(),
+        graph_sizes: vec![18, 60],
+        max_introductions: 8,
+        ..ScalingExperimentConfig::default()
+    };
+    c.bench_function("fig8_scaling_comparisons", |b| {
+        b.iter(|| run_scaling_experiment(&config))
+    });
+}
+
+fn table1_matcher_quality(c: &mut Criterion) {
+    let config = MatcherQualityConfig {
+        dataset: small_interpro(),
+        y_values: vec![1, 2, 5],
+    };
+    c.bench_function("table1_matcher_quality", |b| {
+        b.iter(|| run_matcher_quality(&config))
+    });
+}
+
+fn fig10_12_learning(c: &mut Criterion) {
+    let config = LearningConfig {
+        dataset: small_interpro(),
+        passes: 1,
+        ..LearningConfig::default()
+    };
+    let mut group = c.benchmark_group("fig10_12_learning");
+    group.sample_size(10);
+    group.bench_function("one_feedback_pass", |b| {
+        b.iter(|| run_learning_experiment(&config))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = paper_figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig6_7_aligner_cost, fig8_scaling, table1_matcher_quality, fig10_12_learning
+);
+criterion_main!(paper_figures);

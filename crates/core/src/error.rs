@@ -1,0 +1,57 @@
+//! Error type of the Q system.
+
+use std::fmt;
+
+use q_storage::StorageError;
+
+/// Errors surfaced by the Q system API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QError {
+    /// An underlying storage operation failed.
+    Storage(StorageError),
+    /// The referenced view does not exist.
+    UnknownView(usize),
+    /// The referenced answer index does not exist in the view.
+    UnknownAnswer {
+        /// View the answer was looked up in.
+        view: usize,
+        /// Offending answer index.
+        answer: usize,
+    },
+    /// A keyword query produced no usable query trees.
+    NoQueryTrees,
+}
+
+impl fmt::Display for QError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QError::Storage(e) => write!(f, "storage error: {e}"),
+            QError::UnknownView(v) => write!(f, "unknown view #{v}"),
+            QError::UnknownAnswer { view, answer } => {
+                write!(f, "view #{view} has no answer #{answer}")
+            }
+            QError::NoQueryTrees => write!(f, "keyword query produced no query trees"),
+        }
+    }
+}
+
+impl std::error::Error for QError {}
+
+impl From<StorageError> for QError {
+    fn from(e: StorageError) -> Self {
+        QError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(QError::UnknownView(3).to_string().contains('3'));
+        let e: QError = StorageError::UnknownRelation("x".into()).into();
+        assert!(matches!(e, QError::Storage(_)));
+        assert!(e.to_string().contains("storage"));
+    }
+}

@@ -1,0 +1,76 @@
+//! User feedback on view answers (Section 4).
+//!
+//! The user annotates answers as valid, invalid, or better-than-some-other
+//! answer; Q generalises each annotation to the query tree that produced the
+//! answer (via its provenance) and feeds ranking constraints to the MIRA
+//! learner. The actual weight update is performed by
+//! [`QSystem::feedback`](crate::QSystem::feedback); this module defines the
+//! feedback vocabulary and the outcome report.
+
+use serde::{Deserialize, Serialize};
+
+/// One piece of user feedback on a view's answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Feedback {
+    /// The answer at this index is a valid result: its originating query must
+    /// cost no more than any other candidate query.
+    Correct {
+        /// Index into the view's answers.
+        answer: usize,
+    },
+    /// The answer at this index is wrong: its originating query must cost
+    /// more than the best alternative query.
+    Invalid {
+        /// Index into the view's answers.
+        answer: usize,
+    },
+    /// The first answer should be ranked above the second.
+    Prefer {
+        /// Index of the answer that should rank higher.
+        better: usize,
+        /// Index of the answer that should rank lower.
+        worse: usize,
+    },
+}
+
+/// What a feedback application did to the model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeedbackOutcome {
+    /// Index (within the view's ranked queries) of the tree treated as the
+    /// feedback target `T_r`.
+    pub target_query: usize,
+    /// Number of ranking constraints generated.
+    pub constraints: usize,
+    /// Constraints violated before the update.
+    pub initially_violated: usize,
+    /// Constraints still violated after the update.
+    pub remaining_violations: usize,
+    /// How much the shared default weight was raised to keep all edge costs
+    /// positive (0 when no adjustment was needed).
+    pub default_weight_bump: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feedback_variants_are_comparable() {
+        assert_eq!(Feedback::Correct { answer: 1 }, Feedback::Correct { answer: 1 });
+        assert_ne!(
+            Feedback::Correct { answer: 1 },
+            Feedback::Invalid { answer: 1 }
+        );
+        let p = Feedback::Prefer { better: 0, worse: 3 };
+        if let Feedback::Prefer { better, worse } = p {
+            assert!(better < worse);
+        }
+    }
+
+    #[test]
+    fn outcome_default_is_zeroed() {
+        let o = FeedbackOutcome::default();
+        assert_eq!(o.constraints, 0);
+        assert_eq!(o.default_weight_bump, 0.0);
+    }
+}

@@ -1,0 +1,633 @@
+//! The `QSystem` façade: view creation, source registration and feedback.
+
+use serde::{Deserialize, Serialize};
+
+use q_align::{AlignerConfig, AlignmentStats, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner};
+use q_graph::keyword::MatchTarget;
+use q_graph::{approx_top_k, KeywordIndex, NodeId, QueryGraph, SearchGraph, SteinerConfig};
+use q_learn::{constraints_from_candidates, enforce_positive_costs, Mira};
+use q_matchers::{AttributeAlignment, SchemaMatcher};
+use q_storage::{AttributeId, Catalog, SourceId, SourceSpec, ValueIndex};
+
+use crate::answer::{RankedQuery, RankedView, ViewId};
+use crate::config::{AlignmentStrategy, QConfig};
+use crate::error::QError;
+use crate::feedback::{Feedback, FeedbackOutcome};
+use crate::translate::{materialize_view, tree_to_query};
+
+/// Report returned by [`QSystem::register_source`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistrationReport {
+    /// Id assigned to the new source.
+    pub source: SourceId,
+    /// Alignments added to the search graph, merged across matchers.
+    pub alignments: Vec<AttributeAlignment>,
+    /// Per-matcher alignment-cost statistics (matcher name, stats).
+    pub stats_per_matcher: Vec<(String, AlignmentStats)>,
+    /// Views refreshed after incorporating the source.
+    pub refreshed_views: Vec<ViewId>,
+}
+
+/// The Q data-integration system (Figure 1 of the paper).
+pub struct QSystem {
+    catalog: Catalog,
+    graph: SearchGraph,
+    keyword_index: KeywordIndex,
+    value_index: ValueIndex,
+    config: QConfig,
+    matchers: Vec<Box<dyn SchemaMatcher>>,
+    views: Vec<RankedView>,
+    mira: Mira,
+}
+
+impl QSystem {
+    /// Build a Q system over an existing catalog. The initial search graph,
+    /// keyword index and value index are constructed immediately
+    /// (Section 2.1). No matchers are registered yet.
+    pub fn new(catalog: Catalog, config: QConfig) -> Self {
+        let graph = SearchGraph::from_catalog(&catalog);
+        let keyword_index = KeywordIndex::build(&catalog);
+        let value_index = ValueIndex::build(&catalog);
+        QSystem {
+            catalog,
+            graph,
+            keyword_index,
+            value_index,
+            config,
+            matchers: Vec::new(),
+            views: Vec::new(),
+            mira: Mira::new(),
+        }
+    }
+
+    /// Register a schema matcher (e.g. the metadata matcher or MAD). Matchers
+    /// are consulted in registration order when new sources arrive.
+    pub fn add_matcher(&mut self, matcher: Box<dyn SchemaMatcher>) {
+        self.matchers.push(matcher);
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The catalog of registered sources.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The current search graph.
+    pub fn graph(&self) -> &SearchGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the search graph (used by experiment harnesses that
+    /// manipulate weights directly).
+    pub fn graph_mut(&mut self) -> &mut SearchGraph {
+        &mut self.graph
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &QConfig {
+        &self.config
+    }
+
+    /// The pre-built value index.
+    pub fn value_index(&self) -> &ValueIndex {
+        &self.value_index
+    }
+
+    /// A view by id.
+    pub fn view(&self, id: ViewId) -> Option<&RankedView> {
+        self.views.get(id)
+    }
+
+    /// All views.
+    pub fn views(&self) -> &[RankedView] {
+        &self.views
+    }
+
+    // ------------------------------------------------------------------
+    // View creation & output (Section 2.2)
+    // ------------------------------------------------------------------
+
+    /// Create a persistent ranked view for a keyword query and materialise
+    /// its current answers. A view with no reachable answers is still
+    /// created (it simply has no queries yet); it will populate as new
+    /// sources and alignments arrive.
+    pub fn create_view(&mut self, keywords: &[&str]) -> Result<ViewId, QError> {
+        let view = self.compute_view(keywords)?;
+        self.views.push(view);
+        Ok(self.views.len() - 1)
+    }
+
+    /// Recompute one view's definition and contents against the current
+    /// search graph and weights.
+    pub fn refresh_view(&mut self, id: ViewId) -> Result<(), QError> {
+        let keywords: Vec<String> = self
+            .views
+            .get(id)
+            .ok_or(QError::UnknownView(id))?
+            .keywords
+            .clone();
+        let keyword_refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+        let view = self.compute_view(&keyword_refs)?;
+        self.views[id] = view;
+        Ok(())
+    }
+
+    /// Refresh every view; returns the refreshed ids.
+    pub fn refresh_all_views(&mut self) -> Vec<ViewId> {
+        let ids: Vec<ViewId> = (0..self.views.len()).collect();
+        for id in &ids {
+            // Keywords always re-resolve, so refresh cannot fail here.
+            let _ = self.refresh_view(*id);
+        }
+        ids
+    }
+
+    fn compute_view(&self, keywords: &[&str]) -> Result<RankedView, QError> {
+        let query_graph = QueryGraph::build(
+            &self.graph,
+            &self.keyword_index,
+            keywords,
+            &self.config.match_config,
+        );
+        let terminals = query_graph.terminals();
+        let steiner = SteinerConfig {
+            k: self.config.top_k,
+            ..self.config.steiner
+        };
+        let trees = approx_top_k(&query_graph, &terminals, &steiner);
+        let mut queries: Vec<RankedQuery> = Vec::new();
+        for tree in trees {
+            if let Some(query) = tree_to_query(&self.catalog, &query_graph, &tree) {
+                queries.push(RankedQuery {
+                    cost: tree.cost,
+                    tree,
+                    query,
+                });
+            }
+        }
+        queries.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+        let (columns, column_sources, answers) = materialize_view(
+            &self.catalog,
+            &self.graph,
+            &queries,
+            self.config.column_merge_threshold,
+            self.config.max_answers,
+        )?;
+        Ok(RankedView {
+            keywords: keywords.iter().map(|s| s.to_string()).collect(),
+            columns,
+            column_sources,
+            queries,
+            answers,
+        })
+    }
+
+    /// Search-graph nodes matched by a view's keywords (value matches map to
+    /// their attribute node). These are the start nodes of the α-cost
+    /// neighbourhood used by ViewBasedAligner.
+    pub fn view_nodes(&self, id: ViewId) -> Vec<NodeId> {
+        let Some(view) = self.views.get(id) else {
+            return Vec::new();
+        };
+        let mut nodes = Vec::new();
+        for keyword in &view.keywords {
+            for m in self
+                .keyword_index
+                .matches(keyword, &self.config.match_config)
+            {
+                let node = match m.target {
+                    MatchTarget::Relation(r) => self.graph.relation_node(r),
+                    MatchTarget::Attribute(a) => self.graph.attribute_node(a),
+                    MatchTarget::Value { attribute, .. } => self.graph.attribute_node(attribute),
+                };
+                if let Some(n) = node {
+                    if !nodes.contains(&n) {
+                        nodes.push(n);
+                    }
+                }
+            }
+        }
+        nodes
+    }
+
+    // ------------------------------------------------------------------
+    // Search graph maintenance: new sources (Section 3)
+    // ------------------------------------------------------------------
+
+    /// Register a new data source: load it into the catalog, extend the
+    /// search graph and indexes, run the configured matchers through the
+    /// configured alignment strategy, add the resulting association edges,
+    /// and refresh every view.
+    pub fn register_source(&mut self, spec: &SourceSpec) -> Result<RegistrationReport, QError> {
+        let source = spec.load_into(&mut self.catalog)?;
+        self.graph.add_source(&self.catalog, source);
+        if let Some(src) = self.catalog.source(source) {
+            for rel in src.relations.clone() {
+                self.keyword_index.add_relation(&self.catalog, rel);
+                self.value_index.index_relation(&self.catalog, rel);
+            }
+        }
+
+        let mut report = RegistrationReport {
+            source,
+            alignments: Vec::new(),
+            stats_per_matcher: Vec::new(),
+            refreshed_views: Vec::new(),
+        };
+
+        let matcher_count = self.matchers.len();
+        for m in 0..matcher_count {
+            let (alignments, stats) = self.run_strategy(source, m);
+            let name = self.matchers[m].name().to_string();
+            for a in &alignments {
+                self.graph
+                    .add_association(a.new_attribute, a.existing_attribute, &name, a.confidence);
+            }
+            report.alignments.extend(alignments);
+            report.stats_per_matcher.push((name, stats));
+        }
+
+        report.refreshed_views = self.refresh_all_views();
+        Ok(report)
+    }
+
+    fn run_strategy(
+        &self,
+        source: SourceId,
+        matcher_index: usize,
+    ) -> (Vec<AttributeAlignment>, AlignmentStats) {
+        let matcher = self.matchers[matcher_index].as_ref();
+        let aligner_config = AlignerConfig {
+            top_y: self.config.top_y,
+            ..AlignerConfig::default()
+        };
+        match self.config.strategy {
+            AlignmentStrategy::Exhaustive => {
+                let outcome = ExhaustiveAligner.align(
+                    &self.catalog,
+                    matcher,
+                    source,
+                    Some(&self.value_index),
+                    &aligner_config,
+                );
+                (outcome.alignments, outcome.stats)
+            }
+            AlignmentStrategy::ViewBased => {
+                // Align within the neighbourhood of every existing view; if
+                // there are no views yet, fall back to exhaustive matching so
+                // the source is still incorporated.
+                if self.views.is_empty() {
+                    let outcome = ExhaustiveAligner.align(
+                        &self.catalog,
+                        matcher,
+                        source,
+                        Some(&self.value_index),
+                        &aligner_config,
+                    );
+                    return (outcome.alignments, outcome.stats);
+                }
+                let mut alignments = Vec::new();
+                let mut stats = AlignmentStats::default();
+                for (view_id, view) in self.views.iter().enumerate() {
+                    // A view with no answers yet has no α bound: any
+                    // alignment reachable from its keyword nodes could give
+                    // it its first results, so the neighbourhood is unbounded
+                    // (but still restricted to the keywords' component).
+                    let alpha = view.alpha().unwrap_or(f64::INFINITY);
+                    let nodes = self.view_nodes(view_id);
+                    let outcome = ViewBasedAligner::new(alpha).align(
+                        &self.catalog,
+                        &self.graph,
+                        matcher,
+                        source,
+                        &nodes,
+                        Some(&self.value_index),
+                        &aligner_config,
+                    );
+                    alignments.extend(outcome.alignments);
+                    stats.merge(&outcome.stats);
+                }
+                (
+                    q_matchers::keep_top_y_per_attribute(alignments, self.config.top_y),
+                    stats,
+                )
+            }
+            AlignmentStrategy::Preferential { limit } => {
+                let outcome = PreferentialAligner::new(limit).align(
+                    &self.catalog,
+                    matcher,
+                    source,
+                    |r| self.graph.relation_feature_weight(r),
+                    Some(&self.value_index),
+                    &aligner_config,
+                );
+                (outcome.alignments, outcome.stats)
+            }
+        }
+    }
+
+    /// Add a hand-coded (or externally computed) association edge between two
+    /// attributes.
+    pub fn add_manual_association(&mut self, a: AttributeId, b: AttributeId, confidence: f64) {
+        self.graph.add_association(a, b, "manual", confidence);
+    }
+
+    /// Add a batch of matcher alignments to the search graph under the given
+    /// matcher name (used when driving matchers outside `register_source`,
+    /// e.g. the Section 5.2 experiments that align a fixed set of sources).
+    pub fn add_alignments(&mut self, alignments: &[AttributeAlignment], matcher_name: &str) {
+        for a in alignments {
+            self.graph.add_association(
+                a.new_attribute,
+                a.existing_attribute,
+                matcher_name,
+                a.confidence,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // User feedback & corrections (Section 4, Algorithm 4)
+    // ------------------------------------------------------------------
+
+    /// Apply one piece of user feedback to a view: generalise the annotated
+    /// answer to its originating query tree, build margin constraints against
+    /// the current K-best trees, update the weights with MIRA, keep edge
+    /// costs positive, and refresh every view.
+    pub fn feedback(&mut self, view_id: ViewId, feedback: Feedback) -> Result<FeedbackOutcome, QError> {
+        let view = self.views.get(view_id).ok_or(QError::UnknownView(view_id))?;
+        if view.queries.is_empty() {
+            return Err(QError::NoQueryTrees);
+        }
+
+        // Resolve the feedback to a target query and the candidate set.
+        let resolve = |answer: usize| -> Result<usize, QError> {
+            view.answers
+                .get(answer)
+                .map(|a| a.query_index)
+                .ok_or(QError::UnknownAnswer {
+                    view: view_id,
+                    answer,
+                })
+        };
+        let (target_query, candidate_queries): (usize, Vec<usize>) = match feedback {
+            Feedback::Correct { answer } => {
+                let t = resolve(answer)?;
+                (t, (0..view.queries.len()).collect())
+            }
+            Feedback::Invalid { answer } => {
+                let bad = resolve(answer)?;
+                let target = (0..view.queries.len()).find(|q| *q != bad);
+                match target {
+                    Some(t) => (t, vec![bad]),
+                    None => return Err(QError::NoQueryTrees),
+                }
+            }
+            Feedback::Prefer { better, worse } => (resolve(better)?, vec![resolve(worse)?]),
+        };
+
+        // Rebuild the query graph (deterministic, so edge ids line up with
+        // the stored trees) and recompute the K-best list under the current
+        // weights, per Algorithm 4.
+        let keywords: Vec<&str> = view.keywords.iter().map(String::as_str).collect();
+        let query_graph = QueryGraph::build(
+            &self.graph,
+            &self.keyword_index,
+            &keywords,
+            &self.config.match_config,
+        );
+        let steiner = SteinerConfig {
+            k: self.config.top_k,
+            ..self.config.steiner
+        };
+        let mut candidates = approx_top_k(&query_graph, &query_graph.terminals(), &steiner);
+        for q in candidate_queries {
+            candidates.push(view.queries[q].tree.clone());
+        }
+        let target_tree = view.queries[target_query].tree.clone();
+
+        let constraints = constraints_from_candidates(&target_tree, &candidates, |e| {
+            query_graph.edge_features(e).clone()
+        });
+        let mut weights = self.graph.weights().clone();
+        let summary = self.mira.update(&mut weights, &constraints);
+        self.graph.set_weights(weights);
+        let bump = enforce_positive_costs(&mut self.graph, self.config.min_edge_cost);
+
+        self.refresh_all_views();
+        Ok(FeedbackOutcome {
+            target_query,
+            constraints: constraints.len(),
+            initially_violated: summary.initially_violated,
+            remaining_violations: summary.remaining_violations,
+            default_weight_bump: bump,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q_matchers::{MadMatcher, MetadataMatcher};
+    use q_storage::{RelationSpec, Value};
+
+    fn base_specs() -> Vec<SourceSpec> {
+        vec![
+            SourceSpec::new("go").relation(
+                RelationSpec::new("go_term", &["acc", "name"])
+                    .row(["GO:1", "plasma membrane"])
+                    .row(["GO:2", "kinase activity"])
+                    .row(["GO:3", "insulin secretion"]),
+            ),
+            SourceSpec::new("interpro")
+                .relation(
+                    RelationSpec::new("interpro2go", &["go_id", "entry_ac"])
+                        .row(["GO:1", "IPR01"])
+                        .row(["GO:2", "IPR02"])
+                        .row(["GO:3", "IPR03"]),
+                )
+                .relation(
+                    RelationSpec::new("entry", &["entry_ac", "name"])
+                        .row(["IPR01", "Kringle domain"])
+                        .row(["IPR02", "Cytokine receptor"])
+                        .row(["IPR03", "Insulin family"]),
+                )
+                .foreign_key("interpro2go.entry_ac", "entry.entry_ac"),
+        ]
+    }
+
+    fn new_pub_source() -> SourceSpec {
+        SourceSpec::new("pubdb").relation(
+            RelationSpec::new("pub", &["pub_id", "entry_ac", "title"])
+                .row(["P1", "IPR01", "Kringle structure determination"])
+                .row(["P2", "IPR02", "Cytokine signalling review"]),
+        )
+    }
+
+    fn system() -> QSystem {
+        let catalog =
+            q_storage::loader::load_catalog(&base_specs()).expect("base catalog loads");
+        let mut q = QSystem::new(catalog, QConfig::default());
+        q.add_matcher(Box::new(MetadataMatcher::new()));
+        q.add_matcher(Box::new(MadMatcher::new()));
+        q
+    }
+
+    #[test]
+    fn create_view_produces_ranked_answers_with_provenance() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        q.add_manual_association(acc, go_id, 0.95);
+        let view_id = q.create_view(&["plasma membrane", "entry"]).unwrap();
+        let view = q.view(view_id).unwrap();
+        assert!(!view.queries.is_empty());
+        assert!(!view.answers.is_empty());
+        assert!(view.alpha().unwrap() > 0.0);
+        // The InterPro entry IPR01 (or its name) is reachable through the
+        // GO:1 association, so the join across sources shows up in the view.
+        let found = view.answers.iter().any(|a| {
+            a.values.iter().flatten().any(
+                |v| matches!(v, Value::Text(s) if s.contains("Kringle") || s.contains("IPR01")),
+            )
+        });
+        assert!(found, "answers: {:?}", view.answers);
+    }
+
+    #[test]
+    fn view_without_matches_is_created_empty() {
+        let mut q = system();
+        let view_id = q.create_view(&["qqqq", "zzzz"]).unwrap();
+        let view = q.view(view_id).unwrap();
+        assert!(view.queries.is_empty());
+        assert!(view.answers.is_empty());
+        assert_eq!(view.alpha(), None);
+    }
+
+    #[test]
+    fn register_source_adds_alignments_and_refreshes_views() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        q.add_manual_association(acc, go_id, 0.95);
+        let view_id = q.create_view(&["plasma membrane", "title"]).unwrap();
+        // Before the publication source arrives, "title" matches nothing.
+        assert!(q.view(view_id).unwrap().answers.is_empty());
+
+        let report = q.register_source(&new_pub_source()).unwrap();
+        assert!(!report.alignments.is_empty());
+        assert_eq!(report.stats_per_matcher.len(), 2);
+        assert!(report.refreshed_views.contains(&view_id));
+        // The new source's entry_ac should align with entry.entry_ac.
+        let pub_entry_ac = q.catalog().resolve_qualified("pub.entry_ac").unwrap();
+        let entry_ac = q.catalog().resolve_qualified("entry.entry_ac").unwrap();
+        assert!(q.graph().association_between(pub_entry_ac, entry_ac).is_some());
+        // And the refreshed view now reaches publication titles.
+        let view = q.view(view_id).unwrap();
+        let found = view.answers.iter().any(|a| {
+            a.values.iter().flatten().any(
+                |v| matches!(v, Value::Text(s) if s.contains("Kringle structure")),
+            )
+        });
+        assert!(found, "answers: {:?}", view.answers);
+    }
+
+    #[test]
+    fn exhaustive_strategy_counts_more_comparisons_than_view_based() {
+        let mut exhaustive = QSystem::new(
+            q_storage::loader::load_catalog(&base_specs()).unwrap(),
+            QConfig {
+                strategy: AlignmentStrategy::Exhaustive,
+                ..QConfig::default()
+            },
+        );
+        exhaustive.add_matcher(Box::new(MetadataMatcher::new()));
+        let acc = exhaustive.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = exhaustive
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        exhaustive.add_manual_association(acc, go_id, 0.95);
+        exhaustive.create_view(&["plasma membrane", "entry"]).unwrap();
+        let ex_report = exhaustive.register_source(&new_pub_source()).unwrap();
+
+        let mut view_based = QSystem::new(
+            q_storage::loader::load_catalog(&base_specs()).unwrap(),
+            QConfig {
+                strategy: AlignmentStrategy::ViewBased,
+                ..QConfig::default()
+            },
+        );
+        view_based.add_matcher(Box::new(MetadataMatcher::new()));
+        let acc = view_based.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = view_based
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        view_based.add_manual_association(acc, go_id, 0.95);
+        view_based.create_view(&["plasma membrane", "entry"]).unwrap();
+        let vb_report = view_based.register_source(&new_pub_source()).unwrap();
+
+        let ex_comparisons = ex_report.stats_per_matcher[0].1.attribute_comparisons;
+        let vb_comparisons = vb_report.stats_per_matcher[0].1.attribute_comparisons;
+        assert!(
+            vb_comparisons <= ex_comparisons,
+            "view-based ({vb_comparisons}) should not exceed exhaustive ({ex_comparisons})"
+        );
+    }
+
+    #[test]
+    fn feedback_demotes_the_tree_of_an_invalid_answer() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        let entry_name = q.catalog().resolve_qualified("entry.name").unwrap();
+        let term_name = q.catalog().resolve_qualified("go_term.name").unwrap();
+        // One good association and one bad one.
+        q.add_manual_association(acc, go_id, 0.9);
+        q.graph_mut().add_association(term_name, entry_name, "metadata", 0.9);
+        let view_id = q.create_view(&["plasma membrane", "entry"]).unwrap();
+        let view = q.view(view_id).unwrap();
+        assert!(view.queries.len() >= 2, "need alternative trees");
+
+        // Mark the best answer correct; weights must change such that its
+        // query stays cheapest and all views refresh without error.
+        let outcome = q.feedback(view_id, Feedback::Correct { answer: 0 }).unwrap();
+        assert!(outcome.constraints > 0);
+        let view = q.view(view_id).unwrap();
+        assert!(!view.queries.is_empty());
+        // All edge costs remain positive after learning.
+        assert!(q.graph().min_learnable_edge_cost().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn feedback_on_missing_answer_errors() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        q.add_manual_association(acc, go_id, 0.9);
+        let view_id = q.create_view(&["plasma membrane", "entry"]).unwrap();
+        let err = q
+            .feedback(view_id, Feedback::Correct { answer: 10_000 })
+            .unwrap_err();
+        assert!(matches!(err, QError::UnknownAnswer { .. }));
+        assert!(matches!(
+            q.feedback(99, Feedback::Correct { answer: 0 }).unwrap_err(),
+            QError::UnknownView(99)
+        ));
+    }
+
+    #[test]
+    fn view_nodes_map_keywords_to_graph_nodes() {
+        let mut q = system();
+        let view_id = q.create_view(&["plasma membrane", "entry"]).unwrap();
+        let nodes = q.view_nodes(view_id);
+        assert!(!nodes.is_empty());
+        let name_attr = q.catalog().resolve_qualified("go_term.name").unwrap();
+        let name_node = q.graph().attribute_node(name_attr).unwrap();
+        assert!(nodes.contains(&name_node));
+    }
+}

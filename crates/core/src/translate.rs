@@ -1,0 +1,459 @@
+//! Translation from Steiner trees to conjunctive queries, and construction of
+//! the disjoint-union view output (Section 2.2).
+
+use std::collections::{HashMap, HashSet};
+
+use q_graph::{EdgeKind, Node, QueryGraph, SearchGraph, SteinerTree};
+use q_storage::{
+    exec, AttrRef, AttributeId, Catalog, ConjunctiveQuery, RelationId, StorageError,
+};
+
+use crate::answer::{Answer, RankedQuery};
+
+/// Convert a Steiner tree over the query graph into an executable
+/// conjunctive query.
+///
+/// Every relation node in the tree — or reachable from a tree node through a
+/// zero-cost edge (an attribute's or value's relation) — becomes a query
+/// atom; foreign-key and association edges become equality joins; keyword
+/// edges become selection predicates; and the tree's attributes form the
+/// select list. Returns `None` for degenerate trees that touch no relation.
+pub fn tree_to_query(
+    catalog: &Catalog,
+    query_graph: &QueryGraph<'_>,
+    tree: &SteinerTree,
+) -> Option<ConjunctiveQuery> {
+    // ------------------------------------------------------------------
+    // Atoms.
+    // ------------------------------------------------------------------
+    let mut relations: Vec<RelationId> = Vec::new();
+    let add_relation = |r: RelationId, relations: &mut Vec<RelationId>| {
+        if !relations.contains(&r) {
+            relations.push(r);
+        }
+    };
+    let relation_of_attr =
+        |a: AttributeId| -> Option<RelationId> { catalog.attribute(a).map(|attr| attr.relation) };
+
+    for node_id in &tree.nodes {
+        match query_graph.node(*node_id) {
+            Node::Relation(r) => add_relation(*r, &mut relations),
+            Node::Attribute(a) => {
+                if let Some(r) = relation_of_attr(*a) {
+                    add_relation(r, &mut relations);
+                }
+            }
+            Node::Value { attribute, .. } => {
+                if let Some(r) = relation_of_attr(*attribute) {
+                    add_relation(r, &mut relations);
+                }
+            }
+            Node::Keyword(_) => {}
+        }
+    }
+    if relations.is_empty() {
+        return None;
+    }
+
+    let mut query = ConjunctiveQuery::new();
+    let mut atom_of: HashMap<RelationId, usize> = HashMap::new();
+    for r in &relations {
+        let atom = query.add_atom(*r);
+        atom_of.insert(*r, atom);
+    }
+    let attr_ref = |query_atoms: &HashMap<RelationId, usize>, a: AttributeId| -> Option<AttrRef> {
+        let rel = relation_of_attr(a)?;
+        query_atoms.get(&rel).map(|atom| AttrRef::new(*atom, a))
+    };
+
+    // ------------------------------------------------------------------
+    // Joins and selections from the tree's edges.
+    // ------------------------------------------------------------------
+    let mut selected: Vec<AttributeId> = Vec::new();
+    let add_select = |a: AttributeId, selected: &mut Vec<AttributeId>| {
+        if !selected.contains(&a) {
+            selected.push(a);
+        }
+    };
+
+    for edge_id in &tree.edges {
+        let edge = query_graph.edge(*edge_id);
+        match edge.kind {
+            EdgeKind::ForeignKey => {
+                let (ra, rb) = (
+                    query_graph.node(edge.a).as_relation(),
+                    query_graph.node(edge.b).as_relation(),
+                );
+                let (Some(ra), Some(rb)) = (ra, rb) else {
+                    continue;
+                };
+                // Find the declared foreign key connecting these relations.
+                let fk = catalog.foreign_keys().iter().find(|fk| {
+                    let fr = relation_of_attr(fk.from);
+                    let tr = relation_of_attr(fk.to);
+                    (fr == Some(ra) && tr == Some(rb)) || (fr == Some(rb) && tr == Some(ra))
+                });
+                if let Some(fk) = fk {
+                    if let (Some(l), Some(r)) =
+                        (attr_ref(&atom_of, fk.from), attr_ref(&atom_of, fk.to))
+                    {
+                        query.add_join(l, r);
+                        add_select(fk.from, &mut selected);
+                        add_select(fk.to, &mut selected);
+                    }
+                }
+            }
+            EdgeKind::Association => {
+                let (na, nb) = (
+                    query_graph.node(edge.a).as_attribute(),
+                    query_graph.node(edge.b).as_attribute(),
+                );
+                let (Some(a), Some(b)) = (na, nb) else {
+                    continue;
+                };
+                if let (Some(l), Some(r)) = (attr_ref(&atom_of, a), attr_ref(&atom_of, b)) {
+                    query.add_join(l, r);
+                    add_select(a, &mut selected);
+                    add_select(b, &mut selected);
+                }
+            }
+            EdgeKind::KeywordMatch => {
+                // keyword -> schema element: the element is relevant (its
+                // attribute joins the output) but the keyword does not
+                // constrain the data — only value matches do.
+                let (_kw, target) = keyword_and_target(query_graph, edge.a, edge.b);
+                if let Some(Node::Attribute(a)) = target {
+                    add_select(*a, &mut selected);
+                }
+            }
+            EdgeKind::KeywordValue => {
+                // keyword -> value node: exact selection on the stored value.
+                let (kw, target) = keyword_and_target(query_graph, edge.a, edge.b);
+                if let (Some(_kw), Some(Node::Value { attribute, value })) = (kw, target) {
+                    if let Some(r) = attr_ref(&atom_of, *attribute) {
+                        query.add_selection(r, value, true);
+                        add_select(*attribute, &mut selected);
+                    }
+                }
+            }
+            EdgeKind::AttributeRelation | EdgeKind::ValueAttribute => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Select list: tree attributes, plus a fallback so it is never empty.
+    // ------------------------------------------------------------------
+    for node_id in &tree.nodes {
+        if let Node::Attribute(a) = query_graph.node(*node_id) {
+            add_select(*a, &mut selected);
+        }
+    }
+    if selected.is_empty() {
+        let first_rel = catalog.relation(relations[0])?;
+        selected.push(*first_rel.attributes.first()?);
+    }
+    for a in &selected {
+        if let Some(r) = attr_ref(&atom_of, *a) {
+            query.add_select(r);
+        }
+    }
+    Some(query)
+}
+
+fn keyword_and_target<'g>(
+    qg: &'g QueryGraph<'_>,
+    a: q_graph::NodeId,
+    b: q_graph::NodeId,
+) -> (Option<String>, Option<&'g Node>) {
+    let na = qg.node(a);
+    let nb = qg.node(b);
+    match (na, nb) {
+        (Node::Keyword(k), other) => (Some(k.clone()), Some(other)),
+        (other, Node::Keyword(k)) => (Some(k.clone()), Some(other)),
+        _ => (None, None),
+    }
+}
+
+/// Build the unified output schema and materialise the answers of a view's
+/// ranked queries (the disjoint / outer union of Section 2.2).
+///
+/// Returns `(column labels, column source attributes, answers)`. Conceptually
+/// compatible attributes — connected in the search graph by an association
+/// edge cheaper than `column_merge_threshold` — share an output column.
+pub fn materialize_view(
+    catalog: &Catalog,
+    graph: &SearchGraph,
+    queries: &[RankedQuery],
+    column_merge_threshold: f64,
+    max_answers: usize,
+) -> Result<(Vec<String>, Vec<AttributeId>, Vec<Answer>), StorageError> {
+    // Cheap association lookup: attribute -> (aligned attribute, cost).
+    let mut aligned: HashMap<AttributeId, Vec<(AttributeId, f64)>> = HashMap::new();
+    for (edge, a, b) in graph.association_edges() {
+        let cost = graph.edge_cost(edge);
+        aligned.entry(a).or_default().push((b, cost));
+        aligned.entry(b).or_default().push((a, cost));
+    }
+
+    let mut columns: Vec<String> = Vec::new();
+    let mut column_sources: Vec<AttributeId> = Vec::new();
+    let mut answers: Vec<Answer> = Vec::new();
+
+    for (query_index, ranked) in queries.iter().enumerate() {
+        let select_attrs: Vec<AttributeId> =
+            ranked.query.select.iter().map(|s| s.attribute).collect();
+        let own_labels: HashSet<String> = select_attrs
+            .iter()
+            .map(|a| catalog.qualified_name(*a))
+            .collect();
+
+        // Column index for each output attribute of this query.
+        let mut mapping: Vec<usize> = Vec::with_capacity(select_attrs.len());
+        for attr in &select_attrs {
+            let label = catalog.qualified_name(*attr);
+            // Exact label already present?
+            if let Some(pos) = columns.iter().position(|c| *c == label) {
+                mapping.push(pos);
+                continue;
+            }
+            // A compatible attribute already defines a column, and this query
+            // does not itself output that attribute -> reuse its column.
+            let mut merged: Option<usize> = None;
+            if let Some(cands) = aligned.get(attr) {
+                for (other, cost) in cands {
+                    if *cost > column_merge_threshold {
+                        continue;
+                    }
+                    let other_label = catalog.qualified_name(*other);
+                    if own_labels.contains(&other_label) {
+                        continue;
+                    }
+                    if let Some(pos) = columns.iter().position(|c| *c == other_label) {
+                        merged = Some(pos);
+                        break;
+                    }
+                }
+            }
+            match merged {
+                Some(pos) => mapping.push(pos),
+                None => {
+                    columns.push(label);
+                    column_sources.push(*attr);
+                    mapping.push(columns.len() - 1);
+                }
+            }
+        }
+
+        // Execute and align rows into the unified schema.
+        let result = exec::execute(catalog, &ranked.query)?;
+        for row in result.rows {
+            let mut values: Vec<Option<q_storage::Value>> = vec![None; columns.len()];
+            for (i, v) in row.into_iter().enumerate() {
+                let col = mapping[i];
+                if col >= values.len() {
+                    values.resize(col + 1, None);
+                }
+                values[col] = Some(v);
+            }
+            answers.push(Answer {
+                values,
+                query_index,
+                cost: ranked.cost,
+            });
+        }
+    }
+
+    // Union branches are already in increasing cost order; enforce it anyway
+    // and bound the materialised size.
+    answers.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    answers.truncate(max_answers);
+    // Normalise row widths (columns added by later queries).
+    let width = columns.len();
+    for a in &mut answers {
+        a.values.resize(width, None);
+    }
+    Ok((columns, column_sources, answers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q_graph::keyword::MatchConfig;
+    use q_graph::{approx_top_k, KeywordIndex, SteinerConfig};
+    use q_storage::{RelationSpec, SourceSpec, Value};
+
+    fn setup() -> (Catalog, SearchGraph, KeywordIndex) {
+        let mut cat = Catalog::new();
+        SourceSpec::new("go")
+            .relation(
+                RelationSpec::new("go_term", &["acc", "name"])
+                    .row(["GO:1", "plasma membrane"])
+                    .row(["GO:2", "kinase activity"]),
+            )
+            .load_into(&mut cat)
+            .unwrap();
+        SourceSpec::new("interpro")
+            .relation(
+                RelationSpec::new("interpro2go", &["go_id", "entry_ac"])
+                    .row(["GO:1", "IPR01"])
+                    .row(["GO:2", "IPR02"]),
+            )
+            .relation(
+                RelationSpec::new("entry", &["entry_ac", "name"])
+                    .row(["IPR01", "Kringle domain"])
+                    .row(["IPR02", "Cytokine"]),
+            )
+            .foreign_key("interpro2go.entry_ac", "entry.entry_ac")
+            .load_into(&mut cat)
+            .unwrap();
+        let mut graph = SearchGraph::from_catalog(&cat);
+        // Matcher-proposed association linking the GO accession columns.
+        let acc = cat.resolve_qualified("go_term.acc").unwrap();
+        let go_id = cat.resolve_qualified("interpro2go.go_id").unwrap();
+        graph.add_association(acc, go_id, "mad", 0.95);
+        let index = KeywordIndex::build(&cat);
+        (cat, graph, index)
+    }
+
+    fn best_query(
+        cat: &Catalog,
+        graph: &SearchGraph,
+        index: &KeywordIndex,
+        keywords: &[&str],
+    ) -> RankedQuery {
+        let qg = QueryGraph::build(graph, index, keywords, &MatchConfig::default());
+        let trees = approx_top_k(&qg, &qg.terminals(), &SteinerConfig { k: 5, max_roots: 0 });
+        let tree = trees.into_iter().next().expect("a tree exists");
+        let query = tree_to_query(cat, &qg, &tree).expect("query is translatable");
+        RankedQuery {
+            cost: tree.cost,
+            tree,
+            query,
+        }
+    }
+
+    #[test]
+    fn value_keyword_becomes_exact_selection() {
+        let (cat, graph, index) = setup();
+        let ranked = best_query(&cat, &graph, &index, &["plasma membrane", "entry_ac"]);
+        assert!(ranked
+            .query
+            .selections
+            .iter()
+            .any(|s| s.exact && s.term == "plasma membrane"));
+    }
+
+    #[test]
+    fn association_edges_become_joins() {
+        let (cat, graph, index) = setup();
+        // Connecting "plasma membrane" (a go_term value) to entry names must
+        // traverse the association and the FK edge.
+        let ranked = best_query(&cat, &graph, &index, &["plasma membrane", "entry"]);
+        assert!(ranked.query.atoms.len() >= 2);
+        assert!(!ranked.query.joins.is_empty());
+        let rs = exec::execute(&cat, &ranked.query).unwrap();
+        // GO:1 -> IPR01 -> Kringle domain
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_keyword_only_tree_translates_to_none() {
+        let (cat, graph, index) = setup();
+        let qg = QueryGraph::build(&graph, &index, &["zzzz"], &MatchConfig::default());
+        let tree = SteinerTree {
+            edges: vec![],
+            nodes: qg.terminals(),
+            cost: 0.0,
+        };
+        assert!(tree_to_query(&cat, &qg, &tree).is_none());
+    }
+
+    #[test]
+    fn materialize_unions_queries_and_aligns_columns() {
+        let (cat, graph, index) = setup();
+        let q1 = best_query(&cat, &graph, &index, &["plasma membrane", "entry"]);
+        let q2 = best_query(&cat, &graph, &index, &["kinase activity", "entry"]);
+        let (columns, sources, answers) =
+            materialize_view(&cat, &graph, &[q1, q2], 2.0, 100).unwrap();
+        assert!(!columns.is_empty());
+        assert_eq!(columns.len(), sources.len());
+        assert!(!answers.is_empty());
+        // Every answer row has exactly one value per column.
+        for a in &answers {
+            assert_eq!(a.values.len(), columns.len());
+        }
+        // Answers are sorted by cost.
+        for w in answers.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn compatible_columns_are_merged_across_queries() {
+        let (cat, graph, _index) = setup();
+        // Hand-built queries: the first outputs go_term.acc, the second
+        // outputs interpro2go.go_id. The two attributes are associated in the
+        // search graph, so the second query's output must reuse the first's
+        // column instead of adding a new one (Section 2.2).
+        let go_term = cat.relation_by_name("go_term").unwrap().id;
+        let i2g = cat.relation_by_name("interpro2go").unwrap().id;
+        let acc = cat.resolve_qualified("go_term.acc").unwrap();
+        let go_id = cat.resolve_qualified("interpro2go.go_id").unwrap();
+
+        let mut query1 = ConjunctiveQuery::new();
+        let a0 = query1.add_atom(go_term);
+        query1.add_select(AttrRef::new(a0, acc));
+        let mut query2 = ConjunctiveQuery::new();
+        let a0 = query2.add_atom(i2g);
+        query2.add_select(AttrRef::new(a0, go_id));
+
+        let dummy_tree = |cost: f64| SteinerTree {
+            edges: vec![],
+            nodes: vec![],
+            cost,
+        };
+        let ranked = vec![
+            RankedQuery {
+                tree: dummy_tree(1.0),
+                query: query1,
+                cost: 1.0,
+            },
+            RankedQuery {
+                tree: dummy_tree(2.0),
+                query: query2,
+                cost: 2.0,
+            },
+        ];
+        let (columns, _, answers) = materialize_view(&cat, &graph, &ranked, 2.0, 100).unwrap();
+        assert_eq!(columns, vec!["go_term.acc".to_string()]);
+        // Both queries' rows land in the shared column.
+        assert!(answers.iter().any(|a| a.query_index == 0));
+        assert!(answers.iter().any(|a| a.query_index == 1));
+        assert!(answers.iter().all(|a| a.values.len() == 1));
+    }
+
+    #[test]
+    fn max_answers_truncates_output() {
+        let (cat, graph, index) = setup();
+        let q1 = best_query(&cat, &graph, &index, &["go", "entry"]);
+        let (_, _, answers) = materialize_view(&cat, &graph, &[q1], 2.0, 1).unwrap();
+        assert!(answers.len() <= 1);
+    }
+
+    #[test]
+    fn answers_preserve_provenance_and_values() {
+        let (cat, graph, index) = setup();
+        let q1 = best_query(&cat, &graph, &index, &["plasma membrane", "entry"]);
+        let (columns, _, answers) = materialize_view(&cat, &graph, &[q1], 2.0, 100).unwrap();
+        assert_eq!(answers[0].query_index, 0);
+        // The join across sources surfaces the InterPro entry (accession or
+        // name) somewhere in the row.
+        let found = answers.iter().any(|a| {
+            a.values.iter().flatten().any(|v| match v {
+                Value::Text(s) => s.contains("Kringle") || s.contains("IPR01"),
+                _ => false,
+            })
+        });
+        assert!(found, "columns: {columns:?}, answers: {answers:?}");
+    }
+}

@@ -1,0 +1,602 @@
+//! Synthetic GBCO dataset (Section 5.1, Figures 6–8).
+//!
+//! The real GBCO (Genomics of Beta Cell Consortium, betacell.org) dataset has
+//! 18 relations with 187 attributes, modelled by the paper as separate
+//! sources, plus SQL query logs from which base/expanded query pairs were
+//! mined. Neither the data nor the logs are redistributable, so this module
+//! generates a structurally faithful synthetic equivalent: the same relation
+//! and attribute counts, a realistic beta-cell-genomics foreign-key topology
+//! (identifier domains shared between key and referencing attributes so the
+//! value-overlap filter has something to work with), and a fixed set of 16
+//! trials that introduce 40 new sources in total — matching the paper's
+//! "averaged over introduction of 40 sources in 16 trials" setup.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use q_storage::{Catalog, RelationSpec, SourceSpec};
+
+use crate::words;
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbcoConfig {
+    /// Approximate number of rows per relation.
+    pub rows_per_table: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GbcoConfig {
+    fn default() -> Self {
+        GbcoConfig {
+            rows_per_table: 80,
+            seed: 17,
+        }
+    }
+}
+
+/// One experimental trial mined from the (synthetic) query log: a keyword
+/// view over some base relations, and the new sources whose registration
+/// should affect that view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GbcoTrial {
+    /// Keywords of the user's view.
+    pub keywords: Vec<String>,
+    /// Relations the base query touches.
+    pub view_relations: Vec<String>,
+    /// Sources introduced by the expanded query (each GBCO relation is its
+    /// own source, so these are relation names too).
+    pub new_sources: Vec<String>,
+}
+
+impl GbcoTrial {
+    fn new(keywords: &[&str], view: &[&str], new: &[&str]) -> Self {
+        GbcoTrial {
+            keywords: keywords.iter().map(|s| s.to_string()).collect(),
+            view_relations: view.iter().map(|s| s.to_string()).collect(),
+            new_sources: new.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// How an attribute's values are generated.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// Primary identifier drawn from the named domain.
+    Id(&'static str),
+    /// Reference to identifiers of the named domain.
+    Ref(&'static str),
+    /// Short biological phrase.
+    Name,
+    /// Longer title-like phrase.
+    Title,
+    /// Date string.
+    Date,
+    /// Integer in a range.
+    Number(i64, i64),
+    /// Evidence / category code.
+    Code,
+    /// Person name.
+    Person,
+}
+
+/// Declarative schema: 18 relations, 187 attributes in total.
+fn schema() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
+    use Kind::*;
+    vec![
+        (
+            "tissue",
+            vec![
+                ("tissue_id", Id("tissue")),
+                ("name", Name),
+                ("species", Code),
+                ("organ", Name),
+                ("developmental_stage", Code),
+                ("description", Title),
+                ("source_lab", Ref("lab")),
+                ("collection_date", Date),
+                ("preservation", Code),
+                ("quality_score", Number(1, 10)),
+                ("donor_id", Ref("donor")),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "experiment",
+            vec![
+                ("experiment_id", Id("experiment")),
+                ("name", Name),
+                ("tissue_id", Ref("tissue")),
+                ("platform_id", Ref("platform")),
+                ("date_performed", Date),
+                ("investigator", Person),
+                ("protocol_id", Ref("protocol")),
+                ("replicate_count", Number(1, 6)),
+                ("status", Code),
+                ("comments", Title),
+                ("lab_id", Ref("lab")),
+            ],
+        ),
+        (
+            "gene",
+            vec![
+                ("gene_id", Id("gene")),
+                ("symbol", Name),
+                ("name", Title),
+                ("chromosome", Number(1, 22)),
+                ("start_position", Number(1000, 2_000_000)),
+                ("end_position", Number(1000, 2_000_000)),
+                ("strand", Code),
+                ("biotype", Code),
+                ("species", Code),
+                ("ensembl_id", Id("ensembl")),
+                ("description", Title),
+            ],
+        ),
+        (
+            "probe",
+            vec![
+                ("probe_id", Id("probe")),
+                ("platform_id", Ref("platform")),
+                ("gene_id", Ref("gene")),
+                ("sequence", Name),
+                ("position", Number(1, 100_000)),
+                ("gc_content", Number(20, 80)),
+                ("quality", Number(1, 10)),
+                ("design_date", Date),
+                ("vendor", Person),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "platform",
+            vec![
+                ("platform_id", Id("platform")),
+                ("name", Name),
+                ("manufacturer", Person),
+                ("technology", Code),
+                ("probe_count", Number(1000, 60_000)),
+                ("release_date", Date),
+                ("organism", Code),
+                ("version", Number(1, 5)),
+                ("url", Name),
+                ("description", Title),
+            ],
+        ),
+        (
+            "expression",
+            vec![
+                ("expression_id", Id("expression")),
+                ("experiment_id", Ref("experiment")),
+                ("probe_id", Ref("probe")),
+                ("sample_id", Ref("sample")),
+                ("value", Number(0, 10_000)),
+                ("normalized_value", Number(0, 100)),
+                ("p_value", Number(0, 100)),
+                ("fold_change", Number(-10, 10)),
+                ("call", Code),
+                ("batch", Number(1, 12)),
+            ],
+        ),
+        (
+            "sample",
+            vec![
+                ("sample_id", Id("sample")),
+                ("tissue_id", Ref("tissue")),
+                ("donor_id", Ref("donor")),
+                ("age", Number(1, 90)),
+                ("sex", Code),
+                ("condition", Name),
+                ("treatment", Name),
+                ("collection_site", Name),
+                ("rna_quality", Number(1, 10)),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "donor",
+            vec![
+                ("donor_id", Id("donor")),
+                ("species", Code),
+                ("strain", Name),
+                ("age", Number(1, 90)),
+                ("sex", Code),
+                ("weight", Number(2, 120)),
+                ("diabetic_status", Code),
+                ("glucose_level", Number(60, 300)),
+                ("cohort_id", Ref("cohort")),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "cohort",
+            vec![
+                ("cohort_id", Id("cohort")),
+                ("name", Name),
+                ("study_id", Ref("study")),
+                ("size", Number(5, 500)),
+                ("inclusion_criteria", Title),
+                ("start_date", Date),
+                ("end_date", Date),
+                ("principal_investigator", Person),
+                ("site", Name),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "study",
+            vec![
+                ("study_id", Id("study")),
+                ("title", Title),
+                ("description", Title),
+                ("funding_source", Person),
+                ("start_date", Date),
+                ("end_date", Date),
+                ("status", Code),
+                ("contact", Person),
+                ("publication_id", Ref("publication")),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "publication",
+            vec![
+                ("publication_id", Id("publication")),
+                ("title", Title),
+                ("journal", Name),
+                ("year", Number(1995, 2010)),
+                ("volume", Number(1, 400)),
+                ("pages", Number(1, 2000)),
+                ("pubmed_id", Id("pubmed")),
+                ("doi", Id("doi")),
+                ("first_author", Person),
+                ("abstract_text", Title),
+            ],
+        ),
+        (
+            "pathway",
+            vec![
+                ("pathway_id", Id("pathway")),
+                ("name", Name),
+                ("source_db", Code),
+                ("category", Code),
+                ("gene_count", Number(2, 300)),
+                ("description", Title),
+                ("species", Code),
+                ("version", Number(1, 8)),
+                ("url", Name),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "gene_pathway",
+            vec![
+                ("gene_pathway_id", Id("gene_pathway")),
+                ("gene_id", Ref("gene")),
+                ("pathway_id", Ref("pathway")),
+                ("evidence", Code),
+                ("source", Code),
+                ("score", Number(0, 100)),
+                ("date_added", Date),
+                ("curator", Person),
+                ("status", Code),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "annotation",
+            vec![
+                ("annotation_id", Id("annotation")),
+                ("gene_id", Ref("gene")),
+                ("go_acc", Ref("go")),
+                ("evidence_code", Code),
+                ("aspect", Code),
+                ("assigned_by", Person),
+                ("date_assigned", Date),
+                ("qualifier", Code),
+                ("reference_id", Ref("publication")),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "go_terms",
+            vec![
+                ("go_acc", Id("go")),
+                ("term_name", Name),
+                ("ontology", Code),
+                ("definition", Title),
+                ("is_obsolete", Code),
+                ("replaced_by", Ref("go")),
+                ("synonym", Name),
+                ("namespace", Code),
+                ("depth", Number(1, 14)),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "marker",
+            vec![
+                ("marker_id", Id("marker")),
+                ("gene_id", Ref("gene")),
+                ("tissue_id", Ref("tissue")),
+                ("marker_type", Code),
+                ("specificity", Number(0, 100)),
+                ("sensitivity", Number(0, 100)),
+                ("reference_id", Ref("publication")),
+                ("validated", Code),
+                ("method", Name),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "protocol",
+            vec![
+                ("protocol_id", Id("protocol")),
+                ("name", Name),
+                ("version", Number(1, 9)),
+                ("author", Person),
+                ("date_created", Date),
+                ("category", Code),
+                ("duration_minutes", Number(10, 600)),
+                ("equipment", Name),
+                ("reagents", Name),
+                ("steps", Title),
+                ("notes", Title),
+            ],
+        ),
+        (
+            "lab",
+            vec![
+                ("lab_id", Id("lab")),
+                ("name", Name),
+                ("institution", Name),
+                ("department", Name),
+                ("country", Code),
+                ("city", Name),
+                ("principal_investigator", Person),
+                ("contact_email", Name),
+                ("phone", Number(1_000_000, 9_999_999)),
+                ("established_year", Number(1950, 2009)),
+                ("funding", Name),
+                ("notes", Title),
+            ],
+        ),
+    ]
+}
+
+/// Foreign keys of the GBCO schema as qualified-name pairs (referencing
+/// attribute first). These are *not* embedded in the source specs because the
+/// experiments often load only a subset of the sources; use
+/// [`declare_foreign_keys`] to apply whichever of them resolve.
+pub fn gbco_foreign_keys() -> Vec<(String, String)> {
+    let pairs = [
+        ("experiment.tissue_id", "tissue.tissue_id"),
+        ("experiment.platform_id", "platform.platform_id"),
+        ("experiment.protocol_id", "protocol.protocol_id"),
+        ("experiment.lab_id", "lab.lab_id"),
+        ("probe.platform_id", "platform.platform_id"),
+        ("probe.gene_id", "gene.gene_id"),
+        ("expression.experiment_id", "experiment.experiment_id"),
+        ("expression.probe_id", "probe.probe_id"),
+        ("expression.sample_id", "sample.sample_id"),
+        ("sample.tissue_id", "tissue.tissue_id"),
+        ("sample.donor_id", "donor.donor_id"),
+        ("tissue.donor_id", "donor.donor_id"),
+        ("tissue.source_lab", "lab.lab_id"),
+        ("donor.cohort_id", "cohort.cohort_id"),
+        ("cohort.study_id", "study.study_id"),
+        ("study.publication_id", "publication.publication_id"),
+        ("gene_pathway.gene_id", "gene.gene_id"),
+        ("gene_pathway.pathway_id", "pathway.pathway_id"),
+        ("annotation.gene_id", "gene.gene_id"),
+        ("annotation.go_acc", "go_terms.go_acc"),
+        ("annotation.reference_id", "publication.publication_id"),
+        ("marker.gene_id", "gene.gene_id"),
+        ("marker.tissue_id", "tissue.tissue_id"),
+        ("marker.reference_id", "publication.publication_id"),
+    ];
+    pairs
+        .iter()
+        .map(|(a, b)| ((*a).to_string(), (*b).to_string()))
+        .collect()
+}
+
+/// Declare every foreign key whose both endpoints exist in the catalog.
+/// Returns how many were applied.
+pub fn declare_foreign_keys(catalog: &mut Catalog, fks: &[(String, String)]) -> usize {
+    let mut applied = 0;
+    for (from, to) in fks {
+        if let (Some(f), Some(t)) = (
+            catalog.resolve_qualified(from),
+            catalog.resolve_qualified(to),
+        ) {
+            catalog.add_foreign_key(f, t).expect("attributes exist");
+            applied += 1;
+        }
+    }
+    applied
+}
+
+/// The 16 trials of the Section 5.1 experiments. Across all trials exactly 40
+/// new sources are introduced.
+pub fn gbco_trials() -> Vec<GbcoTrial> {
+    vec![
+        GbcoTrial::new(&["normalized_value", "symbol"], &["expression", "probe", "gene"], &["pathway", "gene_pathway"]),
+        GbcoTrial::new(&["organ", "diabetic_status"], &["tissue", "donor"], &["cohort", "study"]),
+        GbcoTrial::new(&["replicate_count", "manufacturer"], &["experiment", "platform"], &["probe", "protocol"]),
+        GbcoTrial::new(&["rna_quality", "organ"], &["sample", "tissue"], &["donor", "marker"]),
+        GbcoTrial::new(&["symbol", "evidence_code"], &["gene", "annotation"], &["go_terms", "publication"]),
+        GbcoTrial::new(&["funding_source", "pubmed_id"], &["study", "publication"], &["cohort", "lab"]),
+        GbcoTrial::new(&["specificity", "biotype"], &["marker", "gene"], &["tissue", "probe"]),
+        GbcoTrial::new(&["fold_change", "rna_quality"], &["expression", "sample"], &["donor", "experiment"]),
+        GbcoTrial::new(&["symbol", "source_db"], &["gene", "gene_pathway", "pathway"], &["annotation", "go_terms", "publication"]),
+        GbcoTrial::new(&["investigator", "institution"], &["experiment", "lab"], &["protocol", "platform", "study"]),
+        GbcoTrial::new(&["glucose_level", "inclusion_criteria"], &["donor", "cohort"], &["study", "publication", "sample"]),
+        GbcoTrial::new(&["gc_content", "technology"], &["probe", "platform"], &["gene", "expression", "experiment"]),
+        GbcoTrial::new(&["evidence_code", "ontology"], &["annotation", "go_terms"], &["gene", "marker", "publication"]),
+        GbcoTrial::new(&["preservation", "sensitivity"], &["tissue", "marker"], &["gene", "publication", "sample"]),
+        GbcoTrial::new(&["pubmed_id", "first_author"], &["publication"], &["study", "annotation", "marker"]),
+        GbcoTrial::new(&["fold_change", "replicate_count"], &["expression", "experiment"], &["platform", "protocol", "lab"]),
+    ]
+}
+
+/// Generate the 18 GBCO source specs (one relation per source, no embedded
+/// foreign keys).
+pub fn gbco_source_specs(config: &GbcoConfig) -> Vec<SourceSpec> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let rows = config.rows_per_table.max(10);
+
+    // Identifier pools: every Id/Ref of the same domain draws from the same
+    // pool, giving the key–foreign-key value overlaps.
+    let mut pools: HashMap<&'static str, Vec<String>> = HashMap::new();
+    let domains = [
+        ("tissue", "TIS"),
+        ("experiment", "EXP"),
+        ("gene", "GENE"),
+        ("probe", "PRB"),
+        ("platform", "PLT"),
+        ("expression", "XPR"),
+        ("sample", "SMP"),
+        ("donor", "DNR"),
+        ("cohort", "COH"),
+        ("study", "STD"),
+        ("publication", "PMID"),
+        ("pathway", "PWY"),
+        ("gene_pathway", "GPW"),
+        ("annotation", "ANN"),
+        ("go", "GO:"),
+        ("marker", "MRK"),
+        ("protocol", "PRT"),
+        ("lab", "LAB"),
+        ("ensembl", "ENSG"),
+        ("pubmed", "PM"),
+        ("doi", "10.1000/"),
+    ];
+    for (domain, prefix) in domains {
+        let pool: Vec<String> = (0..rows)
+            .map(|i| words::padded_id(prefix, i + 1, 6))
+            .collect();
+        pools.insert(domain, pool);
+    }
+
+    let mut specs = Vec::new();
+    for (rel_name, columns) in schema() {
+        let attr_names: Vec<&str> = columns.iter().map(|(n, _)| *n).collect();
+        let mut rel = RelationSpec::new(rel_name, &attr_names);
+        for i in 0..rows {
+            let mut row: Vec<String> = Vec::with_capacity(columns.len());
+            for (_, kind) in &columns {
+                let value = match kind {
+                    Kind::Id(domain) => pools[domain][i].clone(),
+                    Kind::Ref(domain) => {
+                        let pool = &pools[domain];
+                        pool[rng.gen_range(0..pool.len())].clone()
+                    }
+                    Kind::Name => words::term_name(&mut rng),
+                    Kind::Title => words::title(&mut rng),
+                    Kind::Date => words::date(&mut rng),
+                    Kind::Number(lo, hi) => rng.gen_range(*lo..=*hi).to_string(),
+                    Kind::Code => words::code(&mut rng),
+                    Kind::Person => words::author(&mut rng),
+                };
+                row.push(value);
+            }
+            rel = rel.row(row);
+        }
+        specs.push(SourceSpec::new(rel_name).relation(rel));
+    }
+    specs
+}
+
+/// Load the full GBCO dataset (all 18 sources, foreign keys declared).
+pub fn gbco_catalog(config: &GbcoConfig) -> Catalog {
+    let specs = gbco_source_specs(config);
+    let mut catalog = q_storage::loader::load_catalog(&specs).expect("generated specs always load");
+    declare_foreign_keys(&mut catalog, &gbco_foreign_keys());
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GbcoConfig {
+        GbcoConfig {
+            rows_per_table: 20,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn has_eighteen_relations_and_187_attributes() {
+        let cat = gbco_catalog(&small());
+        assert_eq!(cat.sources().len(), 18);
+        assert_eq!(cat.relations().len(), 18);
+        assert_eq!(cat.attributes().len(), 187);
+    }
+
+    #[test]
+    fn foreign_keys_resolve_on_the_full_catalog() {
+        let cat = gbco_catalog(&small());
+        assert_eq!(cat.foreign_keys().len(), gbco_foreign_keys().len());
+    }
+
+    #[test]
+    fn partial_catalog_skips_unresolvable_foreign_keys() {
+        let specs = gbco_source_specs(&small());
+        let subset: Vec<SourceSpec> = specs
+            .into_iter()
+            .filter(|s| s.name == "expression" || s.name == "experiment")
+            .collect();
+        let mut cat = q_storage::loader::load_catalog(&subset).unwrap();
+        let applied = declare_foreign_keys(&mut cat, &gbco_foreign_keys());
+        assert_eq!(applied, 1); // only expression.experiment_id -> experiment
+    }
+
+    #[test]
+    fn foreign_key_pairs_share_values() {
+        let cat = gbco_catalog(&small());
+        let idx = q_storage::ValueIndex::build(&cat);
+        for fk in cat.foreign_keys() {
+            assert!(
+                idx.overlap(fk.from, fk.to) > 0,
+                "fk {} -> {} has no value overlap",
+                cat.qualified_name(fk.from),
+                cat.qualified_name(fk.to)
+            );
+        }
+    }
+
+    #[test]
+    fn trials_introduce_forty_sources_in_sixteen_trials() {
+        let trials = gbco_trials();
+        assert_eq!(trials.len(), 16);
+        let total: usize = trials.iter().map(|t| t.new_sources.len()).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn trial_relations_all_exist_in_the_schema() {
+        let names: Vec<&str> = schema().iter().map(|(n, _)| *n).collect();
+        for trial in gbco_trials() {
+            for rel in trial.view_relations.iter().chain(&trial.new_sources) {
+                assert!(names.contains(&rel.as_str()), "unknown relation {rel}");
+            }
+            // New sources never overlap the view's base relations.
+            for n in &trial.new_sources {
+                assert!(!trial.view_relations.contains(n));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gbco_catalog(&small());
+        let b = gbco_catalog(&small());
+        let attr = a.resolve_qualified("gene.symbol").unwrap();
+        assert_eq!(a.distinct_values(attr), b.distinct_values(attr));
+    }
+}

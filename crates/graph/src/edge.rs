@@ -1,0 +1,143 @@
+//! Search-graph and query-graph edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::features::{FeatureVector, WeightVector};
+use crate::node::NodeId;
+
+/// Dense edge identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The kinds of edge appearing in Figures 2 and 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Zero-cost edge between an attribute and its relation.
+    AttributeRelation,
+    /// Key–foreign-key edge between two relations (cost `c_f`).
+    ForeignKey,
+    /// Matcher-proposed (or hand-coded) association between two attributes
+    /// (cost `c_a`).
+    Association,
+    /// Query-graph edge between a keyword node and a matching schema node
+    /// (cost `w_i · s_i`).
+    KeywordMatch,
+    /// Zero-cost edge between a data-value node and its attribute node.
+    ValueAttribute,
+    /// Query-graph edge between a keyword node and a matching data value.
+    KeywordValue,
+}
+
+impl EdgeKind {
+    /// True for the edge kinds whose cost is pinned at zero and excluded from
+    /// learning (the set `A` of Algorithm 4).
+    pub fn is_fixed_zero(self) -> bool {
+        matches!(self, EdgeKind::AttributeRelation | EdgeKind::ValueAttribute)
+    }
+}
+
+/// An undirected, weighted edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Edge id.
+    pub id: EdgeId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// What the edge represents.
+    pub kind: EdgeKind,
+    /// Sparse features; the edge cost is `weights · features`.
+    pub features: FeatureVector,
+}
+
+impl Edge {
+    /// Cost of the edge under a weight vector. Fixed-zero edges always cost
+    /// zero regardless of the weights.
+    pub fn cost(&self, weights: &WeightVector) -> f64 {
+        if self.kind.is_fixed_zero() {
+            0.0
+        } else {
+            self.features.dot(weights)
+        }
+    }
+
+    /// The endpoint that is not `node` (panics if `node` is not an endpoint).
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if self.a == node {
+            self.b
+        } else if self.b == node {
+            self.a
+        } else {
+            panic!("node {node} is not an endpoint of edge {}", self.id)
+        }
+    }
+
+    /// True if `node` is one of the endpoints.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.a == node || self.b == node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureId, FeatureVector};
+
+    fn edge(kind: EdgeKind) -> Edge {
+        Edge {
+            id: EdgeId(0),
+            a: NodeId(1),
+            b: NodeId(2),
+            kind,
+            features: FeatureVector::from_pairs([(FeatureId(0), 1.0)]),
+        }
+    }
+
+    #[test]
+    fn fixed_zero_kinds() {
+        assert!(EdgeKind::AttributeRelation.is_fixed_zero());
+        assert!(EdgeKind::ValueAttribute.is_fixed_zero());
+        assert!(!EdgeKind::Association.is_fixed_zero());
+        assert!(!EdgeKind::ForeignKey.is_fixed_zero());
+        assert!(!EdgeKind::KeywordMatch.is_fixed_zero());
+    }
+
+    #[test]
+    fn fixed_zero_edges_cost_zero_even_with_features() {
+        let mut w = WeightVector::default();
+        w.set(FeatureId(0), 5.0);
+        assert_eq!(edge(EdgeKind::AttributeRelation).cost(&w), 0.0);
+        assert_eq!(edge(EdgeKind::Association).cost(&w), 5.0);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = edge(EdgeKind::Association);
+        assert_eq!(e.other(NodeId(1)), NodeId(2));
+        assert_eq!(e.other(NodeId(2)), NodeId(1));
+        assert!(e.touches(NodeId(1)));
+        assert!(!e.touches(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_panics_for_non_endpoint() {
+        edge(EdgeKind::Association).other(NodeId(9));
+    }
+}

@@ -1,0 +1,454 @@
+//! Keyword matching against schema elements and data values (Section 2.2).
+//!
+//! Q matches each query keyword against relation names, attribute names and
+//! pre-indexed data values using a keyword similarity metric — tf-idf by
+//! default in the paper, with edit-distance / n-grams as alternatives. The
+//! [`KeywordIndex`] here scores candidates with a combination of
+//! idf-weighted token cosine similarity and character-trigram Dice
+//! similarity, which behaves like the paper's default for the bioinformatics
+//! vocabularies used in the evaluation.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use q_storage::{AttributeId, Catalog, RelationId, Value};
+
+/// What a keyword matched.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchTarget {
+    /// A relation name.
+    Relation(RelationId),
+    /// An attribute name.
+    Attribute(AttributeId),
+    /// A data value of an attribute.
+    Value {
+        /// Attribute the value belongs to.
+        attribute: AttributeId,
+        /// Normalised value text.
+        value: String,
+    },
+}
+
+/// One keyword match with its similarity score in `(0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeywordMatch {
+    /// The matched schema element or value.
+    pub target: MatchTarget,
+    /// Similarity score; the query-graph mismatch cost is `1 - similarity`.
+    pub similarity: f64,
+}
+
+/// Tunable matching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Minimum similarity for a match to be reported.
+    pub min_similarity: f64,
+    /// Maximum number of matches returned per keyword.
+    pub max_matches: usize,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            min_similarity: 0.35,
+            max_matches: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Document {
+    target: MatchTarget,
+    text: String,
+    tokens: Vec<String>,
+    trigrams: HashSet<String>,
+}
+
+/// tf-idf / trigram index over schema elements and data values.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KeywordIndex {
+    documents: Vec<Document>,
+    /// token -> document indices containing it
+    token_postings: HashMap<String, Vec<usize>>,
+    /// trigram -> document indices containing it
+    trigram_postings: HashMap<String, Vec<usize>>,
+    /// token -> inverse document frequency
+    idf: HashMap<String, f64>,
+}
+
+impl KeywordIndex {
+    /// Index every relation name, attribute name and distinct textual data
+    /// value in the catalog.
+    pub fn build(catalog: &Catalog) -> Self {
+        let mut idx = KeywordIndex::default();
+        for rel in catalog.relations() {
+            idx.add_document(MatchTarget::Relation(rel.id), &rel.name);
+            for attr_id in &rel.attributes {
+                if let Some(attr) = catalog.attribute(*attr_id) {
+                    idx.add_document(MatchTarget::Attribute(attr.id), &attr.name);
+                }
+            }
+        }
+        for rel in catalog.relations() {
+            for attr_id in &rel.attributes {
+                let attr = catalog.attribute(*attr_id).expect("attribute exists");
+                let mut seen = HashSet::new();
+                for tuple in &rel.tuples {
+                    if let Some(value) = tuple.get(attr.position) {
+                        if !matches!(value, Value::Text(_)) {
+                            continue;
+                        }
+                        if let Some(norm) = value.normalized() {
+                            if seen.insert(norm.clone()) {
+                                idx.add_document(
+                                    MatchTarget::Value {
+                                        attribute: attr.id,
+                                        value: norm.clone(),
+                                    },
+                                    &norm,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        idx.finalize();
+        idx
+    }
+
+    /// Add the schema elements and values of one relation to an existing
+    /// index (used when a new source is registered).
+    pub fn add_relation(&mut self, catalog: &Catalog, relation: RelationId) {
+        let Some(rel) = catalog.relation(relation) else {
+            return;
+        };
+        self.add_document(MatchTarget::Relation(rel.id), &rel.name);
+        for attr_id in &rel.attributes {
+            if let Some(attr) = catalog.attribute(*attr_id) {
+                self.add_document(MatchTarget::Attribute(attr.id), &attr.name);
+                let mut seen = HashSet::new();
+                for tuple in &rel.tuples {
+                    if let Some(Value::Text(_)) = tuple.get(attr.position) {
+                        if let Some(norm) =
+                            tuple.get(attr.position).and_then(Value::normalized)
+                        {
+                            if seen.insert(norm.clone()) {
+                                self.add_document(
+                                    MatchTarget::Value {
+                                        attribute: attr.id,
+                                        value: norm.clone(),
+                                    },
+                                    &norm,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.finalize();
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True if nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Match one keyword (which may be a multi-word phrase) against the
+    /// index, returning scored matches in decreasing similarity order.
+    pub fn matches(&self, keyword: &str, config: &MatchConfig) -> Vec<KeywordMatch> {
+        let query_tokens = tokenize(keyword);
+        let query_trigrams = trigrams(&normalize(keyword));
+        if query_tokens.is_empty() && query_trigrams.is_empty() {
+            return Vec::new();
+        }
+
+        // Candidate generation: anything sharing a token or a trigram.
+        let mut candidates: HashSet<usize> = HashSet::new();
+        for t in &query_tokens {
+            if let Some(docs) = self.token_postings.get(t) {
+                candidates.extend(docs.iter().copied());
+            }
+        }
+        for g in &query_trigrams {
+            if let Some(docs) = self.trigram_postings.get(g) {
+                candidates.extend(docs.iter().copied());
+            }
+        }
+
+        let mut scored: Vec<KeywordMatch> = candidates
+            .into_iter()
+            .map(|idx| {
+                let doc = &self.documents[idx];
+                let sim = self.similarity(&query_tokens, &query_trigrams, keyword, doc);
+                KeywordMatch {
+                    target: doc.target.clone(),
+                    similarity: sim,
+                }
+            })
+            .filter(|m| m.similarity >= config.min_similarity)
+            .collect();
+        scored.sort_by(|a, b| b.similarity.partial_cmp(&a.similarity).unwrap());
+        scored.truncate(config.max_matches);
+        scored
+    }
+
+    fn similarity(
+        &self,
+        query_tokens: &[String],
+        query_trigrams: &HashSet<String>,
+        raw_query: &str,
+        doc: &Document,
+    ) -> f64 {
+        let norm_query = normalize(raw_query);
+        if norm_query == doc.text {
+            return 1.0;
+        }
+        // idf-weighted token cosine.
+        let doc_tokens: HashSet<&String> = doc.tokens.iter().collect();
+        let mut dot = 0.0;
+        let mut qn = 0.0;
+        for t in query_tokens {
+            let w = self.idf.get(t).copied().unwrap_or(1.0);
+            qn += w * w;
+            if doc_tokens.contains(t) {
+                dot += w * w;
+            }
+        }
+        let mut dn = 0.0;
+        for t in &doc.tokens {
+            let w = self.idf.get(t).copied().unwrap_or(1.0);
+            dn += w * w;
+        }
+        let token_cos = if qn > 0.0 && dn > 0.0 {
+            dot / (qn.sqrt() * dn.sqrt())
+        } else {
+            0.0
+        };
+        // Character trigram Dice.
+        let common = query_trigrams.intersection(&doc.trigrams).count();
+        let dice = if query_trigrams.is_empty() || doc.trigrams.is_empty() {
+            0.0
+        } else {
+            2.0 * common as f64 / (query_trigrams.len() + doc.trigrams.len()) as f64
+        };
+        // Substring containment bonus (e.g. "publication" vs "pub").
+        let containment = if !norm_query.is_empty()
+            && (doc.text.contains(&norm_query) || norm_query.contains(&doc.text))
+        {
+            let shorter = norm_query.len().min(doc.text.len()) as f64;
+            let longer = norm_query.len().max(doc.text.len()) as f64;
+            0.9 * shorter / longer
+        } else {
+            0.0
+        };
+        token_cos.max(dice).max(containment).min(0.999)
+    }
+
+    fn add_document(&mut self, target: MatchTarget, text: &str) {
+        let norm = normalize(text);
+        if self.documents.iter().any(|d| d.target == target) {
+            return;
+        }
+        let doc = Document {
+            target,
+            tokens: tokenize(&norm),
+            trigrams: trigrams(&norm),
+            text: norm,
+        };
+        self.documents.push(doc);
+    }
+
+    fn finalize(&mut self) {
+        self.token_postings.clear();
+        self.trigram_postings.clear();
+        self.idf.clear();
+        for (idx, doc) in self.documents.iter().enumerate() {
+            for t in doc.tokens.iter().collect::<HashSet<_>>() {
+                self.token_postings.entry(t.clone()).or_default().push(idx);
+            }
+            for g in &doc.trigrams {
+                self.trigram_postings
+                    .entry(g.clone())
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        let n = self.documents.len() as f64;
+        for (token, docs) in &self.token_postings {
+            let df = docs.len() as f64;
+            self.idf.insert(token.clone(), (1.0 + n / df).ln());
+        }
+    }
+}
+
+fn normalize(text: &str) -> String {
+    text.trim().to_lowercase()
+}
+
+/// Split into alphanumeric tokens; underscores and punctuation separate
+/// tokens so that `entry_ac` matches the keyword "entry".
+fn tokenize(text: &str) -> Vec<String> {
+    normalize(text)
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Character trigrams of the normalised text (with word boundary padding).
+fn trigrams(text: &str) -> HashSet<String> {
+    let padded = format!("  {}  ", normalize(text));
+    let chars: Vec<char> = padded.chars().collect();
+    let mut grams = HashSet::new();
+    if chars.len() < 3 {
+        return grams;
+    }
+    for w in chars.windows(3) {
+        grams.insert(w.iter().collect());
+    }
+    grams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q_storage::{RelationSpec, SourceSpec};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        SourceSpec::new("go")
+            .relation(
+                RelationSpec::new("go_term", &["acc", "name", "term_type"])
+                    .row(["GO:0005134", "plasma membrane", "component"])
+                    .row(["GO:0007652", "kinase activity", "function"]),
+            )
+            .load_into(&mut cat)
+            .unwrap();
+        SourceSpec::new("interpro")
+            .relation(
+                RelationSpec::new("interpro_pub", &["pub_id", "title"])
+                    .row(["PUB1", "Structure of the plasma membrane"]),
+            )
+            .load_into(&mut cat)
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn exact_attribute_name_scores_one() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        let matches = idx.matches("title", &MatchConfig::default());
+        let title = cat.resolve_qualified("interpro_pub.title").unwrap();
+        let top = &matches[0];
+        assert_eq!(top.target, MatchTarget::Attribute(title));
+        assert!((top.similarity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_matches_are_found_with_high_similarity() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        let matches = idx.matches("plasma membrane", &MatchConfig::default());
+        let name = cat.resolve_qualified("go_term.name").unwrap();
+        assert!(matches.iter().any(|m| matches!(
+            &m.target,
+            MatchTarget::Value { attribute, value } if *attribute == name && value == "plasma membrane"
+        )));
+        // The title containing the phrase also matches, but not exactly.
+        let title_attr = cat.resolve_qualified("interpro_pub.title").unwrap();
+        let title_match = matches.iter().find(|m| {
+            matches!(&m.target, MatchTarget::Value { attribute, .. } if *attribute == title_attr)
+        });
+        assert!(title_match.is_some());
+        assert!(title_match.unwrap().similarity < 1.0);
+    }
+
+    #[test]
+    fn partial_keyword_matches_via_tokens() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        let matches = idx.matches("term", &MatchConfig::default());
+        let rel = cat.relation_by_name("go_term").unwrap().id;
+        assert!(matches
+            .iter()
+            .any(|m| m.target == MatchTarget::Relation(rel)));
+    }
+
+    #[test]
+    fn min_similarity_filters_weak_matches() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        let strict = MatchConfig {
+            min_similarity: 0.99,
+            max_matches: 10,
+        };
+        let matches = idx.matches("membrane", &strict);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn max_matches_truncates() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        let cfg = MatchConfig {
+            min_similarity: 0.01,
+            max_matches: 2,
+        };
+        assert!(idx.matches("a", &cfg).len() <= 2);
+    }
+
+    #[test]
+    fn unmatched_keyword_returns_empty() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        assert!(idx
+            .matches("zzzqqqxxx", &MatchConfig::default())
+            .is_empty());
+        assert!(idx.matches("", &MatchConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn add_relation_extends_index() {
+        let mut cat = catalog();
+        let mut idx = KeywordIndex::build(&cat);
+        let before = idx.len();
+        let src = cat.add_source("new").unwrap();
+        let rel = cat
+            .add_relation(src, "journal", &["journal_id", "journal_name"])
+            .unwrap();
+        cat.insert_rows(rel, vec![vec![Value::from("J1"), Value::from("Nature")]])
+            .unwrap();
+        idx.add_relation(&cat, rel);
+        assert!(idx.len() > before);
+        let matches = idx.matches("journal", &MatchConfig::default());
+        assert!(matches
+            .iter()
+            .any(|m| m.target == MatchTarget::Relation(rel)));
+    }
+
+    #[test]
+    fn abbreviation_matches_full_word_via_containment() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        // "publication" should still find the `interpro_pub` relation through
+        // the `pub` token containment heuristic.
+        let cfg = MatchConfig {
+            min_similarity: 0.2,
+            max_matches: 20,
+        };
+        let matches = idx.matches("pub", &cfg);
+        let rel = cat.relation_by_name("interpro_pub").unwrap().id;
+        assert!(matches
+            .iter()
+            .any(|m| m.target == MatchTarget::Relation(rel)));
+    }
+}

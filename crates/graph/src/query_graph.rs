@@ -1,0 +1,383 @@
+//! Query graph: the per-query expansion of the search graph (Section 2.2).
+//!
+//! Given a keyword query `{K_1, ..., K_m}`, each keyword is matched against
+//! schema elements and pre-indexed data values. A keyword node is added for
+//! every `K_i`, with weighted mismatch-cost edges to the matching nodes;
+//! matching data values are "lazily" materialised as value nodes connected to
+//! their attribute node by zero-cost edges (Figure 3). Steiner trees over the
+//! result whose leaves cover all keyword nodes become candidate join
+//! queries.
+
+use std::collections::HashMap;
+
+use q_storage::AttributeId;
+
+use crate::edge::{Edge, EdgeId, EdgeKind};
+use crate::features::{FeatureVector, WeightVector};
+use crate::keyword::{KeywordIndex, KeywordMatch, MatchConfig, MatchTarget};
+use crate::node::{Node, NodeId};
+use crate::search_graph::SearchGraph;
+use crate::steiner::GraphView;
+
+/// A keyword node of the query graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordNode {
+    /// The keyword (verbatim, as given by the user).
+    pub keyword: String,
+    /// Node id inside the query graph.
+    pub node: NodeId,
+    /// The matches this keyword generated.
+    pub matches: Vec<KeywordMatch>,
+}
+
+/// The query graph: a read-only view of the search graph plus keyword nodes,
+/// value nodes and match edges local to one query.
+#[derive(Debug)]
+pub struct QueryGraph<'a> {
+    base: &'a SearchGraph,
+    extra_nodes: Vec<Node>,
+    extra_edges: Vec<Edge>,
+    extra_adjacency: HashMap<NodeId, Vec<EdgeId>>,
+    keywords: Vec<KeywordNode>,
+    value_nodes: HashMap<(AttributeId, String), NodeId>,
+}
+
+impl<'a> QueryGraph<'a> {
+    /// Expand `base` with nodes and edges for the given keywords.
+    ///
+    /// Keywords that match nothing still get a keyword node (they simply
+    /// remain unreachable, so no Steiner tree will cover them and the query
+    /// produces no answers — mirroring the paper's behaviour of returning no
+    /// results rather than failing).
+    pub fn build(
+        base: &'a SearchGraph,
+        index: &KeywordIndex,
+        keywords: &[&str],
+        config: &MatchConfig,
+    ) -> Self {
+        let mut qg = QueryGraph {
+            base,
+            extra_nodes: Vec::new(),
+            extra_edges: Vec::new(),
+            extra_adjacency: HashMap::new(),
+            keywords: Vec::new(),
+            value_nodes: HashMap::new(),
+        };
+        let kw_base = base
+            .feature_space()
+            .get("keyword_base")
+            .expect("search graph created via SearchGraph::new()");
+        let kw_mismatch = base
+            .feature_space()
+            .get("keyword_mismatch")
+            .expect("search graph created via SearchGraph::new()");
+
+        for keyword in keywords {
+            let matches = index.matches(keyword, config);
+            let kw_node = qg.push_node(Node::Keyword((*keyword).to_string()));
+            for m in &matches {
+                let mismatch = 1.0 - m.similarity;
+                let mut features = FeatureVector::empty();
+                features.add(kw_base, 1.0);
+                features.add(kw_mismatch, mismatch);
+                match &m.target {
+                    MatchTarget::Relation(r) => {
+                        if let Some(n) = base.relation_node(*r) {
+                            qg.push_edge(kw_node, n, EdgeKind::KeywordMatch, features);
+                        }
+                    }
+                    MatchTarget::Attribute(a) => {
+                        if let Some(n) = base.attribute_node(*a) {
+                            qg.push_edge(kw_node, n, EdgeKind::KeywordMatch, features);
+                        }
+                    }
+                    MatchTarget::Value { attribute, value } => {
+                        if let Some(attr_node) = base.attribute_node(*attribute) {
+                            let value_node = qg.value_node(*attribute, value, attr_node);
+                            qg.push_edge(kw_node, value_node, EdgeKind::KeywordValue, features);
+                        }
+                    }
+                }
+            }
+            qg.keywords.push(KeywordNode {
+                keyword: (*keyword).to_string(),
+                node: kw_node,
+                matches,
+            });
+        }
+        qg
+    }
+
+    /// The underlying search graph.
+    pub fn base(&self) -> &SearchGraph {
+        self.base
+    }
+
+    /// Keyword nodes (the Steiner terminals), in query order.
+    pub fn keywords(&self) -> &[KeywordNode] {
+        &self.keywords
+    }
+
+    /// Terminal node ids, in query order.
+    pub fn terminals(&self) -> Vec<NodeId> {
+        self.keywords.iter().map(|k| k.node).collect()
+    }
+
+    /// Total number of nodes (base + query-local).
+    pub fn node_count(&self) -> usize {
+        self.base.node_count() + self.extra_nodes.len()
+    }
+
+    /// Total number of edges (base + query-local).
+    pub fn edge_count(&self) -> usize {
+        self.base.edge_count() + self.extra_edges.len()
+    }
+
+    /// The node stored under an id (base or query-local).
+    pub fn node(&self, id: NodeId) -> &Node {
+        if id.index() < self.base.node_count() {
+            self.base.node(id)
+        } else {
+            &self.extra_nodes[id.index() - self.base.node_count()]
+        }
+    }
+
+    /// The edge stored under an id (base or query-local).
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        if id.index() < self.base.edge_count() {
+            self.base.edge(id)
+        } else {
+            &self.extra_edges[id.index() - self.base.edge_count()]
+        }
+    }
+
+    /// True if the edge belongs to the underlying search graph (as opposed to
+    /// being a query-local keyword/value edge).
+    pub fn is_base_edge(&self, id: EdgeId) -> bool {
+        id.index() < self.base.edge_count()
+    }
+
+    /// Cost of an edge under the search graph's current weights.
+    pub fn edge_cost(&self, id: EdgeId) -> f64 {
+        self.edge(id).cost(self.base.weights())
+    }
+
+    /// Cost of an edge under an explicit weight vector (used by the learner
+    /// while exploring candidate weight updates).
+    pub fn edge_cost_with(&self, id: EdgeId, weights: &WeightVector) -> f64 {
+        self.edge(id).cost(weights)
+    }
+
+    /// Feature vector of an edge.
+    pub fn edge_features(&self, id: EdgeId) -> &FeatureVector {
+        &self.edge(id).features
+    }
+
+    /// Edges incident to a node, including query-local ones.
+    pub fn adjacent(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
+        let mut out: Vec<(EdgeId, NodeId)> = Vec::new();
+        if node.index() < self.base.node_count() {
+            out.extend(self.base.neighbors(node));
+        }
+        if let Some(extra) = self.extra_adjacency.get(&node) {
+            for e in extra {
+                out.push((*e, self.edge(*e).other(node)));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn value_node(&mut self, attribute: AttributeId, value: &str, attr_node: NodeId) -> NodeId {
+        if let Some(n) = self.value_nodes.get(&(attribute, value.to_string())) {
+            return *n;
+        }
+        let n = self.push_node(Node::Value {
+            attribute,
+            value: value.to_string(),
+        });
+        self.push_edge(n, attr_node, EdgeKind::ValueAttribute, FeatureVector::empty());
+        self.value_nodes.insert((attribute, value.to_string()), n);
+        n
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId((self.base.node_count() + self.extra_nodes.len()) as u32);
+        self.extra_nodes.push(node);
+        id
+    }
+
+    fn push_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        kind: EdgeKind,
+        features: FeatureVector,
+    ) -> EdgeId {
+        let id = EdgeId((self.base.edge_count() + self.extra_edges.len()) as u32);
+        self.extra_edges.push(Edge {
+            id,
+            a,
+            b,
+            kind,
+            features,
+        });
+        self.extra_adjacency.entry(a).or_default().push(id);
+        if a != b {
+            self.extra_adjacency.entry(b).or_default().push(id);
+        }
+        id
+    }
+}
+
+impl GraphView for QueryGraph<'_> {
+    fn node_count(&self) -> usize {
+        QueryGraph::node_count(self)
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
+        self.adjacent(node)
+    }
+
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let e = self.edge(edge);
+        (e.a, e.b)
+    }
+
+    fn edge_cost(&self, edge: EdgeId) -> f64 {
+        QueryGraph::edge_cost(self, edge)
+    }
+}
+
+impl GraphView for SearchGraph {
+    fn node_count(&self) -> usize {
+        SearchGraph::node_count(self)
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
+        SearchGraph::neighbors(self, node).collect()
+    }
+
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let e = self.edge(edge);
+        (e.a, e.b)
+    }
+
+    fn edge_cost(&self, edge: EdgeId) -> f64 {
+        SearchGraph::edge_cost(self, edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q_storage::{Catalog, RelationSpec, SourceSpec};
+
+    fn setup() -> (Catalog, SearchGraph, KeywordIndex) {
+        let mut cat = Catalog::new();
+        SourceSpec::new("go")
+            .relation(
+                RelationSpec::new("go_term", &["acc", "name"])
+                    .row(["GO:1", "plasma membrane"])
+                    .row(["GO:2", "kinase activity"]),
+            )
+            .load_into(&mut cat)
+            .unwrap();
+        SourceSpec::new("interpro")
+            .relation(
+                RelationSpec::new("interpro_pub", &["pub_id", "title"])
+                    .row(["P1", "Membrane proteins"]),
+            )
+            .load_into(&mut cat)
+            .unwrap();
+        let graph = SearchGraph::from_catalog(&cat);
+        let index = KeywordIndex::build(&cat);
+        (cat, graph, index)
+    }
+
+    #[test]
+    fn keywords_become_terminal_nodes() {
+        let (_cat, graph, index) = setup();
+        let qg = QueryGraph::build(&graph, &index, &["title", "plasma membrane"], &MatchConfig::default());
+        assert_eq!(qg.keywords().len(), 2);
+        assert_eq!(qg.terminals().len(), 2);
+        // Terminals are query-local nodes.
+        for t in qg.terminals() {
+            assert!(t.index() >= graph.node_count());
+            assert!(qg.node(t).is_keyword());
+        }
+    }
+
+    #[test]
+    fn value_matches_materialize_value_nodes_with_zero_cost_attachment() {
+        let (cat, graph, index) = setup();
+        let qg = QueryGraph::build(&graph, &index, &["plasma membrane"], &MatchConfig::default());
+        let name_attr = cat.resolve_qualified("go_term.name").unwrap();
+        // Find the value node.
+        let value_node = (graph.node_count()..qg.node_count())
+            .map(|i| NodeId(i as u32))
+            .find(|n| matches!(qg.node(*n), Node::Value { attribute, value } if *attribute == name_attr && value == "plasma membrane"));
+        let value_node = value_node.expect("value node materialised");
+        // It must attach to its attribute with a zero-cost edge.
+        let adj = qg.adjacent(value_node);
+        let attr_node = graph.attribute_node(name_attr).unwrap();
+        let attach = adj
+            .iter()
+            .find(|(_, n)| *n == attr_node)
+            .expect("attached to attribute");
+        assert_eq!(qg.edge_cost(attach.0), 0.0);
+    }
+
+    #[test]
+    fn exact_keyword_match_edges_are_cheap() {
+        let (cat, graph, index) = setup();
+        let qg = QueryGraph::build(&graph, &index, &["title"], &MatchConfig::default());
+        let kw = qg.terminals()[0];
+        let title = cat.resolve_qualified("interpro_pub.title").unwrap();
+        let title_node = graph.attribute_node(title).unwrap();
+        let edge = qg
+            .adjacent(kw)
+            .into_iter()
+            .find(|(_, n)| *n == title_node)
+            .expect("keyword matched title attribute");
+        // Exact match: cost = keyword_base + 0 mismatch.
+        assert!((qg.edge_cost(edge.0) - crate::search_graph::KEYWORD_BASE_WEIGHT).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_keyword_still_gets_a_node() {
+        let (_cat, graph, index) = setup();
+        let qg = QueryGraph::build(&graph, &index, &["qqzzvv"], &MatchConfig::default());
+        assert_eq!(qg.keywords().len(), 1);
+        assert!(qg.keywords()[0].matches.is_empty());
+        assert!(qg.adjacent(qg.terminals()[0]).is_empty());
+    }
+
+    #[test]
+    fn base_edges_and_query_edges_are_distinguished() {
+        let (_cat, graph, index) = setup();
+        let qg = QueryGraph::build(&graph, &index, &["title"], &MatchConfig::default());
+        for e in 0..graph.edge_count() {
+            assert!(qg.is_base_edge(EdgeId(e as u32)));
+        }
+        for e in graph.edge_count()..qg.edge_count() {
+            assert!(!qg.is_base_edge(EdgeId(e as u32)));
+        }
+        assert!(qg.edge_count() > graph.edge_count());
+    }
+
+    #[test]
+    fn graph_view_neighbors_include_query_local_edges() {
+        let (cat, graph, index) = setup();
+        let qg = QueryGraph::build(&graph, &index, &["title"], &MatchConfig::default());
+        let title = cat.resolve_qualified("interpro_pub.title").unwrap();
+        let title_node = graph.attribute_node(title).unwrap();
+        let adj = GraphView::neighbors(&qg, title_node);
+        // Original attribute-relation edge plus the keyword match edge.
+        assert!(adj.len() >= 2);
+        assert!(adj.iter().any(|(_, n)| qg.node(*n).is_keyword()));
+    }
+}

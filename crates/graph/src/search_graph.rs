@@ -1,0 +1,690 @@
+//! The search graph (Section 2.1) and its maintenance operations
+//! (Section 3).
+//!
+//! The search graph is the data model queried by Q. It contains a node per
+//! relation and per attribute, zero-cost attribute–relation edges,
+//! foreign-key edges, and *association* edges proposed by schema matchers.
+//! Every non-fixed edge carries a sparse feature vector; the edge cost is the
+//! dot product with the graph's current weight vector (Equation 1), which the
+//! learner in `q-learn` adjusts from user feedback.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use q_storage::{AttributeId, Catalog, RelationId, SourceId};
+
+use crate::edge::{Edge, EdgeId, EdgeKind};
+use crate::features::{bin_confidence, FeatureSpace, FeatureVector, WeightVector};
+use crate::node::{Node, NodeId};
+
+/// Default weight of the feature shared by every learnable edge. Its weight
+/// is the uniform cost offset that keeps all edge costs positive.
+pub const DEFAULT_EDGE_WEIGHT: f64 = 0.5;
+
+/// Default additional cost of a key–foreign-key edge (`c_d` in Section 2.1).
+pub const DEFAULT_FOREIGN_KEY_WEIGHT: f64 = 0.5;
+
+/// Default weight of the base feature every keyword-match edge carries.
+pub const KEYWORD_BASE_WEIGHT: f64 = 0.1;
+
+/// Default weight scaling the keyword mismatch score `s_i` (Section 2.2's
+/// `w_i`), so a keyword edge initially costs `0.1 + (1 - similarity)`.
+pub const KEYWORD_MISMATCH_WEIGHT: f64 = 1.0;
+
+/// Record of one matcher's opinion about an association edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssociationProvenance {
+    /// Matcher that proposed the alignment (e.g. `"metadata"`, `"mad"`, or
+    /// `"manual"`).
+    pub matcher: String,
+    /// Normalised confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// The search graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchGraph {
+    nodes: Vec<Node>,
+    node_ids: HashMap<Node, NodeId>,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<EdgeId>>,
+    features: FeatureSpace,
+    weights: WeightVector,
+    /// Canonically ordered attribute pair -> association edge.
+    associations: HashMap<(AttributeId, AttributeId), EdgeId>,
+    provenance: HashMap<EdgeId, Vec<AssociationProvenance>>,
+}
+
+impl SearchGraph {
+    /// Create an empty search graph with the standard feature space.
+    pub fn new() -> Self {
+        let mut graph = SearchGraph::default();
+        graph.features.intern("default", DEFAULT_EDGE_WEIGHT);
+        graph
+            .features
+            .intern("foreign_key", DEFAULT_FOREIGN_KEY_WEIGHT);
+        graph.features.intern("keyword_base", KEYWORD_BASE_WEIGHT);
+        graph
+            .features
+            .intern("keyword_mismatch", KEYWORD_MISMATCH_WEIGHT);
+        graph.weights = graph.features.default_weights();
+        graph
+    }
+
+    /// Build the initial search graph from every source currently registered
+    /// in the catalog (Section 2.1).
+    pub fn from_catalog(catalog: &Catalog) -> Self {
+        let mut graph = SearchGraph::new();
+        for source in catalog.sources() {
+            graph.add_source(catalog, source.id);
+        }
+        graph
+    }
+
+    /// Add the relations, attributes and foreign keys of one source to the
+    /// graph. Safe to call for sources registered after the initial build —
+    /// this is the first step of incorporating a new source (Section 3.1).
+    pub fn add_source(&mut self, catalog: &Catalog, source: SourceId) {
+        let Some(src) = catalog.source(source) else {
+            return;
+        };
+        for rel_id in &src.relations {
+            let Some(rel) = catalog.relation(*rel_id) else {
+                continue;
+            };
+            let rel_node = self.intern_node(Node::Relation(rel.id));
+            for attr in &rel.attributes {
+                let attr_node = self.intern_node(Node::Attribute(*attr));
+                if self.find_edge(rel_node, attr_node).is_none() {
+                    self.push_edge(
+                        rel_node,
+                        attr_node,
+                        EdgeKind::AttributeRelation,
+                        FeatureVector::empty(),
+                    );
+                }
+            }
+        }
+        // Foreign keys may reference relations from earlier sources, so they
+        // are (re)scanned after the relations are in place.
+        for fk in catalog.foreign_keys() {
+            let (Some(fa), Some(ta)) = (catalog.attribute(fk.from), catalog.attribute(fk.to))
+            else {
+                continue;
+            };
+            let (Some(ra), Some(rb)) = (
+                self.relation_node(fa.relation),
+                self.relation_node(ta.relation),
+            ) else {
+                continue;
+            };
+            if self.find_edge(ra, rb).is_none() {
+                let mut fv = FeatureVector::empty();
+                fv.add(self.features.intern("default", DEFAULT_EDGE_WEIGHT), 1.0);
+                fv.add(
+                    self.features
+                        .intern("foreign_key", DEFAULT_FOREIGN_KEY_WEIGHT),
+                    1.0,
+                );
+                let ra_rel = fa.relation;
+                let rb_rel = ta.relation;
+                self.add_relation_features(&mut fv, ra_rel);
+                self.add_relation_features(&mut fv, rb_rel);
+                self.weights.sync_with(&self.features);
+                self.push_edge(ra, rb, EdgeKind::ForeignKey, fv);
+            }
+        }
+        self.weights.sync_with(&self.features);
+    }
+
+    // ------------------------------------------------------------------
+    // Associations
+    // ------------------------------------------------------------------
+
+    /// Add (or update) an association edge between two attributes, recording
+    /// the proposing matcher's confidence. Returns the edge id.
+    ///
+    /// The edge receives the feature set of Section 3.4: the shared default
+    /// feature, one indicator per (matcher, confidence-bin), one indicator
+    /// per touched relation and one edge-unique indicator.
+    pub fn add_association(
+        &mut self,
+        a: AttributeId,
+        b: AttributeId,
+        matcher: &str,
+        confidence: f64,
+    ) -> EdgeId {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(edge_id) = self.associations.get(&key).copied() {
+            // Merge another matcher's opinion into the existing edge.
+            let bin = bin_confidence(confidence);
+            let feature = self.features.intern(
+                &format!("matcher:{matcher}:bin{bin}"),
+                matcher_bin_default_weight(bin),
+            );
+            self.weights.sync_with(&self.features);
+            let already_has = self.edges[edge_id.index()].features.get(feature) != 0.0;
+            if !already_has {
+                self.edges[edge_id.index()].features.add(feature, 1.0);
+            }
+            self.provenance
+                .entry(edge_id)
+                .or_default()
+                .push(AssociationProvenance {
+                    matcher: matcher.to_string(),
+                    confidence,
+                });
+            return edge_id;
+        }
+
+        let na = self.intern_node(Node::Attribute(a));
+        let nb = self.intern_node(Node::Attribute(b));
+        let mut fv = FeatureVector::empty();
+        fv.add(self.features.intern("default", DEFAULT_EDGE_WEIGHT), 1.0);
+        let bin = bin_confidence(confidence);
+        fv.add(
+            self.features.intern(
+                &format!("matcher:{matcher}:bin{bin}"),
+                matcher_bin_default_weight(bin),
+            ),
+            1.0,
+        );
+        // Relation-authoritativeness features for both endpoints, when the
+        // attributes' relations are known to the graph.
+        let rel_a = self.relation_of_attribute(a);
+        let rel_b = self.relation_of_attribute(b);
+        if let Some(r) = rel_a {
+            self.add_relation_features(&mut fv, r);
+        }
+        if let Some(r) = rel_b {
+            self.add_relation_features(&mut fv, r);
+        }
+        // Edge-unique feature.
+        let edge_index = self.edges.len();
+        fv.add(
+            self.features.intern(&format!("edge:{edge_index}"), 0.0),
+            1.0,
+        );
+        self.weights.sync_with(&self.features);
+        let id = self.push_edge(na, nb, EdgeKind::Association, fv);
+        self.associations.insert(key, id);
+        self.provenance.insert(
+            id,
+            vec![AssociationProvenance {
+                matcher: matcher.to_string(),
+                confidence,
+            }],
+        );
+        id
+    }
+
+    /// Existing association edge between two attributes, if any.
+    pub fn association_between(&self, a: AttributeId, b: AttributeId) -> Option<EdgeId> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.associations.get(&key).copied()
+    }
+
+    /// Iterate over all association edges with their attribute endpoints.
+    pub fn association_edges(
+        &self,
+    ) -> impl Iterator<Item = (EdgeId, AttributeId, AttributeId)> + '_ {
+        self.associations
+            .iter()
+            .map(|((a, b), e)| (*e, *a, *b))
+    }
+
+    /// Matchers' recorded opinions about an association edge.
+    pub fn provenance(&self, edge: EdgeId) -> &[AssociationProvenance] {
+        self.provenance.get(&edge).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Confidence reported by a specific matcher for an association edge.
+    pub fn matcher_confidence(&self, edge: EdgeId, matcher: &str) -> Option<f64> {
+        self.provenance(edge)
+            .iter()
+            .filter(|p| p.matcher == matcher)
+            .map(|p| p.confidence)
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.max(c))))
+    }
+
+    /// Declare a relation's authoritativeness `auth ∈ (0, 1]`. The feature
+    /// weight becomes `-ln(auth)` so authoritative relations add no cost.
+    pub fn set_relation_authoritativeness(&mut self, relation: RelationId, auth: f64) {
+        let a = auth.clamp(1e-6, 1.0);
+        let feature = self.features.intern(&format!("relation:{relation}"), 0.0);
+        self.weights.sync_with(&self.features);
+        self.weights.set(feature, -a.ln());
+    }
+
+    /// The learned weight attached to a relation's authoritativeness feature
+    /// (0 if never learned). Lower means more preferred; used as the vertex
+    /// prior of PreferentialAligner.
+    pub fn relation_feature_weight(&self, relation: RelationId) -> f64 {
+        self.features
+            .get(&format!("relation:{relation}"))
+            .map(|f| self.weights.get(f))
+            .unwrap_or(0.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Node / edge access
+    // ------------------------------------------------------------------
+
+    /// Node id of a relation, if present.
+    pub fn relation_node(&self, relation: RelationId) -> Option<NodeId> {
+        self.node_ids.get(&Node::Relation(relation)).copied()
+    }
+
+    /// Node id of an attribute, if present.
+    pub fn attribute_node(&self, attribute: AttributeId) -> Option<NodeId> {
+        self.node_ids.get(&Node::Attribute(attribute)).copied()
+    }
+
+    /// The node stored under an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge stored under an id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges incident to a node, with the opposite endpoint.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.adjacency
+            .get(node.index())
+            .into_iter()
+            .flatten()
+            .map(move |e| (*e, self.edges[e.index()].other(node)))
+    }
+
+    /// Relation that an attribute node is attached to (via its zero-cost
+    /// attribute–relation edge).
+    pub fn relation_of_attribute(&self, attribute: AttributeId) -> Option<RelationId> {
+        let attr_node = self.attribute_node(attribute)?;
+        self.neighbors(attr_node).find_map(|(_, n)| match self.node(n) {
+            Node::Relation(r) => Some(*r),
+            _ => None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Costs
+    // ------------------------------------------------------------------
+
+    /// Current cost of an edge.
+    pub fn edge_cost(&self, edge: EdgeId) -> f64 {
+        self.edges[edge.index()].cost(&self.weights)
+    }
+
+    /// Current weight vector.
+    pub fn weights(&self) -> &WeightVector {
+        &self.weights
+    }
+
+    /// Replace the weight vector (the learner produces new weights).
+    pub fn set_weights(&mut self, weights: WeightVector) {
+        self.weights = weights;
+        self.weights.sync_with(&self.features);
+    }
+
+    /// The feature space shared by all edges.
+    pub fn feature_space(&self) -> &FeatureSpace {
+        &self.features
+    }
+
+    /// Mutable feature space (the learner may intern loss features).
+    pub fn feature_space_mut(&mut self) -> &mut FeatureSpace {
+        &mut self.features
+    }
+
+    /// Smallest cost over all learnable (non-fixed) edges. The learner uses
+    /// this to keep every edge cost positive by raising the default weight.
+    pub fn min_learnable_edge_cost(&self) -> Option<f64> {
+        self.edges
+            .iter()
+            .filter(|e| !e.kind.is_fixed_zero())
+            .map(|e| e.cost(&self.weights))
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    // ------------------------------------------------------------------
+    // Cost neighbourhood (GETCOSTNEIGHBORHOOD of Algorithm 2)
+    // ------------------------------------------------------------------
+
+    /// All nodes reachable from any start node with accumulated edge cost at
+    /// most `alpha`, under the current weights (multi-source Dijkstra).
+    pub fn cost_neighborhood(&self, starts: &[NodeId], alpha: f64) -> HashSet<NodeId> {
+        let dist = self.distances_from(starts, Some(alpha));
+        dist.into_iter()
+            .filter(|(_, d)| *d <= alpha + 1e-12)
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// Multi-source Dijkstra distances, optionally bounded by `limit`.
+    pub fn distances_from(
+        &self,
+        starts: &[NodeId],
+        limit: Option<f64>,
+    ) -> HashMap<NodeId, f64> {
+        #[derive(PartialEq)]
+        struct Item(f64, NodeId);
+        impl Eq for Item {}
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist: HashMap<NodeId, f64> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        for s in starts {
+            dist.insert(*s, 0.0);
+            heap.push(Item(0.0, *s));
+        }
+        while let Some(Item(d, node)) = heap.pop() {
+            if let Some(best) = dist.get(&node) {
+                if d > *best + 1e-12 {
+                    continue;
+                }
+            }
+            if let Some(l) = limit {
+                if d > l + 1e-12 {
+                    continue;
+                }
+            }
+            for (edge_id, next) in self.neighbors(node) {
+                let nd = d + self.edge_cost(edge_id).max(0.0);
+                if let Some(l) = limit {
+                    if nd > l + 1e-12 {
+                        continue;
+                    }
+                }
+                let better = dist.get(&next).map(|cur| nd < *cur - 1e-12).unwrap_or(true);
+                if better {
+                    dist.insert(next, nd);
+                    heap.push(Item(nd, next));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Relations whose relation node lies inside a node set (used by
+    /// ViewBasedAligner to turn a cost neighbourhood into candidate
+    /// relations).
+    pub fn relations_in(&self, nodes: &HashSet<NodeId>) -> Vec<RelationId> {
+        let mut rels: Vec<RelationId> = nodes
+            .iter()
+            .filter_map(|n| self.node(*n).as_relation())
+            .collect();
+        // Attributes inside the neighbourhood also pull in their relation:
+        // matching an attribute of R means R's tables are candidates.
+        for n in nodes {
+            if let Node::Attribute(a) = self.node(*n) {
+                if let Some(r) = self.relation_of_attribute(*a) {
+                    rels.push(r);
+                }
+            }
+        }
+        rels.sort();
+        rels.dedup();
+        rels
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn intern_node(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.node_ids.get(&node) {
+            return *id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.node_ids.insert(node, id);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    fn push_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        kind: EdgeKind,
+        features: FeatureVector,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            id,
+            a,
+            b,
+            kind,
+            features,
+        });
+        self.adjacency[a.index()].push(id);
+        if a != b {
+            self.adjacency[b.index()].push(id);
+        }
+        id
+    }
+
+    fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.adjacency.get(a.index()).and_then(|edges| {
+            edges
+                .iter()
+                .find(|e| self.edges[e.index()].touches(b))
+                .copied()
+        })
+    }
+
+    fn add_relation_features(&mut self, fv: &mut FeatureVector, relation: RelationId) {
+        let feature = self.features.intern(&format!("relation:{relation}"), 0.0);
+        if fv.get(feature) == 0.0 {
+            fv.add(feature, 1.0);
+        }
+    }
+}
+
+/// Default weight of a `(matcher, bin)` indicator feature: confident bins add
+/// little cost, unconfident bins add a lot. Learned weights replace these as
+/// feedback arrives.
+fn matcher_bin_default_weight(bin: usize) -> f64 {
+    let bins = crate::features::CONFIDENCE_BINS as f64;
+    let midpoint = (bin as f64 + 0.5) / bins;
+    (1.0 - midpoint).max(0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q_storage::{RelationSpec, SourceSpec};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        SourceSpec::new("go")
+            .relation(
+                RelationSpec::new("go_term", &["acc", "name"])
+                    .row(["GO:1", "plasma membrane"])
+                    .row(["GO:2", "kinase activity"]),
+            )
+            .load_into(&mut cat)
+            .unwrap();
+        SourceSpec::new("interpro")
+            .relation(RelationSpec::new("interpro2go", &["go_id", "entry_ac"]).row(["GO:1", "IPR01"]))
+            .relation(RelationSpec::new("entry", &["entry_ac", "name"]).row(["IPR01", "Kringle"]))
+            .foreign_key("interpro2go.entry_ac", "entry.entry_ac")
+            .load_into(&mut cat)
+            .unwrap();
+        cat
+    }
+
+    fn attr(cat: &Catalog, q: &str) -> AttributeId {
+        cat.resolve_qualified(q).unwrap()
+    }
+
+    #[test]
+    fn initial_graph_has_relation_attribute_and_fk_edges() {
+        let cat = catalog();
+        let g = SearchGraph::from_catalog(&cat);
+        // 3 relations + 6 attributes
+        assert_eq!(g.node_count(), 9);
+        // 6 attribute-relation edges + 1 FK edge
+        assert_eq!(g.edge_count(), 7);
+        let fk_edges: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::ForeignKey)
+            .collect();
+        assert_eq!(fk_edges.len(), 1);
+        // FK edge cost = default + foreign_key default weights.
+        let cost = g.edge_cost(fk_edges[0].id);
+        assert!((cost - (DEFAULT_EDGE_WEIGHT + DEFAULT_FOREIGN_KEY_WEIGHT)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribute_relation_edges_cost_zero() {
+        let cat = catalog();
+        let g = SearchGraph::from_catalog(&cat);
+        for e in g.edges() {
+            if e.kind == EdgeKind::AttributeRelation {
+                assert_eq!(g.edge_cost(e.id), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn association_edge_cost_decreases_with_confidence() {
+        let cat = catalog();
+        let mut g = SearchGraph::from_catalog(&cat);
+        let a = attr(&cat, "go_term.acc");
+        let b = attr(&cat, "interpro2go.go_id");
+        let c = attr(&cat, "entry.name");
+        let confident = g.add_association(a, b, "mad", 0.95);
+        let unsure = g.add_association(a, c, "mad", 0.15);
+        assert!(g.edge_cost(confident) < g.edge_cost(unsure));
+    }
+
+    #[test]
+    fn adding_same_association_twice_merges_provenance() {
+        let cat = catalog();
+        let mut g = SearchGraph::from_catalog(&cat);
+        let a = attr(&cat, "go_term.acc");
+        let b = attr(&cat, "interpro2go.go_id");
+        let e1 = g.add_association(a, b, "mad", 0.9);
+        let e2 = g.add_association(b, a, "metadata", 0.7);
+        assert_eq!(e1, e2);
+        assert_eq!(g.provenance(e1).len(), 2);
+        assert_eq!(g.matcher_confidence(e1, "mad"), Some(0.9));
+        assert_eq!(g.matcher_confidence(e1, "metadata"), Some(0.7));
+        assert_eq!(g.matcher_confidence(e1, "other"), None);
+        assert_eq!(g.association_between(a, b), Some(e1));
+    }
+
+    #[test]
+    fn relation_of_attribute_follows_zero_cost_edge() {
+        let cat = catalog();
+        let g = SearchGraph::from_catalog(&cat);
+        let acc = attr(&cat, "go_term.acc");
+        let term_rel = cat.relation_by_name("go_term").unwrap().id;
+        assert_eq!(g.relation_of_attribute(acc), Some(term_rel));
+    }
+
+    #[test]
+    fn cost_neighborhood_respects_alpha() {
+        let cat = catalog();
+        let mut g = SearchGraph::from_catalog(&cat);
+        let acc = attr(&cat, "go_term.acc");
+        let go_id = attr(&cat, "interpro2go.go_id");
+        g.add_association(acc, go_id, "mad", 0.9);
+
+        let start = g.attribute_node(acc).unwrap();
+        // alpha = 0: only zero-cost reachable nodes (the attribute itself, its
+        // relation, and the relation's other attributes via zero-cost edges).
+        let small = g.cost_neighborhood(&[start], 0.0);
+        assert!(small.contains(&start));
+        assert!(small.contains(&g.relation_node(cat.relation_by_name("go_term").unwrap().id).unwrap()));
+        assert!(!small.contains(&g.attribute_node(go_id).unwrap()));
+
+        // Large alpha reaches everything connected.
+        let big = g.cost_neighborhood(&[start], 10.0);
+        assert!(big.contains(&g.attribute_node(go_id).unwrap()));
+        assert!(big.len() > small.len());
+    }
+
+    #[test]
+    fn relations_in_includes_relations_of_attributes() {
+        let cat = catalog();
+        let g = SearchGraph::from_catalog(&cat);
+        let acc = attr(&cat, "go_term.acc");
+        let mut set = HashSet::new();
+        set.insert(g.attribute_node(acc).unwrap());
+        let rels = g.relations_in(&set);
+        assert_eq!(rels, vec![cat.relation_by_name("go_term").unwrap().id]);
+    }
+
+    #[test]
+    fn authoritativeness_sets_relation_feature_weight() {
+        let cat = catalog();
+        let mut g = SearchGraph::from_catalog(&cat);
+        let rel = cat.relation_by_name("entry").unwrap().id;
+        g.set_relation_authoritativeness(rel, 0.5);
+        let w = g.relation_feature_weight(rel);
+        assert!((w - 0.5f64.ln().abs()).abs() < 1e-9);
+        // Fully authoritative relation adds no cost.
+        g.set_relation_authoritativeness(rel, 1.0);
+        assert!(g.relation_feature_weight(rel).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_source_addition_matches_full_build() {
+        let cat = catalog();
+        let full = SearchGraph::from_catalog(&cat);
+        let mut incremental = SearchGraph::new();
+        for s in cat.sources() {
+            incremental.add_source(&cat, s.id);
+        }
+        assert_eq!(full.node_count(), incremental.node_count());
+        assert_eq!(full.edge_count(), incremental.edge_count());
+    }
+
+    #[test]
+    fn min_learnable_edge_cost_ignores_fixed_edges() {
+        let cat = catalog();
+        let g = SearchGraph::from_catalog(&cat);
+        // Only the FK edge is learnable here.
+        let min = g.min_learnable_edge_cost().unwrap();
+        assert!(min > 0.0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Top-k Steiner tree search over the query graph (Section 2.2).
+//!
+//! Every tree whose leaves cover all keyword nodes represents a candidate
+//! join query; Q ranks them by total edge cost and keeps the `k` cheapest.
+//! The paper uses an exact algorithm at small scales and an approximation at
+//! larger scales. We provide both:
+//!
+//! * [`exact_minimum_steiner`] — the Dreyfus–Wagner dynamic program over
+//!   terminal subsets, returning a provably minimum-cost Steiner tree.
+//! * [`approx_top_k`] — a BANKS/STAR-style heuristic that grows candidate
+//!   trees by unioning shortest paths from every candidate root to each
+//!   terminal, then prunes and ranks them. This is what the Q pipeline uses
+//!   at query time and what the learner uses for its K-best list.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::edge::EdgeId;
+use crate::node::NodeId;
+
+/// Read-only adjacency/cost view shared by [`SearchGraph`](crate::SearchGraph)
+/// and [`QueryGraph`](crate::QueryGraph), so the Steiner algorithms work over
+/// either.
+pub trait GraphView {
+    /// Number of nodes (node ids are dense in `0..node_count`).
+    fn node_count(&self) -> usize;
+    /// Incident edges of a node, with the opposite endpoint.
+    fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)>;
+    /// Endpoints of an edge.
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId);
+    /// Non-negative cost of an edge under the current weights.
+    fn edge_cost(&self, edge: EdgeId) -> f64;
+}
+
+/// A Steiner tree: a set of edges connecting all terminals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteinerTree {
+    /// Edges of the tree, sorted by id.
+    pub edges: Vec<EdgeId>,
+    /// Nodes touched by the tree (including isolated single-terminal case).
+    pub nodes: Vec<NodeId>,
+    /// Total cost (sum of distinct edge costs).
+    pub cost: f64,
+}
+
+impl SteinerTree {
+    fn from_edges<G: GraphView>(graph: &G, edges: HashSet<EdgeId>, terminals: &[NodeId]) -> Self {
+        let mut nodes: HashSet<NodeId> = terminals.iter().copied().collect();
+        let mut cost = 0.0;
+        for e in &edges {
+            let (a, b) = graph.edge_endpoints(*e);
+            nodes.insert(a);
+            nodes.insert(b);
+            cost += graph.edge_cost(*e);
+        }
+        let mut edges: Vec<EdgeId> = edges.into_iter().collect();
+        edges.sort();
+        let mut nodes: Vec<NodeId> = nodes.into_iter().collect();
+        nodes.sort();
+        SteinerTree { edges, nodes, cost }
+    }
+
+    /// Symmetric edge-set difference with another tree — the loss function
+    /// `L(T, T')` of Equation 2.
+    pub fn symmetric_loss(&self, other: &SteinerTree) -> f64 {
+        let a: HashSet<EdgeId> = self.edges.iter().copied().collect();
+        let b: HashSet<EdgeId> = other.edges.iter().copied().collect();
+        (a.difference(&b).count() + b.difference(&a).count()) as f64
+    }
+
+    /// True if the tree uses the given edge.
+    pub fn contains_edge(&self, edge: EdgeId) -> bool {
+        self.edges.binary_search(&edge).is_ok()
+    }
+}
+
+/// Configuration of the approximate top-k search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteinerConfig {
+    /// Number of trees to return.
+    pub k: usize,
+    /// Maximum number of candidate roots to expand (0 = consider every
+    /// reachable node). Limiting roots bounds work on large graphs.
+    pub max_roots: usize,
+}
+
+impl Default for SteinerConfig {
+    fn default() -> Self {
+        SteinerConfig {
+            k: 10,
+            max_roots: 0,
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem(f64, NodeId);
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra returning distance and predecessor edge per node.
+fn dijkstra<G: GraphView>(
+    graph: &G,
+    source: NodeId,
+) -> (HashMap<NodeId, f64>, HashMap<NodeId, (EdgeId, NodeId)>) {
+    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+    let mut parent: HashMap<NodeId, (EdgeId, NodeId)> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(source, 0.0);
+    heap.push(HeapItem(0.0, source));
+    while let Some(HeapItem(d, node)) = heap.pop() {
+        if d > dist.get(&node).copied().unwrap_or(f64::INFINITY) + 1e-12 {
+            continue;
+        }
+        for (edge, next) in graph.neighbors(node) {
+            let nd = d + graph.edge_cost(edge).max(0.0);
+            if nd < dist.get(&next).copied().unwrap_or(f64::INFINITY) - 1e-12 {
+                dist.insert(next, nd);
+                parent.insert(next, (edge, node));
+                heap.push(HeapItem(nd, next));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Approximate top-k Steiner trees connecting `terminals`.
+///
+/// For every candidate root the union of shortest paths from the root to
+/// each terminal forms a candidate tree; candidates are pruned to proper
+/// trees, deduplicated by edge set and ranked by cost.
+pub fn approx_top_k<G: GraphView>(
+    graph: &G,
+    terminals: &[NodeId],
+    config: &SteinerConfig,
+) -> Vec<SteinerTree> {
+    if terminals.is_empty() || config.k == 0 {
+        return Vec::new();
+    }
+    if terminals.len() == 1 {
+        return vec![SteinerTree {
+            edges: Vec::new(),
+            nodes: vec![terminals[0]],
+            cost: 0.0,
+        }];
+    }
+
+    // Dijkstra from every terminal.
+    let per_terminal: Vec<_> = terminals.iter().map(|t| dijkstra(graph, *t)).collect();
+
+    // Candidate roots: nodes reachable from every terminal.
+    let mut roots: Vec<(NodeId, f64)> = Vec::new();
+    'outer: for n in 0..graph.node_count() {
+        let node = NodeId(n as u32);
+        let mut total = 0.0;
+        for (dist, _) in &per_terminal {
+            match dist.get(&node) {
+                Some(d) => total += d,
+                None => continue 'outer,
+            }
+        }
+        roots.push((node, total));
+    }
+    roots.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    if config.max_roots > 0 {
+        roots.truncate(config.max_roots);
+    }
+
+    let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
+    let mut trees: Vec<SteinerTree> = Vec::new();
+    for (root, _) in roots {
+        let mut edges: HashSet<EdgeId> = HashSet::new();
+        for (_, parent) in &per_terminal {
+            // Walk from the root back towards the terminal.
+            let mut cur = root;
+            while let Some((edge, prev)) = parent.get(&cur) {
+                edges.insert(*edge);
+                cur = *prev;
+            }
+        }
+        let pruned = prune_to_tree(graph, edges, terminals);
+        let tree = SteinerTree::from_edges(graph, pruned, terminals);
+        let key = tree.edges.clone();
+        if seen.insert(key) {
+            trees.push(tree);
+        }
+    }
+    trees.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    trees.truncate(config.k);
+    trees
+}
+
+/// Prune a candidate edge set down to a tree that still connects the
+/// terminals: build a minimum spanning forest of the subgraph, then
+/// repeatedly strip non-terminal leaves.
+fn prune_to_tree<G: GraphView>(
+    graph: &G,
+    edges: HashSet<EdgeId>,
+    terminals: &[NodeId],
+) -> HashSet<EdgeId> {
+    if edges.is_empty() {
+        return edges;
+    }
+    // Kruskal MST over the candidate edges (connects everything the
+    // candidate set connects, with minimum cost, and removes cycles).
+    let mut sorted: Vec<EdgeId> = edges.iter().copied().collect();
+    sorted.sort_by(|a, b| {
+        graph
+            .edge_cost(*a)
+            .partial_cmp(&graph.edge_cost(*b))
+            .unwrap()
+    });
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    fn find(parent: &mut HashMap<NodeId, NodeId>, x: NodeId) -> NodeId {
+        let p = *parent.entry(x).or_insert(x);
+        if p == x {
+            x
+        } else {
+            let root = find(parent, p);
+            parent.insert(x, root);
+            root
+        }
+    }
+    let mut mst: HashSet<EdgeId> = HashSet::new();
+    for e in sorted {
+        let (a, b) = graph.edge_endpoints(e);
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent.insert(ra, rb);
+            mst.insert(e);
+        }
+    }
+    // Strip non-terminal leaves until fixpoint.
+    let terminal_set: HashSet<NodeId> = terminals.iter().copied().collect();
+    loop {
+        let mut degree: HashMap<NodeId, Vec<EdgeId>> = HashMap::new();
+        for e in &mst {
+            let (a, b) = graph.edge_endpoints(*e);
+            degree.entry(a).or_default().push(*e);
+            degree.entry(b).or_default().push(*e);
+        }
+        let removable: Vec<EdgeId> = degree
+            .iter()
+            .filter(|(n, es)| es.len() == 1 && !terminal_set.contains(n))
+            .map(|(_, es)| es[0])
+            .collect();
+        if removable.is_empty() {
+            break;
+        }
+        for e in removable {
+            mst.remove(&e);
+        }
+        if mst.is_empty() {
+            break;
+        }
+    }
+    mst
+}
+
+/// Exact minimum Steiner tree via the Dreyfus–Wagner dynamic program.
+///
+/// Returns `None` when the terminals cannot all be connected. Falls back to
+/// the approximation when there are more than 12 terminals (the DP is
+/// exponential in the number of terminals).
+pub fn exact_minimum_steiner<G: GraphView>(
+    graph: &G,
+    terminals: &[NodeId],
+) -> Option<SteinerTree> {
+    if terminals.is_empty() {
+        return None;
+    }
+    if terminals.len() == 1 {
+        return Some(SteinerTree {
+            edges: Vec::new(),
+            nodes: vec![terminals[0]],
+            cost: 0.0,
+        });
+    }
+    if terminals.len() > 12 {
+        return approx_top_k(graph, terminals, &SteinerConfig { k: 1, max_roots: 0 })
+            .into_iter()
+            .next();
+    }
+
+    let n = graph.node_count();
+    let t = terminals.len();
+    let full = (1usize << t) - 1;
+    const INF: f64 = f64::INFINITY;
+
+    #[derive(Clone, Copy, Debug)]
+    enum Choice {
+        /// Terminal itself: the empty tree.
+        Root,
+        /// Extend from a neighbouring node along an edge (same subset).
+        Extend { from: NodeId, edge: EdgeId },
+        /// Merge two disjoint subsets at this node.
+        Merge { subset: usize },
+        /// Unreached.
+        None,
+    }
+
+    let mut dp = vec![vec![INF; n]; full + 1];
+    let mut choice = vec![vec![Choice::None; n]; full + 1];
+
+    for (i, term) in terminals.iter().enumerate() {
+        dp[1 << i][term.index()] = 0.0;
+        choice[1 << i][term.index()] = Choice::Root;
+    }
+
+    for mask in 1..=full {
+        // Merge step: combine proper sub-subsets meeting at v.
+        let mut sub = (mask - 1) & mask;
+        while sub > 0 {
+            let other = mask ^ sub;
+            if sub < other {
+                // Each unordered pair considered once.
+                for v in 0..n {
+                    if dp[sub][v] < INF && dp[other][v] < INF {
+                        let c = dp[sub][v] + dp[other][v];
+                        if c < dp[mask][v] - 1e-12 {
+                            dp[mask][v] = c;
+                            choice[mask][v] = Choice::Merge { subset: sub };
+                        }
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+        // Propagate step: Dijkstra relaxation within this subset level.
+        let mut heap = BinaryHeap::new();
+        for v in 0..n {
+            if dp[mask][v] < INF {
+                heap.push(HeapItem(dp[mask][v], NodeId(v as u32)));
+            }
+        }
+        while let Some(HeapItem(d, node)) = heap.pop() {
+            if d > dp[mask][node.index()] + 1e-12 {
+                continue;
+            }
+            for (edge, next) in graph.neighbors(node) {
+                let nd = d + graph.edge_cost(edge).max(0.0);
+                if nd < dp[mask][next.index()] - 1e-12 {
+                    dp[mask][next.index()] = nd;
+                    choice[mask][next.index()] = Choice::Extend { from: node, edge };
+                    heap.push(HeapItem(nd, next));
+                }
+            }
+        }
+    }
+
+    // Best meeting node for the full terminal set.
+    let (best_v, best_cost) = (0..n)
+        .map(|v| (v, dp[full][v]))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+    if !best_cost.is_finite() {
+        return None;
+    }
+
+    // Reconstruct the edge set.
+    let mut edges: HashSet<EdgeId> = HashSet::new();
+    let mut stack = vec![(full, best_v)];
+    while let Some((mask, v)) = stack.pop() {
+        match choice[mask][v] {
+            Choice::Root | Choice::None => {}
+            Choice::Extend { from, edge } => {
+                edges.insert(edge);
+                stack.push((mask, from.index()));
+            }
+            Choice::Merge { subset } => {
+                stack.push((subset, v));
+                stack.push((mask ^ subset, v));
+            }
+        }
+    }
+    Some(SteinerTree::from_edges(graph, edges, terminals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small explicit graph for testing the algorithms in isolation.
+    struct TestGraph {
+        edges: Vec<(NodeId, NodeId, f64)>,
+        n: usize,
+    }
+
+    impl TestGraph {
+        fn new(n: usize, edges: &[(u32, u32, f64)]) -> Self {
+            TestGraph {
+                n,
+                edges: edges
+                    .iter()
+                    .map(|(a, b, c)| (NodeId(*a), NodeId(*b), *c))
+                    .collect(),
+            }
+        }
+    }
+
+    impl GraphView for TestGraph {
+        fn node_count(&self) -> usize {
+            self.n
+        }
+        fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
+            self.edges
+                .iter()
+                .enumerate()
+                .filter_map(|(i, (a, b, _))| {
+                    if *a == node {
+                        Some((EdgeId(i as u32), *b))
+                    } else if *b == node {
+                        Some((EdgeId(i as u32), *a))
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        }
+        fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+            let (a, b, _) = self.edges[edge.index()];
+            (a, b)
+        }
+        fn edge_cost(&self, edge: EdgeId) -> f64 {
+            self.edges[edge.index()].2
+        }
+    }
+
+    /// Path graph 0-1-2-3 plus a shortcut 0-3.
+    fn path_with_shortcut() -> TestGraph {
+        TestGraph::new(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (0, 3, 2.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_two_terminals_is_shortest_path() {
+        let g = path_with_shortcut();
+        let tree = exact_minimum_steiner(&g, &[NodeId(0), NodeId(3)]).unwrap();
+        // Shortcut (2.5) is cheaper than path (3.0)? No: path costs 3.0,
+        // shortcut 2.5, so the tree should be the shortcut edge.
+        assert!((tree.cost - 2.5).abs() < 1e-9);
+        assert_eq!(tree.edges, vec![EdgeId(3)]);
+    }
+
+    #[test]
+    fn exact_star_steiner_uses_internal_node() {
+        // Star: center 0 connected to terminals 1, 2, 3.
+        let g = TestGraph::new(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 2, 5.0)]);
+        let tree = exact_minimum_steiner(&g, &[NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        assert!((tree.cost - 3.0).abs() < 1e-9);
+        assert_eq!(tree.edges.len(), 3);
+        assert!(tree.nodes.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn exact_single_terminal_is_trivial() {
+        let g = path_with_shortcut();
+        let tree = exact_minimum_steiner(&g, &[NodeId(2)]).unwrap();
+        assert_eq!(tree.cost, 0.0);
+        assert!(tree.edges.is_empty());
+    }
+
+    #[test]
+    fn exact_disconnected_terminals_return_none() {
+        let g = TestGraph::new(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(exact_minimum_steiner(&g, &[NodeId(0), NodeId(3)]).is_none());
+    }
+
+    #[test]
+    fn approx_finds_optimal_on_small_graphs() {
+        let g = path_with_shortcut();
+        let trees = approx_top_k(&g, &[NodeId(0), NodeId(3)], &SteinerConfig::default());
+        assert!(!trees.is_empty());
+        assert!((trees[0].cost - 2.5).abs() < 1e-9);
+        // Trees are sorted by cost.
+        for w in trees.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn approx_returns_multiple_distinct_trees() {
+        let g = path_with_shortcut();
+        let trees = approx_top_k(&g, &[NodeId(0), NodeId(3)], &SteinerConfig::default());
+        assert!(trees.len() >= 2);
+        assert_ne!(trees[0].edges, trees[1].edges);
+    }
+
+    #[test]
+    fn approx_respects_k() {
+        let g = path_with_shortcut();
+        let trees = approx_top_k(
+            &g,
+            &[NodeId(0), NodeId(3)],
+            &SteinerConfig { k: 1, max_roots: 0 },
+        );
+        assert_eq!(trees.len(), 1);
+    }
+
+    #[test]
+    fn approx_handles_unreachable_terminals() {
+        let g = TestGraph::new(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let trees = approx_top_k(&g, &[NodeId(0), NodeId(3)], &SteinerConfig::default());
+        assert!(trees.is_empty());
+    }
+
+    #[test]
+    fn approx_matches_exact_cost_on_star() {
+        let g = TestGraph::new(
+            5,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 2, 1.5),
+                (2, 3, 1.5),
+                (1, 4, 0.5),
+            ],
+        );
+        let terminals = [NodeId(1), NodeId(2), NodeId(3)];
+        let exact = exact_minimum_steiner(&g, &terminals).unwrap();
+        let approx = &approx_top_k(&g, &terminals, &SteinerConfig::default())[0];
+        assert!(approx.cost >= exact.cost - 1e-9);
+        // On this small instance the heuristic should find the optimum.
+        assert!((approx.cost - exact.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_loss_counts_edge_differences() {
+        let a = SteinerTree {
+            edges: vec![EdgeId(0), EdgeId(1)],
+            nodes: vec![],
+            cost: 0.0,
+        };
+        let b = SteinerTree {
+            edges: vec![EdgeId(1), EdgeId(2), EdgeId(3)],
+            nodes: vec![],
+            cost: 0.0,
+        };
+        assert_eq!(a.symmetric_loss(&b), 3.0);
+        assert_eq!(a.symmetric_loss(&a), 0.0);
+        assert_eq!(b.symmetric_loss(&a), 3.0);
+    }
+
+    #[test]
+    fn contains_edge_uses_sorted_lookup() {
+        let t = SteinerTree {
+            edges: vec![EdgeId(1), EdgeId(4), EdgeId(9)],
+            nodes: vec![],
+            cost: 0.0,
+        };
+        assert!(t.contains_edge(EdgeId(4)));
+        assert!(!t.contains_edge(EdgeId(5)));
+    }
+
+    #[test]
+    fn tree_nodes_cover_terminals_and_path_nodes() {
+        let g = path_with_shortcut();
+        let trees = approx_top_k(&g, &[NodeId(0), NodeId(2)], &SteinerConfig::default());
+        let best = &trees[0];
+        assert!(best.nodes.contains(&NodeId(0)));
+        assert!(best.nodes.contains(&NodeId(2)));
+        // Path 0-1-2 costs 2.0 which beats 0-3-2 (2.5+1.0).
+        assert!((best.cost - 2.0).abs() < 1e-9);
+        assert!(best.nodes.contains(&NodeId(1)));
+    }
+}

@@ -1,0 +1,140 @@
+//! The black-box matcher interface.
+
+use serde::{Deserialize, Serialize};
+
+use q_storage::{AttributeId, Catalog, RelationId};
+
+/// One proposed attribute alignment with a normalised confidence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttributeAlignment {
+    /// Attribute of the newly registered relation.
+    pub new_attribute: AttributeId,
+    /// Attribute of an existing relation it aligns with.
+    pub existing_attribute: AttributeId,
+    /// Confidence in `[0, 1]` (already normalised, as the paper requires of
+    /// black-box matchers before forming edge costs).
+    pub confidence: f64,
+}
+
+impl AttributeAlignment {
+    /// Construct an alignment, clamping the confidence into `[0, 1]`.
+    pub fn new(new_attribute: AttributeId, existing_attribute: AttributeId, confidence: f64) -> Self {
+        AttributeAlignment {
+            new_attribute,
+            existing_attribute,
+            confidence: confidence.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A pluggable pairwise schema matcher (the `BASEMATCHER` of Algorithms 2
+/// and 3).
+///
+/// `match_relations` aligns the attributes of `new_relation` against those
+/// of `existing_relation`, returning at most `top_y` candidate alignments per
+/// new attribute. Matchers report every pair they scored via the returned
+/// alignments' length only; the number of raw attribute comparisons is
+/// `arity(new) × arity(existing)` and is tracked by the aligners.
+pub trait SchemaMatcher {
+    /// Short machine name used for edge provenance and learned per-matcher
+    /// features (e.g. `"metadata"`, `"mad"`).
+    fn name(&self) -> &str;
+
+    /// Pairwise alignment between one new relation and one existing relation.
+    fn match_relations(
+        &self,
+        catalog: &Catalog,
+        new_relation: RelationId,
+        existing_relation: RelationId,
+        top_y: usize,
+    ) -> Vec<AttributeAlignment>;
+
+    /// Align a new relation against a set of existing relations, keeping the
+    /// overall top-`top_y` alignments per new attribute. The default
+    /// implementation calls [`SchemaMatcher::match_relations`] pairwise, which
+    /// matches how black-box matchers like COMA++ are driven in the paper.
+    fn match_against(
+        &self,
+        catalog: &Catalog,
+        new_relation: RelationId,
+        existing_relations: &[RelationId],
+        top_y: usize,
+    ) -> Vec<AttributeAlignment> {
+        let mut all: Vec<AttributeAlignment> = Vec::new();
+        for existing in existing_relations {
+            if *existing == new_relation {
+                continue;
+            }
+            all.extend(self.match_relations(catalog, new_relation, *existing, top_y));
+        }
+        keep_top_y_per_attribute(all, top_y)
+    }
+}
+
+/// Keep only the `top_y` best alignments for each new attribute.
+pub fn keep_top_y_per_attribute(
+    mut alignments: Vec<AttributeAlignment>,
+    top_y: usize,
+) -> Vec<AttributeAlignment> {
+    alignments.sort_by(|a, b| {
+        a.new_attribute
+            .cmp(&b.new_attribute)
+            .then(b.confidence.partial_cmp(&a.confidence).unwrap())
+    });
+    let mut out = Vec::new();
+    let mut current: Option<AttributeId> = None;
+    let mut kept = 0usize;
+    for a in alignments.drain(..) {
+        if current != Some(a.new_attribute) {
+            current = Some(a.new_attribute);
+            kept = 0;
+        }
+        if kept < top_y {
+            out.push(a);
+            kept += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_clamps_confidence() {
+        let a = AttributeAlignment::new(AttributeId(0), AttributeId(1), 1.7);
+        assert_eq!(a.confidence, 1.0);
+        let b = AttributeAlignment::new(AttributeId(0), AttributeId(1), -0.3);
+        assert_eq!(b.confidence, 0.0);
+    }
+
+    #[test]
+    fn top_y_keeps_best_per_attribute() {
+        let alignments = vec![
+            AttributeAlignment::new(AttributeId(0), AttributeId(10), 0.5),
+            AttributeAlignment::new(AttributeId(0), AttributeId(11), 0.9),
+            AttributeAlignment::new(AttributeId(0), AttributeId(12), 0.7),
+            AttributeAlignment::new(AttributeId(1), AttributeId(13), 0.2),
+        ];
+        let kept = keep_top_y_per_attribute(alignments, 2);
+        assert_eq!(kept.len(), 3);
+        // Attribute 0 keeps its two most confident candidates.
+        let confs: Vec<f64> = kept
+            .iter()
+            .filter(|a| a.new_attribute == AttributeId(0))
+            .map(|a| a.confidence)
+            .collect();
+        assert_eq!(confs, vec![0.9, 0.7]);
+        // Attribute 1 keeps its single candidate.
+        assert!(kept
+            .iter()
+            .any(|a| a.new_attribute == AttributeId(1) && (a.confidence - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn top_y_zero_drops_everything() {
+        let alignments = vec![AttributeAlignment::new(AttributeId(0), AttributeId(1), 0.9)];
+        assert!(keep_top_y_per_attribute(alignments, 0).is_empty());
+    }
+}

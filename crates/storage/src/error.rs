@@ -1,0 +1,88 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by catalog manipulation, loading and query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A source with the given name already exists in the catalog.
+    DuplicateSource(String),
+    /// A relation with the given name already exists in its source.
+    DuplicateRelation(String),
+    /// An attribute with the given name already exists in its relation.
+    DuplicateAttribute(String),
+    /// The referenced source does not exist.
+    UnknownSource(String),
+    /// The referenced relation does not exist.
+    UnknownRelation(String),
+    /// The referenced attribute does not exist.
+    UnknownAttribute(String),
+    /// A tuple had the wrong arity for its relation.
+    ArityMismatch {
+        /// Relation the tuple was inserted into.
+        relation: String,
+        /// Number of attributes declared by the relation.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A query referenced an atom index that does not exist.
+    InvalidAtom(usize),
+    /// A query was structurally invalid (e.g. empty atom list).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateSource(name) => write!(f, "duplicate source `{name}`"),
+            StorageError::DuplicateRelation(name) => write!(f, "duplicate relation `{name}`"),
+            StorageError::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}`"),
+            StorageError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch inserting into `{relation}`: expected {expected} values, got {got}"
+            ),
+            StorageError::InvalidAtom(idx) => write!(f, "query references unknown atom #{idx}"),
+            StorageError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = StorageError::ArityMismatch {
+            relation: "go_term".into(),
+            expected: 3,
+            got: 2,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("go_term"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::UnknownRelation("pub".into()),
+            StorageError::UnknownRelation("pub".into())
+        );
+        assert_ne!(
+            StorageError::UnknownRelation("pub".into()),
+            StorageError::UnknownSource("pub".into())
+        );
+    }
+}

@@ -1,0 +1,487 @@
+//! Conjunctive query execution.
+//!
+//! Each Steiner tree found over the query graph is translated into a
+//! conjunctive query: a set of relation *atoms*, equality join predicates
+//! between attributes of those atoms, and keyword-derived selection
+//! predicates (Section 2.2). This module evaluates such queries over the
+//! [`Catalog`] with a simple hash-join pipeline and returns positional rows
+//! plus the attribute each output column came from (needed by the disjoint
+//! union / column-alignment step in `q-core`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::error::StorageError;
+use crate::schema::{AttributeId, RelationId};
+use crate::value::Value;
+
+/// Reference to an attribute of a specific query atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttrRef {
+    /// Index into [`ConjunctiveQuery::atoms`].
+    pub atom: usize,
+    /// The attribute (must belong to the atom's relation).
+    pub attribute: AttributeId,
+}
+
+impl AttrRef {
+    /// Construct an attribute reference.
+    pub fn new(atom: usize, attribute: AttributeId) -> Self {
+        AttrRef { atom, attribute }
+    }
+}
+
+/// One relation occurrence in the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryAtom {
+    /// The relation scanned by this atom.
+    pub relation: RelationId,
+}
+
+/// Equality join between two attribute occurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinPredicate {
+    /// Left side of the equality.
+    pub left: AttrRef,
+    /// Right side of the equality.
+    pub right: AttrRef,
+}
+
+/// Keyword-derived selection: the attribute value must contain (or equal)
+/// the given normalised term.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Selection {
+    /// Attribute the predicate applies to.
+    pub target: AttrRef,
+    /// Normalised term to search for.
+    pub term: String,
+    /// If true, require exact (normalised) equality; otherwise substring
+    /// containment.
+    pub exact: bool,
+}
+
+/// A conjunctive query: atoms, joins, selections and a select list.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    /// Relation occurrences.
+    pub atoms: Vec<QueryAtom>,
+    /// Equality join predicates.
+    pub joins: Vec<JoinPredicate>,
+    /// Keyword selections.
+    pub selections: Vec<Selection>,
+    /// Output columns, in order.
+    pub select: Vec<AttrRef>,
+}
+
+impl ConjunctiveQuery {
+    /// Create an empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an atom scanning `relation`, returning its atom index.
+    pub fn add_atom(&mut self, relation: RelationId) -> usize {
+        self.atoms.push(QueryAtom { relation });
+        self.atoms.len() - 1
+    }
+
+    /// Add an equality join predicate.
+    pub fn add_join(&mut self, left: AttrRef, right: AttrRef) {
+        self.joins.push(JoinPredicate { left, right });
+    }
+
+    /// Add a keyword selection predicate.
+    pub fn add_selection(&mut self, target: AttrRef, term: &str, exact: bool) {
+        self.selections.push(Selection {
+            target,
+            term: term.to_lowercase(),
+            exact,
+        });
+    }
+
+    /// Add an output column.
+    pub fn add_select(&mut self, column: AttrRef) {
+        self.select.push(column);
+    }
+}
+
+/// Result of evaluating a conjunctive query.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Output column provenance: attribute each column came from.
+    pub columns: Vec<AttributeId>,
+    /// Output rows, positional per `columns`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no result rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Intermediate binding of one tuple index per already-joined atom.
+type Binding = Vec<usize>;
+
+/// Evaluate a conjunctive query against a catalog.
+///
+/// Atoms are joined left-to-right; each step uses a hash join on whichever
+/// join predicates connect the new atom to the atoms already bound, falling
+/// back to a cross product when no predicate connects them (this happens for
+/// degenerate single-keyword queries only).
+pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet, StorageError> {
+    if query.atoms.is_empty() {
+        return Err(StorageError::InvalidQuery("query has no atoms".into()));
+    }
+    validate(catalog, query)?;
+
+    // Per-atom candidate tuple indices after applying that atom's selections.
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(query.atoms.len());
+    for (atom_idx, atom) in query.atoms.iter().enumerate() {
+        let rel = catalog
+            .relation(atom.relation)
+            .ok_or_else(|| StorageError::UnknownRelation(atom.relation.to_string()))?;
+        let sels: Vec<&Selection> = query
+            .selections
+            .iter()
+            .filter(|s| s.target.atom == atom_idx)
+            .collect();
+        let mut keep = Vec::new();
+        for (tidx, tuple) in rel.tuples.iter().enumerate() {
+            let ok = sels.iter().all(|sel| {
+                let attr = catalog.attribute(sel.target.attribute);
+                let Some(attr) = attr else { return false };
+                match tuple.get(attr.position).and_then(Value::normalized) {
+                    Some(v) => {
+                        if sel.exact {
+                            v == sel.term
+                        } else {
+                            v.contains(&sel.term)
+                        }
+                    }
+                    None => false,
+                }
+            });
+            if ok {
+                keep.push(tidx);
+            }
+        }
+        candidates.push(keep);
+    }
+
+    // Join atoms left to right.
+    let mut bindings: Vec<Binding> = candidates[0].iter().map(|t| vec![*t]).collect();
+    for atom_idx in 1..query.atoms.len() {
+        // Join predicates connecting this atom to already-bound atoms.
+        let preds: Vec<(AttrRef, AttrRef)> = query
+            .joins
+            .iter()
+            .filter_map(|j| {
+                if j.left.atom == atom_idx && j.right.atom < atom_idx {
+                    Some((j.right, j.left))
+                } else if j.right.atom == atom_idx && j.left.atom < atom_idx {
+                    Some((j.left, j.right))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let rel = catalog.relation(query.atoms[atom_idx].relation).unwrap();
+        let mut next: Vec<Binding> = Vec::new();
+
+        if preds.is_empty() {
+            // Cross product.
+            for b in &bindings {
+                for t in &candidates[atom_idx] {
+                    let mut nb = b.clone();
+                    nb.push(*t);
+                    next.push(nb);
+                }
+            }
+        } else {
+            // Hash the new atom's candidate tuples on the join key composed
+            // of all predicates' right-hand attributes.
+            let mut hashed: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+            for t in &candidates[atom_idx] {
+                let tuple = &rel.tuples[*t];
+                let mut key = Vec::with_capacity(preds.len());
+                let mut valid = true;
+                for (_, right) in &preds {
+                    let attr = catalog.attribute(right.attribute).unwrap();
+                    match tuple.get(attr.position).and_then(Value::normalized) {
+                        Some(v) => key.push(v),
+                        None => {
+                            valid = false;
+                            break;
+                        }
+                    }
+                }
+                if valid {
+                    hashed.entry(key).or_default().push(*t);
+                }
+            }
+            for b in &bindings {
+                let mut key = Vec::with_capacity(preds.len());
+                let mut valid = true;
+                for (left, _) in &preds {
+                    let left_attr = catalog.attribute(left.attribute).unwrap();
+                    let left_rel = catalog.relation(query.atoms[left.atom].relation).unwrap();
+                    let tuple = &left_rel.tuples[b[left.atom]];
+                    match tuple.get(left_attr.position).and_then(Value::normalized) {
+                        Some(v) => key.push(v),
+                        None => {
+                            valid = false;
+                            break;
+                        }
+                    }
+                }
+                if !valid {
+                    continue;
+                }
+                if let Some(matches) = hashed.get(&key) {
+                    for t in matches {
+                        let mut nb = b.clone();
+                        nb.push(*t);
+                        next.push(nb);
+                    }
+                }
+            }
+        }
+        bindings = next;
+        if bindings.is_empty() {
+            break;
+        }
+    }
+
+    // Project the select list.
+    let columns: Vec<AttributeId> = query.select.iter().map(|s| s.attribute).collect();
+    let mut rows = Vec::with_capacity(bindings.len());
+    for b in &bindings {
+        let mut row = Vec::with_capacity(query.select.len());
+        for sel in &query.select {
+            let rel = catalog.relation(query.atoms[sel.atom].relation).unwrap();
+            let attr = catalog.attribute(sel.attribute).unwrap();
+            let tuple = &rel.tuples[b[sel.atom]];
+            row.push(tuple.get(attr.position).cloned().unwrap_or(Value::Null));
+        }
+        rows.push(row);
+    }
+
+    Ok(ResultSet { columns, rows })
+}
+
+fn validate(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<(), StorageError> {
+    let check_ref = |r: &AttrRef| -> Result<(), StorageError> {
+        let atom = query
+            .atoms
+            .get(r.atom)
+            .ok_or(StorageError::InvalidAtom(r.atom))?;
+        let attr = catalog
+            .attribute(r.attribute)
+            .ok_or_else(|| StorageError::UnknownAttribute(r.attribute.to_string()))?;
+        if attr.relation != atom.relation {
+            return Err(StorageError::InvalidQuery(format!(
+                "attribute {} does not belong to relation of atom #{}",
+                catalog.qualified_name(r.attribute),
+                r.atom
+            )));
+        }
+        Ok(())
+    };
+    for j in &query.joins {
+        check_ref(&j.left)?;
+        check_ref(&j.right)?;
+    }
+    for s in &query.selections {
+        check_ref(&s.target)?;
+    }
+    for s in &query.select {
+        check_ref(s)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    /// go_term(acc, name) ⋈ interpro2go(go_id, entry_ac) ⋈ entry(entry_ac, name)
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let go = cat.add_source("go").unwrap();
+        let ip = cat.add_source("interpro").unwrap();
+        let term = cat.add_relation(go, "go_term", &["acc", "name"]).unwrap();
+        let i2g = cat
+            .add_relation(ip, "interpro2go", &["go_id", "entry_ac"])
+            .unwrap();
+        let entry = cat
+            .add_relation(ip, "entry", &["entry_ac", "name"])
+            .unwrap();
+        cat.insert_rows(
+            term,
+            vec![
+                vec![Value::from("GO:1"), Value::from("plasma membrane")],
+                vec![Value::from("GO:2"), Value::from("kinase activity")],
+            ],
+        )
+        .unwrap();
+        cat.insert_rows(
+            i2g,
+            vec![
+                vec![Value::from("GO:1"), Value::from("IPR01")],
+                vec![Value::from("GO:2"), Value::from("IPR02")],
+                vec![Value::from("GO:2"), Value::from("IPR03")],
+            ],
+        )
+        .unwrap();
+        cat.insert_rows(
+            entry,
+            vec![
+                vec![Value::from("IPR01"), Value::from("Kringle")],
+                vec![Value::from("IPR02"), Value::from("Cytokine")],
+            ],
+        )
+        .unwrap();
+        cat
+    }
+
+    fn attr(cat: &Catalog, q: &str) -> AttributeId {
+        cat.resolve_qualified(q).unwrap()
+    }
+
+    #[test]
+    fn single_atom_selection() {
+        let cat = catalog();
+        let mut q = ConjunctiveQuery::new();
+        let term = cat.relation_by_name("go_term").unwrap().id;
+        let a = q.add_atom(term);
+        q.add_selection(AttrRef::new(a, attr(&cat, "go_term.name")), "plasma", false);
+        q.add_select(AttrRef::new(a, attr(&cat, "go_term.acc")));
+        let rs = execute(&cat, &q).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Text("GO:1".into()));
+    }
+
+    #[test]
+    fn two_way_join_produces_matching_pairs() {
+        let cat = catalog();
+        let mut q = ConjunctiveQuery::new();
+        let term = cat.relation_by_name("go_term").unwrap().id;
+        let i2g = cat.relation_by_name("interpro2go").unwrap().id;
+        let a0 = q.add_atom(term);
+        let a1 = q.add_atom(i2g);
+        q.add_join(
+            AttrRef::new(a0, attr(&cat, "go_term.acc")),
+            AttrRef::new(a1, attr(&cat, "interpro2go.go_id")),
+        );
+        q.add_select(AttrRef::new(a0, attr(&cat, "go_term.name")));
+        q.add_select(AttrRef::new(a1, attr(&cat, "interpro2go.entry_ac")));
+        let rs = execute(&cat, &q).unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn three_way_join_with_selection() {
+        let cat = catalog();
+        let mut q = ConjunctiveQuery::new();
+        let term = cat.relation_by_name("go_term").unwrap().id;
+        let i2g = cat.relation_by_name("interpro2go").unwrap().id;
+        let entry = cat.relation_by_name("entry").unwrap().id;
+        let a0 = q.add_atom(term);
+        let a1 = q.add_atom(i2g);
+        let a2 = q.add_atom(entry);
+        q.add_join(
+            AttrRef::new(a0, attr(&cat, "go_term.acc")),
+            AttrRef::new(a1, attr(&cat, "interpro2go.go_id")),
+        );
+        q.add_join(
+            AttrRef::new(a1, attr(&cat, "interpro2go.entry_ac")),
+            AttrRef::new(a2, attr(&cat, "entry.entry_ac")),
+        );
+        q.add_selection(AttrRef::new(a0, attr(&cat, "go_term.name")), "kinase", false);
+        q.add_select(AttrRef::new(a2, attr(&cat, "entry.name")));
+        let rs = execute(&cat, &q).unwrap();
+        // GO:2 joins IPR02 and IPR03 but only IPR02 exists in entry.
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Text("Cytokine".into()));
+    }
+
+    #[test]
+    fn cross_product_without_join_predicate() {
+        let cat = catalog();
+        let mut q = ConjunctiveQuery::new();
+        let term = cat.relation_by_name("go_term").unwrap().id;
+        let entry = cat.relation_by_name("entry").unwrap().id;
+        let a0 = q.add_atom(term);
+        let a1 = q.add_atom(entry);
+        q.add_select(AttrRef::new(a0, attr(&cat, "go_term.acc")));
+        q.add_select(AttrRef::new(a1, attr(&cat, "entry.entry_ac")));
+        let rs = execute(&cat, &q).unwrap();
+        assert_eq!(rs.len(), 4); // 2 x 2
+    }
+
+    #[test]
+    fn exact_selection_requires_full_match() {
+        let cat = catalog();
+        let mut q = ConjunctiveQuery::new();
+        let term = cat.relation_by_name("go_term").unwrap().id;
+        let a = q.add_atom(term);
+        q.add_selection(AttrRef::new(a, attr(&cat, "go_term.name")), "plasma", true);
+        q.add_select(AttrRef::new(a, attr(&cat, "go_term.acc")));
+        assert!(execute(&cat, &q).unwrap().is_empty());
+        let mut q2 = ConjunctiveQuery::new();
+        let a = q2.add_atom(term);
+        q2.add_selection(
+            AttrRef::new(a, attr(&cat, "go_term.name")),
+            "Plasma Membrane",
+            true,
+        );
+        q2.add_select(AttrRef::new(a, attr(&cat, "go_term.acc")));
+        assert_eq!(execute(&cat, &q2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_query_is_invalid() {
+        let cat = catalog();
+        assert!(matches!(
+            execute(&cat, &ConjunctiveQuery::new()),
+            Err(StorageError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn attribute_must_belong_to_atom_relation() {
+        let cat = catalog();
+        let mut q = ConjunctiveQuery::new();
+        let term = cat.relation_by_name("go_term").unwrap().id;
+        let a = q.add_atom(term);
+        // entry.name does not belong to go_term
+        q.add_select(AttrRef::new(a, attr(&cat, "entry.name")));
+        assert!(matches!(
+            execute(&cat, &q),
+            Err(StorageError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn result_columns_record_provenance() {
+        let cat = catalog();
+        let mut q = ConjunctiveQuery::new();
+        let term = cat.relation_by_name("go_term").unwrap().id;
+        let a = q.add_atom(term);
+        let name = attr(&cat, "go_term.name");
+        q.add_select(AttrRef::new(a, name));
+        let rs = execute(&cat, &q).unwrap();
+        assert_eq!(rs.columns, vec![name]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Inverted value index.
+//!
+//! Q pre-indexes the data values of every registered source so that
+//! (1) keyword queries can be matched against data values (Section 2.2) and
+//! (2) the *value-overlap filter* of the alignment experiments can skip
+//! attribute pairs that share no values (Figure 7).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::catalog::Catalog;
+use crate::schema::{AttributeId, RelationId, SourceId};
+use crate::value::Value;
+
+/// Inverted index from normalised values to the attributes containing them,
+/// plus per-attribute distinct-value sets.
+#[derive(Debug, Clone, Default)]
+pub struct ValueIndex {
+    /// normalised value -> set of attributes containing it
+    postings: HashMap<String, HashSet<AttributeId>>,
+    /// attribute -> set of distinct normalised values
+    by_attribute: HashMap<AttributeId, HashSet<String>>,
+}
+
+impl ValueIndex {
+    /// Build an index over every relation currently in the catalog.
+    pub fn build(catalog: &Catalog) -> Self {
+        let mut idx = ValueIndex::default();
+        for rel in catalog.relations() {
+            idx.index_relation(catalog, rel.id);
+        }
+        idx
+    }
+
+    /// Build an index over the relations of a single source.
+    pub fn build_for_source(catalog: &Catalog, source: SourceId) -> Self {
+        let mut idx = ValueIndex::default();
+        if let Some(src) = catalog.source(source) {
+            for rel in &src.relations {
+                idx.index_relation(catalog, *rel);
+            }
+        }
+        idx
+    }
+
+    /// Add one relation's stored tuples to the index (used when a new source
+    /// is registered after the initial build).
+    pub fn index_relation(&mut self, catalog: &Catalog, relation: RelationId) {
+        let Some(rel) = catalog.relation(relation) else {
+            return;
+        };
+        for tuple in &rel.tuples {
+            for (attr, value) in rel.attributes.iter().zip(tuple.values()) {
+                self.index_value(*attr, value);
+            }
+        }
+    }
+
+    /// Index a single value occurrence.
+    pub fn index_value(&mut self, attribute: AttributeId, value: &Value) {
+        if let Some(norm) = value.normalized() {
+            self.postings
+                .entry(norm.clone())
+                .or_default()
+                .insert(attribute);
+            self.by_attribute
+                .entry(attribute)
+                .or_default()
+                .insert(norm);
+        }
+    }
+
+    /// Attributes whose data contains the exact normalised value.
+    pub fn attributes_containing(&self, normalized_value: &str) -> Vec<AttributeId> {
+        let mut v: Vec<AttributeId> = self
+            .postings
+            .get(normalized_value)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Distinct normalised values stored under one attribute.
+    pub fn values_of(&self, attribute: AttributeId) -> Option<&HashSet<String>> {
+        self.by_attribute.get(&attribute)
+    }
+
+    /// Number of distinct values shared by two attributes.
+    pub fn overlap(&self, a: AttributeId, b: AttributeId) -> usize {
+        match (self.by_attribute.get(&a), self.by_attribute.get(&b)) {
+            (Some(sa), Some(sb)) => {
+                let (small, large) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+                small.iter().filter(|v| large.contains(*v)).count()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Jaccard similarity of the two attributes' value sets.
+    pub fn jaccard(&self, a: AttributeId, b: AttributeId) -> f64 {
+        let inter = self.overlap(a, b);
+        if inter == 0 {
+            return 0.0;
+        }
+        let na = self.by_attribute.get(&a).map(|s| s.len()).unwrap_or(0);
+        let nb = self.by_attribute.get(&b).map(|s| s.len()).unwrap_or(0);
+        let union = na + nb - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// True if the two attributes share at least one value (the value-overlap
+    /// filter of Figure 7).
+    pub fn overlaps(&self, a: AttributeId, b: AttributeId) -> bool {
+        self.overlap(a, b) > 0
+    }
+
+    /// Number of distinct indexed values overall.
+    pub fn distinct_value_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Iterate over `(value, attributes)` postings.
+    pub fn postings(&self) -> impl Iterator<Item = (&str, &HashSet<AttributeId>)> {
+        self.postings.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All indexed attributes.
+    pub fn attributes(&self) -> impl Iterator<Item = AttributeId> + '_ {
+        self.by_attribute.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    fn catalog_with_overlap() -> (Catalog, AttributeId, AttributeId, AttributeId) {
+        let mut cat = Catalog::new();
+        let s = cat.add_source("db").unwrap();
+        let a = cat.add_relation(s, "a", &["x"]).unwrap();
+        let b = cat.add_relation(s, "b", &["y"]).unwrap();
+        let c = cat.add_relation(s, "c", &["z"]).unwrap();
+        cat.insert_rows(
+            a,
+            vec![vec![Value::from("GO:1")], vec![Value::from("GO:2")], vec![Value::from("GO:3")]],
+        )
+        .unwrap();
+        cat.insert_rows(b, vec![vec![Value::from("go:2")], vec![Value::from("GO:3")]])
+            .unwrap();
+        cat.insert_rows(c, vec![vec![Value::from("other")]]).unwrap();
+        let ax = cat.resolve_qualified("a.x").unwrap();
+        let by = cat.resolve_qualified("b.y").unwrap();
+        let cz = cat.resolve_qualified("c.z").unwrap();
+        (cat, ax, by, cz)
+    }
+
+    #[test]
+    fn overlap_counts_case_insensitive_values() {
+        let (cat, ax, by, cz) = catalog_with_overlap();
+        let idx = ValueIndex::build(&cat);
+        assert_eq!(idx.overlap(ax, by), 2);
+        assert_eq!(idx.overlap(ax, cz), 0);
+        assert!(idx.overlaps(ax, by));
+        assert!(!idx.overlaps(by, cz));
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded() {
+        let (cat, ax, by, cz) = catalog_with_overlap();
+        let idx = ValueIndex::build(&cat);
+        let j = idx.jaccard(ax, by);
+        assert!(j > 0.0 && j <= 1.0);
+        assert!((idx.jaccard(by, ax) - j).abs() < 1e-12);
+        assert_eq!(idx.jaccard(ax, cz), 0.0);
+        assert!((idx.jaccard(ax, ax) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attributes_containing_finds_postings() {
+        let (cat, ax, by, _) = catalog_with_overlap();
+        let idx = ValueIndex::build(&cat);
+        assert_eq!(idx.attributes_containing("go:2"), vec![ax, by]);
+        assert!(idx.attributes_containing("missing").is_empty());
+    }
+
+    #[test]
+    fn distinct_value_count_counts_unique_values() {
+        let (cat, _, _, _) = catalog_with_overlap();
+        let idx = ValueIndex::build(&cat);
+        // go:1 go:2 go:3 other
+        assert_eq!(idx.distinct_value_count(), 4);
+    }
+
+    #[test]
+    fn build_for_source_restricts_scope() {
+        let mut cat = Catalog::new();
+        let s1 = cat.add_source("one").unwrap();
+        let s2 = cat.add_source("two").unwrap();
+        let r1 = cat.add_relation(s1, "r1", &["a"]).unwrap();
+        let r2 = cat.add_relation(s2, "r2", &["b"]).unwrap();
+        cat.insert_rows(r1, vec![vec![Value::from("v1")]]).unwrap();
+        cat.insert_rows(r2, vec![vec![Value::from("v2")]]).unwrap();
+        let idx = ValueIndex::build_for_source(&cat, s1);
+        assert_eq!(idx.distinct_value_count(), 1);
+        assert_eq!(idx.attributes_containing("v1").len(), 1);
+        assert!(idx.attributes_containing("v2").is_empty());
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let mut cat = Catalog::new();
+        let s = cat.add_source("db").unwrap();
+        let r = cat.add_relation(s, "r", &["a"]).unwrap();
+        cat.insert_rows(r, vec![vec![Value::Null]]).unwrap();
+        let idx = ValueIndex::build(&cat);
+        assert_eq!(idx.distinct_value_count(), 0);
+    }
+}

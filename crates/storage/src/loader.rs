@@ -1,0 +1,198 @@
+//! Declarative source loading.
+//!
+//! Datasets (synthetic GBCO, InterPro-GO, scaling workloads) are described as
+//! [`SourceSpec`]s — plain data structures listing relations, attribute
+//! names, rows and foreign keys — and loaded into a [`Catalog`] in one call.
+//! This mirrors Q's source-registration service: registering a new source is
+//! just loading another spec into the running catalog (Section 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+use crate::error::StorageError;
+use crate::schema::SourceId;
+use crate::value::Value;
+
+/// Declarative description of one relation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RelationSpec {
+    /// Relation name.
+    pub name: String,
+    /// Attribute names, in positional order.
+    pub attributes: Vec<String>,
+    /// Rows of values (each row must match the attribute arity).
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl RelationSpec {
+    /// Construct a relation spec.
+    pub fn new(name: &str, attributes: &[&str]) -> Self {
+        RelationSpec {
+            name: name.to_string(),
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row<I, V>(mut self, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.rows.push(values.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Append many rows at once.
+    pub fn rows<I, R, V>(mut self, rows: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        for r in rows {
+            self.rows.push(r.into_iter().map(Into::into).collect());
+        }
+        self
+    }
+}
+
+/// Declarative description of one source: relations plus foreign keys given
+/// as `("relation.attribute", "relation.attribute")` qualified-name pairs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// Source name.
+    pub name: String,
+    /// Relations owned by the source.
+    pub relations: Vec<RelationSpec>,
+    /// Foreign keys, as qualified-name pairs. Both endpoints may reference
+    /// relations of previously loaded sources, which is how cross-database
+    /// links (e.g. `interpro2go.go_id -> go_term.acc`) are declared.
+    pub foreign_keys: Vec<(String, String)>,
+}
+
+impl SourceSpec {
+    /// Construct an empty source spec.
+    pub fn new(name: &str) -> Self {
+        SourceSpec {
+            name: name.to_string(),
+            relations: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Add a relation.
+    pub fn relation(mut self, relation: RelationSpec) -> Self {
+        self.relations.push(relation);
+        self
+    }
+
+    /// Add a foreign key between qualified attribute names.
+    pub fn foreign_key(mut self, from: &str, to: &str) -> Self {
+        self.foreign_keys.push((from.to_string(), to.to_string()));
+        self
+    }
+
+    /// Total number of attributes across the spec's relations.
+    pub fn attribute_count(&self) -> usize {
+        self.relations.iter().map(|r| r.attributes.len()).sum()
+    }
+
+    /// Load this source into the catalog, returning the new source id.
+    pub fn load_into(&self, catalog: &mut Catalog) -> Result<SourceId, StorageError> {
+        let source = catalog.add_source(&self.name)?;
+        for rel_spec in &self.relations {
+            let attr_refs: Vec<&str> = rel_spec.attributes.iter().map(String::as_str).collect();
+            let rel = catalog.add_relation(source, &rel_spec.name, &attr_refs)?;
+            for row in &rel_spec.rows {
+                catalog.insert(rel, row.clone().into())?;
+            }
+        }
+        for (from, to) in &self.foreign_keys {
+            let from_id = catalog
+                .resolve_qualified(from)
+                .ok_or_else(|| StorageError::UnknownAttribute(from.clone()))?;
+            let to_id = catalog
+                .resolve_qualified(to)
+                .ok_or_else(|| StorageError::UnknownAttribute(to.clone()))?;
+            catalog.add_foreign_key(from_id, to_id)?;
+        }
+        Ok(source)
+    }
+}
+
+/// Load several source specs into a fresh catalog.
+pub fn load_catalog(specs: &[SourceSpec]) -> Result<Catalog, StorageError> {
+    let mut catalog = Catalog::new();
+    for spec in specs {
+        spec.load_into(&mut catalog)?;
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn go_spec() -> SourceSpec {
+        SourceSpec::new("go").relation(
+            RelationSpec::new("go_term", &["acc", "name"])
+                .row(["GO:1", "plasma membrane"])
+                .row(["GO:2", "kinase activity"]),
+        )
+    }
+
+    fn interpro_spec() -> SourceSpec {
+        SourceSpec::new("interpro")
+            .relation(
+                RelationSpec::new("interpro2go", &["go_id", "entry_ac"])
+                    .row(["GO:1", "IPR01"]),
+            )
+            .foreign_key("interpro2go.go_id", "go_term.acc")
+    }
+
+    #[test]
+    fn load_single_source() {
+        let mut cat = Catalog::new();
+        let id = go_spec().load_into(&mut cat).unwrap();
+        assert_eq!(cat.source(id).unwrap().name, "go");
+        assert_eq!(cat.relation_by_name("go_term").unwrap().cardinality(), 2);
+    }
+
+    #[test]
+    fn cross_source_foreign_keys_resolve() {
+        let cat = load_catalog(&[go_spec(), interpro_spec()]).unwrap();
+        assert_eq!(cat.foreign_keys().len(), 1);
+        let fk = cat.foreign_keys()[0];
+        assert_eq!(cat.qualified_name(fk.from), "interpro2go.go_id");
+        assert_eq!(cat.qualified_name(fk.to), "go_term.acc");
+    }
+
+    #[test]
+    fn unknown_foreign_key_endpoint_errors() {
+        let bad = SourceSpec::new("bad")
+            .relation(RelationSpec::new("t", &["a"]))
+            .foreign_key("t.a", "missing.b");
+        let mut cat = Catalog::new();
+        assert!(matches!(
+            bad.load_into(&mut cat),
+            Err(StorageError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn attribute_count_sums_relations() {
+        let spec = SourceSpec::new("s")
+            .relation(RelationSpec::new("a", &["x", "y"]))
+            .relation(RelationSpec::new("b", &["z"]));
+        assert_eq!(spec.attribute_count(), 3);
+    }
+
+    #[test]
+    fn rows_builder_accepts_mixed_literals() {
+        let spec = RelationSpec::new("t", &["a", "b"]).rows(vec![vec!["x", "1"], vec!["y", "2"]]);
+        assert_eq!(spec.rows.len(), 2);
+        assert_eq!(spec.rows[0][0], Value::Text("x".into()));
+    }
+}

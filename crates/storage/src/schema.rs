@@ -1,0 +1,160 @@
+//! Schema objects: sources, relations, attributes and foreign keys.
+//!
+//! Identifiers are small copyable newtypes over `u32`; every object is owned
+//! by the [`Catalog`](crate::Catalog) and referenced by id elsewhere in the
+//! workspace (the search graph, matchers, aligners and learners all speak in
+//! terms of these ids).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::tuple::Tuple;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index into the catalog's backing vector.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a registered data source (a database).
+    SourceId,
+    "src"
+);
+id_type!(
+    /// Identifier of a relation (table) within some source.
+    RelationId,
+    "rel"
+);
+id_type!(
+    /// Identifier of an attribute (column) within some relation.
+    AttributeId,
+    "attr"
+);
+
+/// An attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Globally unique attribute id.
+    pub id: AttributeId,
+    /// Owning relation.
+    pub relation: RelationId,
+    /// Column name as declared by the source (kept verbatim; matchers
+    /// normalise as needed).
+    pub name: String,
+    /// Position of the attribute within its relation's tuple layout.
+    pub position: usize,
+}
+
+/// A relation (table) belonging to a source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Globally unique relation id.
+    pub id: RelationId,
+    /// Owning source.
+    pub source: SourceId,
+    /// Table name.
+    pub name: String,
+    /// Attribute ids in positional order.
+    pub attributes: Vec<AttributeId>,
+    /// Stored tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of stored tuples.
+    pub fn cardinality(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+/// A key–foreign-key relationship between two attributes.
+///
+/// In the initial search graph these become relation–relation edges with the
+/// default foreign-key cost `c_d` (Section 2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing attribute.
+    pub from: AttributeId,
+    /// Referenced (key) attribute.
+    pub to: AttributeId,
+}
+
+impl ForeignKey {
+    /// Construct a foreign key edge.
+    pub fn new(from: AttributeId, to: AttributeId) -> Self {
+        ForeignKey { from, to }
+    }
+
+    /// The same link with endpoints swapped; search-graph edges are
+    /// bidirectional so both orientations denote the same association.
+    pub fn reversed(self) -> Self {
+        ForeignKey {
+            from: self.to,
+            to: self.from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(SourceId(3).to_string(), "src3");
+        assert_eq!(RelationId(7).to_string(), "rel7");
+        assert_eq!(AttributeId(11).to_string(), "attr11");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(AttributeId(1) < AttributeId(2));
+        assert_eq!(RelationId(5).index(), 5);
+    }
+
+    #[test]
+    fn foreign_key_reversal_swaps_endpoints() {
+        let fk = ForeignKey::new(AttributeId(1), AttributeId(2));
+        let rev = fk.reversed();
+        assert_eq!(rev.from, AttributeId(2));
+        assert_eq!(rev.to, AttributeId(1));
+        assert_eq!(rev.reversed(), fk);
+    }
+
+    #[test]
+    fn relation_arity_and_cardinality() {
+        let rel = Relation {
+            id: RelationId(0),
+            source: SourceId(0),
+            name: "go_term".into(),
+            attributes: vec![AttributeId(0), AttributeId(1)],
+            tuples: vec![],
+        };
+        assert_eq!(rel.arity(), 2);
+        assert_eq!(rel.cardinality(), 0);
+    }
+}

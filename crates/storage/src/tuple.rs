@@ -1,0 +1,72 @@
+//! Tuples: positional rows of [`Value`]s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A stored row. Values are positional and align with the owning relation's
+/// attribute order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at a position, if present.
+    pub fn get(&self, position: usize) -> Option<&Value> {
+        self.values.get(position)
+    }
+
+    /// Borrow all values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume the tuple and return its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple::new(values.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(vec![Value::from("GO:1"), Value::Int(5)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), Some(&Value::Text("GO:1".into())));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn conversion_from_array_and_vec() {
+        let a: Tuple = [Value::Int(1), Value::Int(2)].into();
+        let b: Tuple = vec![Value::Int(1), Value::Int(2)].into();
+        assert_eq!(a, b);
+        assert_eq!(a.into_values(), vec![Value::Int(1), Value::Int(2)]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # q-integration
+//!
+//! A reproduction of **"Automatically Incorporating New Sources in Keyword
+//! Search-Based Data Integration"** (Talukdar, Ives, Pereira — SIGMOD 2010):
+//! the Q system for pay-as-you-go data integration driven by keyword search,
+//! ranked answers and user feedback.
+//!
+//! This façade crate re-exports the workspace's public API:
+//!
+//! * [`storage`] — in-memory relational substrate (catalog, relations,
+//!   values, foreign keys, value index, conjunctive-query executor).
+//! * [`graph`] — search graph, feature-based edge costs, keyword index,
+//!   query graph and top-k Steiner tree search.
+//! * [`matchers`] — schema matchers: the metadata matcher (COMA++
+//!   substitute) and the MAD label-propagation matcher.
+//! * [`align`] — alignment search strategies (Exhaustive, ViewBasedAligner,
+//!   PreferentialAligner).
+//! * [`learn`] — the MIRA association-cost learner.
+//! * [`core`] — the [`QSystem`](q_core::QSystem) tying everything together.
+//! * [`datasets`] — synthetic GBCO and InterPro-GO datasets, gold standards
+//!   and workloads used by the experiments.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction methodology.
+
+pub use q_align as align;
+pub use q_core as core;
+pub use q_datasets as datasets;
+pub use q_graph as graph;
+pub use q_learn as learn;
+pub use q_matchers as matchers;
+pub use q_storage as storage;
+
+pub use q_core::{Feedback, QConfig, QSystem};
+pub use q_storage::{Catalog, RelationSpec, SourceSpec, Value};

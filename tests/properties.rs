@@ -1,0 +1,195 @@
+//! Property-based tests over the core data structures and invariants:
+//! Steiner trees, the value index, the feature/cost model and the MIRA
+//! learner.
+
+use proptest::prelude::*;
+
+use q_graph::steiner::GraphView;
+use q_graph::{
+    approx_top_k, bin_confidence, exact_minimum_steiner, EdgeId, FeatureId, FeatureVector, NodeId,
+    SteinerConfig, WeightVector,
+};
+use q_learn::{constraints_from_candidates, Mira};
+use q_storage::{Catalog, Value, ValueIndex};
+
+// ---------------------------------------------------------------------------
+// Random graph harness for the Steiner algorithms.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphView for RandomGraph {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (a, b, _))| {
+                if *a == node.0 {
+                    Some((EdgeId(i as u32), NodeId(*b)))
+                } else if *b == node.0 {
+                    Some((EdgeId(i as u32), NodeId(*a)))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let (a, b, _) = self.edges[edge.index()];
+        (NodeId(a), NodeId(b))
+    }
+    fn edge_cost(&self, edge: EdgeId) -> f64 {
+        self.edges[edge.index()].2
+    }
+}
+
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    // 4..10 nodes, a ring to keep it connected, plus random chords.
+    (4usize..10, proptest::collection::vec((0u32..10, 0u32..10, 0.1f64..3.0), 0..12)).prop_map(
+        |(n, chords)| {
+            let mut edges: Vec<(u32, u32, f64)> = (0..n as u32)
+                .map(|i| (i, (i + 1) % n as u32, 1.0))
+                .collect();
+            for (a, b, w) in chords {
+                let a = a % n as u32;
+                let b = b % n as u32;
+                if a != b {
+                    edges.push((a, b, w));
+                }
+            }
+            RandomGraph { n, edges }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The approximate Steiner trees always connect every terminal, have
+    /// non-negative cost, and are sorted by cost; the exact tree never costs
+    /// more than the approximation.
+    #[test]
+    fn steiner_trees_cover_terminals_and_exact_lower_bounds_approx(
+        graph in random_graph(),
+        t1 in 0u32..10,
+        t2 in 0u32..10,
+        t3 in 0u32..10,
+    ) {
+        let n = graph.node_count() as u32;
+        let mut terminals: Vec<NodeId> = [t1 % n, t2 % n, t3 % n]
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        terminals.sort();
+        terminals.dedup();
+
+        let trees = approx_top_k(&graph, &terminals, &SteinerConfig { k: 5, max_roots: 0 });
+        prop_assert!(!trees.is_empty(), "ring graph is connected, a tree must exist");
+        for w in trees.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost + 1e-9);
+        }
+        for tree in &trees {
+            prop_assert!(tree.cost >= -1e-12);
+            for t in &terminals {
+                prop_assert!(tree.nodes.contains(t), "terminal {t} not covered");
+            }
+            // The edge set actually connects the terminals: walk connectivity.
+            if terminals.len() > 1 {
+                prop_assert!(!tree.edges.is_empty());
+            }
+        }
+        let exact = exact_minimum_steiner(&graph, &terminals).expect("connected");
+        prop_assert!(exact.cost <= trees[0].cost + 1e-9);
+    }
+
+    /// Confidence binning always lands in range and is monotone.
+    #[test]
+    fn confidence_binning_is_bounded_and_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bin_confidence(lo) <= bin_confidence(hi));
+        prop_assert!(bin_confidence(hi) < q_graph::CONFIDENCE_BINS);
+    }
+
+    /// Feature vector dot products are linear in the weights.
+    #[test]
+    fn feature_dot_product_is_linear(
+        pairs in proptest::collection::vec((0u32..32, -5.0f64..5.0), 1..10),
+        scale in -3.0f64..3.0,
+    ) {
+        let fv = FeatureVector::from_pairs(pairs.iter().map(|(f, v)| (FeatureId(*f), *v)));
+        let mut w = WeightVector::default();
+        for (f, v) in &pairs {
+            w.set(FeatureId(*f), v * 0.5);
+        }
+        let base = fv.dot(&w);
+        let mut scaled = WeightVector::default();
+        for (f, v) in &pairs {
+            scaled.set(FeatureId(*f), v * 0.5 * scale);
+        }
+        prop_assert!((fv.dot(&scaled) - base * scale).abs() < 1e-6);
+    }
+
+    /// A single violated MIRA constraint is satisfied exactly after one update
+    /// (the passive-aggressive closed form).
+    #[test]
+    fn mira_satisfies_single_constraints(
+        target_edges in proptest::collection::vec(0u32..20, 1..5),
+        candidate_edges in proptest::collection::vec(0u32..20, 1..5),
+    ) {
+        use q_graph::SteinerTree;
+        let dedup = |mut v: Vec<u32>| { v.sort(); v.dedup(); v };
+        let target = SteinerTree {
+            edges: dedup(target_edges).into_iter().map(EdgeId).collect(),
+            nodes: vec![],
+            cost: 0.0,
+        };
+        let candidate = SteinerTree {
+            edges: dedup(candidate_edges).into_iter().map(EdgeId).collect(),
+            nodes: vec![],
+            cost: 0.0,
+        };
+        let constraints = constraints_from_candidates(&target, &[candidate], |e| {
+            FeatureVector::from_pairs([(FeatureId(e.0), 1.0)])
+        });
+        let mut w = WeightVector::default();
+        Mira::new().update(&mut w, &constraints);
+        for c in &constraints {
+            prop_assert!(c.phi_diff.dot(&w) >= c.loss - 1e-6);
+        }
+    }
+
+    /// Value-index overlap is symmetric and bounded by each attribute's
+    /// distinct-value count; Jaccard stays in [0, 1].
+    #[test]
+    fn value_index_overlap_is_symmetric(
+        rows_a in proptest::collection::vec("[a-d]{1,3}", 1..20),
+        rows_b in proptest::collection::vec("[a-d]{1,3}", 1..20),
+    ) {
+        let mut catalog = Catalog::new();
+        let s = catalog.add_source("s").unwrap();
+        let ra = catalog.add_relation(s, "ra", &["x"]).unwrap();
+        let rb = catalog.add_relation(s, "rb", &["y"]).unwrap();
+        for v in &rows_a {
+            catalog.insert(ra, vec![Value::from(v.as_str())].into()).unwrap();
+        }
+        for v in &rows_b {
+            catalog.insert(rb, vec![Value::from(v.as_str())].into()).unwrap();
+        }
+        let idx = ValueIndex::build(&catalog);
+        let x = catalog.resolve_qualified("ra.x").unwrap();
+        let y = catalog.resolve_qualified("rb.y").unwrap();
+        prop_assert_eq!(idx.overlap(x, y), idx.overlap(y, x));
+        prop_assert!(idx.overlap(x, y) <= catalog.distinct_values(x).len());
+        prop_assert!(idx.overlap(x, y) <= catalog.distinct_values(y).len());
+        let j = idx.jaccard(x, y);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(idx.overlaps(x, y), idx.overlap(x, y) > 0);
+    }
+}
