@@ -127,7 +127,14 @@ impl ExhaustiveAligner {
             .filter(|r| r.source != new_source)
             .map(|r| r.id)
             .collect();
-        align_against_candidates(catalog, matcher, new_source, &candidates, value_index, config)
+        align_against_candidates(
+            catalog,
+            matcher,
+            new_source,
+            &candidates,
+            value_index,
+            config,
+        )
     }
 }
 
@@ -185,7 +192,14 @@ impl ViewBasedAligner {
         config: &AlignerConfig,
     ) -> AlignmentOutcome {
         let candidates = self.candidate_relations(graph, view_nodes, new_source, catalog);
-        align_against_candidates(catalog, matcher, new_source, &candidates, value_index, config)
+        align_against_candidates(
+            catalog,
+            matcher,
+            new_source,
+            &candidates,
+            value_index,
+            config,
+        )
     }
 }
 
@@ -247,7 +261,14 @@ impl PreferentialAligner {
         P: Fn(RelationId) -> f64,
     {
         let candidates = self.candidate_relations(catalog, new_source, prior);
-        align_against_candidates(catalog, matcher, new_source, &candidates, value_index, config)
+        align_against_candidates(
+            catalog,
+            matcher,
+            new_source,
+            &candidates,
+            value_index,
+            config,
+        )
     }
 }
 
@@ -275,8 +296,7 @@ mod tests {
                     .row(["IPR01", "Kringle"]),
             )
             .relation(
-                RelationSpec::new("interpro_pub", &["pub_id", "title"])
-                    .row(["P1", "Some paper"]),
+                RelationSpec::new("interpro_pub", &["pub_id", "title"]).row(["P1", "Some paper"]),
             )
             .load_into(&mut cat)
             .unwrap();
@@ -295,13 +315,8 @@ mod tests {
     fn exhaustive_considers_every_other_relation() {
         let (cat, new_source) = setup();
         let matcher = MetadataMatcher::new();
-        let outcome = ExhaustiveAligner.align(
-            &cat,
-            &matcher,
-            new_source,
-            None,
-            &AlignerConfig::default(),
-        );
+        let outcome =
+            ExhaustiveAligner.align(&cat, &matcher, new_source, None, &AlignerConfig::default());
         // 1 new relation x 3 existing relations.
         assert_eq!(outcome.stats.matcher_calls, 3);
         assert_eq!(outcome.stats.candidate_relations, 3);
@@ -457,13 +472,8 @@ mod tests {
     fn exhaustive_finds_the_expected_alignment() {
         let (cat, new_source) = setup();
         let matcher = MetadataMatcher::new();
-        let outcome = ExhaustiveAligner.align(
-            &cat,
-            &matcher,
-            new_source,
-            None,
-            &AlignerConfig::default(),
-        );
+        let outcome =
+            ExhaustiveAligner.align(&cat, &matcher, new_source, None, &AlignerConfig::default());
         let go_acc = cat.resolve_qualified("go_annotation.go_acc").unwrap();
         let acc = cat.resolve_qualified("go_term.acc").unwrap();
         assert!(outcome

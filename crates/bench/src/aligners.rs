@@ -13,9 +13,13 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use q_align::{AlignerConfig, AlignmentStats, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner};
+use q_align::{
+    AlignerConfig, AlignmentStats, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner,
+};
 use q_core::{AlignmentStrategy, QConfig, QSystem};
-use q_datasets::gbco::{declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig};
+use q_datasets::gbco::{
+    declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig,
+};
 use q_matchers::MetadataMatcher;
 use q_storage::{SourceSpec, ValueIndex};
 
@@ -104,8 +108,7 @@ pub fn run_aligner_experiment(config: &AlignerExperimentConfig) -> AlignerExperi
             .filter(|s| !trial.new_sources.contains(&s.name))
             .cloned()
             .collect();
-        let mut catalog =
-            q_storage::loader::load_catalog(&base_specs).expect("base specs load");
+        let mut catalog = q_storage::loader::load_catalog(&base_specs).expect("base specs load");
         declare_foreign_keys(&mut catalog, &fks);
 
         // The user's view over the base relations, built through the full Q
@@ -119,7 +122,10 @@ pub fn run_aligner_experiment(config: &AlignerExperimentConfig) -> AlignerExperi
         );
         let keywords: Vec<&str> = trial.keywords.iter().map(String::as_str).collect();
         let view_id = q.create_view(&keywords).expect("view creation succeeds");
-        let alpha = q.view(view_id).and_then(|v| v.alpha()).unwrap_or(f64::INFINITY);
+        let alpha = q
+            .view(view_id)
+            .and_then(|v| v.alpha())
+            .unwrap_or(f64::INFINITY);
         let view_nodes = q.view_nodes(view_id);
 
         for new_source_name in &trial.new_sources {
@@ -202,8 +208,6 @@ mod tests {
         assert!(result.view_based.mean_comparisons <= result.exhaustive.mean_comparisons);
         assert!(result.preferential.mean_comparisons <= result.exhaustive.mean_comparisons);
         // The value-overlap filter can only reduce comparisons.
-        assert!(
-            result.exhaustive.mean_filtered_comparisons <= result.exhaustive.mean_comparisons
-        );
+        assert!(result.exhaustive.mean_filtered_comparisons <= result.exhaustive.mean_comparisons);
     }
 }

@@ -38,10 +38,22 @@ fn fig6_7(fig6: bool, fig7: bool) {
     if fig6 {
         println!("== Figure 6: aligner running time (avg per new-source introduction, metadata matcher) ==");
         println!("strategy              time_ms");
-        println!("Exhaustive            {:.3}", result.exhaustive.mean_elapsed.as_secs_f64() * 1e3);
-        println!("ViewBasedAligner      {:.3}", result.view_based.mean_elapsed.as_secs_f64() * 1e3);
-        println!("PreferentialAligner   {:.3}", result.preferential.mean_elapsed.as_secs_f64() * 1e3);
-        println!("(averaged over {} source introductions)", result.introductions);
+        println!(
+            "Exhaustive            {:.3}",
+            result.exhaustive.mean_elapsed.as_secs_f64() * 1e3
+        );
+        println!(
+            "ViewBasedAligner      {:.3}",
+            result.view_based.mean_elapsed.as_secs_f64() * 1e3
+        );
+        println!(
+            "PreferentialAligner   {:.3}",
+            result.preferential.mean_elapsed.as_secs_f64() * 1e3
+        );
+        println!(
+            "(averaged over {} source introductions)",
+            result.introductions
+        );
         println!();
     }
     if fig7 {
@@ -59,7 +71,10 @@ fn fig6_7(fig6: bool, fig7: bool) {
             "PreferentialAligner   {:>9}   {:>20}",
             result.preferential.mean_comparisons, result.preferential.mean_filtered_comparisons
         );
-        println!("(averaged over {} source introductions)", result.introductions);
+        println!(
+            "(averaged over {} source introductions)",
+            result.introductions
+        );
         println!();
     }
 }
@@ -125,7 +140,12 @@ fn learning(parts: &[&str]) {
         println!("== Figure 12: average gold vs non-gold edge cost per feedback step ==");
         println!("step   gold_avg_cost   non_gold_avg_cost");
         for (i, s) in result.edge_cost_trajectory.iter().enumerate() {
-            println!("{:>4}   {:>13.4}   {:>17.4}", i + 1, s.gold_mean, s.non_gold_mean);
+            println!(
+                "{:>4}   {:>13.4}   {:>17.4}",
+                i + 1,
+                s.gold_mean,
+                s.non_gold_mean
+            );
         }
         println!();
     }

@@ -14,8 +14,8 @@ use std::collections::HashSet;
 use serde::{Deserialize, Serialize};
 
 use q_core::evaluation::{
-    average_edge_costs, gold_target_query, pr_curve_from_alignments, pr_curve_from_graph,
-    AttrPair, EdgeCostSummary, PrPoint,
+    average_edge_costs, gold_target_query, pr_curve_from_alignments, pr_curve_from_graph, AttrPair,
+    EdgeCostSummary, PrPoint,
 };
 use q_core::{Feedback, QConfig, QSystem};
 use q_datasets::{interpro_go_catalog, interpro_go_gold, interpro_go_queries, InterproGoConfig};
@@ -134,7 +134,9 @@ pub fn run_learning_experiment(config: &LearningConfig) -> LearningResult {
 
     for pass in 0..config.passes {
         for view_id in &view_ids {
-            let Some(view) = q.view(*view_id) else { continue };
+            let Some(view) = q.view(*view_id) else {
+                continue;
+            };
             // Simulated expert: endorse an answer whose tree only uses gold
             // association edges.
             let Some(target_query) = gold_target_query(view, q.graph(), &gold) else {
@@ -147,8 +149,7 @@ pub fn run_learning_experiment(config: &LearningConfig) -> LearningResult {
             else {
                 continue;
             };
-            if q
-                .feedback(*view_id, Feedback::Correct { answer: answer_idx })
+            if q.feedback(*view_id, Feedback::Correct { answer: answer_idx })
                 .is_err()
             {
                 continue;

@@ -11,7 +11,11 @@ pub mod learning;
 pub mod matchers;
 pub mod scaling;
 
-pub use aligners::{run_aligner_experiment, AlignerExperimentConfig, AlignerExperimentResult, StrategyMeasurement};
+pub use aligners::{
+    run_aligner_experiment, AlignerExperimentConfig, AlignerExperimentResult, StrategyMeasurement,
+};
 pub use learning::{run_learning_experiment, LearningConfig, LearningResult};
-pub use matchers::{run_matcher_quality, MatcherQualityConfig, MatcherQualityResult, MatcherQualityRow};
+pub use matchers::{
+    run_matcher_quality, MatcherQualityConfig, MatcherQualityResult, MatcherQualityRow,
+};
 pub use scaling::{run_scaling_experiment, ScalingExperimentConfig, ScalingPoint, ScalingResult};

@@ -63,11 +63,7 @@ pub fn metadata_alignments(catalog: &Catalog, max_y: usize) -> Vec<AttributeAlig
     let relations: Vec<RelationId> = catalog.relations().iter().map(|r| r.id).collect();
     let mut all = Vec::new();
     for new_rel in &relations {
-        let others: Vec<RelationId> = relations
-            .iter()
-            .copied()
-            .filter(|r| r != new_rel)
-            .collect();
+        let others: Vec<RelationId> = relations.iter().copied().filter(|r| r != new_rel).collect();
         all.extend(matcher.match_against(catalog, *new_rel, &others, max_y));
     }
     all

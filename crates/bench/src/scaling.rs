@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 
 use q_align::{AlignerConfig, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner};
 use q_core::{QConfig, QSystem};
-use q_datasets::gbco::{declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig};
+use q_datasets::gbco::{
+    declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig,
+};
 use q_datasets::scaling::{expand_with_synthetic_sources, ScalingConfig};
 use q_matchers::MetadataMatcher;
 use q_storage::SourceSpec;
@@ -77,8 +79,7 @@ pub fn run_scaling_experiment(config: &ScalingExperimentConfig) -> ScalingResult
     for target_sources in &config.graph_sizes {
         // Base: the full 18-source GBCO catalog + graph, expanded with
         // synthetic sources up to the target size.
-        let mut catalog =
-            q_storage::loader::load_catalog(&all_specs).expect("gbco specs load");
+        let mut catalog = q_storage::loader::load_catalog(&all_specs).expect("gbco specs load");
         declare_foreign_keys(&mut catalog, &fks);
         let mut q = QSystem::new(catalog.clone(), QConfig::default());
         // The user's view (first trial's keywords) provides the α bound. As
@@ -89,7 +90,10 @@ pub fn run_scaling_experiment(config: &ScalingExperimentConfig) -> ScalingResult
         let keywords: Vec<&str> = trial.keywords.iter().map(String::as_str).collect();
         let view_id = q.create_view(&keywords).expect("view creation succeeds");
         for _ in 0..3 {
-            if q.view(view_id).map(|v| v.answers.is_empty()).unwrap_or(true) {
+            if q.view(view_id)
+                .map(|v| v.answers.is_empty())
+                .unwrap_or(true)
+            {
                 break;
             }
             let _ = q.feedback(view_id, q_core::Feedback::Correct { answer: 0 });
@@ -185,7 +189,10 @@ fn rename_spec(spec: &SourceSpec, index: usize) -> SourceSpec {
     for rel in &spec.relations {
         let mut r = q_storage::RelationSpec::new(
             &format!("{}_new_{index}", rel.name),
-            &rel.attributes.iter().map(String::as_str).collect::<Vec<_>>(),
+            &rel.attributes
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
         );
         r.rows = rel.rows.clone();
         renamed = renamed.relation(r);

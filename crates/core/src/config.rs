@@ -51,10 +51,7 @@ impl Default for QConfig {
             top_k: 5,
             top_y: 2,
             match_config: MatchConfig::default(),
-            steiner: SteinerConfig {
-                k: 5,
-                max_roots: 0,
-            },
+            steiner: SteinerConfig { k: 5, max_roots: 0 },
             strategy: AlignmentStrategy::ViewBased,
             column_merge_threshold: 1.5,
             min_edge_cost: 0.05,
@@ -79,10 +76,7 @@ mod tests {
 
     #[test]
     fn strategies_compare() {
-        assert_ne!(
-            AlignmentStrategy::Exhaustive,
-            AlignmentStrategy::ViewBased
-        );
+        assert_ne!(AlignmentStrategy::Exhaustive, AlignmentStrategy::ViewBased);
         assert_eq!(
             AlignmentStrategy::Preferential { limit: 3 },
             AlignmentStrategy::Preferential { limit: 3 }

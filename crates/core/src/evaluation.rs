@@ -81,7 +81,12 @@ pub fn predicted_from_alignments(
     }
     let mut predicted = HashSet::new();
     for (_, mut list) in per_attr {
-        list.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+        list.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap()
+                .then(a.existing_attribute.cmp(&b.existing_attribute))
+        });
         for a in list.into_iter().take(top_y) {
             if a.confidence >= min_confidence {
                 predicted.insert(canonical(a.new_attribute, a.existing_attribute));
@@ -123,7 +128,7 @@ pub fn predicted_from_graph(
     }
     let mut predicted = HashSet::new();
     for (_, mut edges) in per_attr {
-        edges.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        edges.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
         for (_, pair) in edges.into_iter().take(top_y) {
             predicted.insert(pair);
         }

@@ -56,12 +56,18 @@ mod tests {
 
     #[test]
     fn feedback_variants_are_comparable() {
-        assert_eq!(Feedback::Correct { answer: 1 }, Feedback::Correct { answer: 1 });
+        assert_eq!(
+            Feedback::Correct { answer: 1 },
+            Feedback::Correct { answer: 1 }
+        );
         assert_ne!(
             Feedback::Correct { answer: 1 },
             Feedback::Invalid { answer: 1 }
         );
-        let p = Feedback::Prefer { better: 0, worse: 3 };
+        let p = Feedback::Prefer {
+            better: 0,
+            worse: 3,
+        };
         if let Feedback::Prefer { better, worse } = p {
             assert!(better < worse);
         }

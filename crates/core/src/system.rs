@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use q_align::{AlignerConfig, AlignmentStats, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner};
+use q_align::{
+    AlignerConfig, AlignmentStats, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner,
+};
 use q_graph::keyword::MatchTarget;
 use q_graph::{approx_top_k, KeywordIndex, NodeId, QueryGraph, SearchGraph, SteinerConfig};
 use q_learn::{constraints_from_candidates, enforce_positive_costs, Mira};
@@ -243,8 +245,12 @@ impl QSystem {
             let (alignments, stats) = self.run_strategy(source, m);
             let name = self.matchers[m].name().to_string();
             for a in &alignments {
-                self.graph
-                    .add_association(a.new_attribute, a.existing_attribute, &name, a.confidence);
+                self.graph.add_association(
+                    a.new_attribute,
+                    a.existing_attribute,
+                    &name,
+                    a.confidence,
+                );
             }
             report.alignments.extend(alignments);
             report.stats_per_matcher.push((name, stats));
@@ -357,8 +363,15 @@ impl QSystem {
     /// answer to its originating query tree, build margin constraints against
     /// the current K-best trees, update the weights with MIRA, keep edge
     /// costs positive, and refresh every view.
-    pub fn feedback(&mut self, view_id: ViewId, feedback: Feedback) -> Result<FeedbackOutcome, QError> {
-        let view = self.views.get(view_id).ok_or(QError::UnknownView(view_id))?;
+    pub fn feedback(
+        &mut self,
+        view_id: ViewId,
+        feedback: Feedback,
+    ) -> Result<FeedbackOutcome, QError> {
+        let view = self
+            .views
+            .get(view_id)
+            .ok_or(QError::UnknownView(view_id))?;
         if view.queries.is_empty() {
             return Err(QError::NoQueryTrees);
         }
@@ -468,8 +481,7 @@ mod tests {
     }
 
     fn system() -> QSystem {
-        let catalog =
-            q_storage::loader::load_catalog(&base_specs()).expect("base catalog loads");
+        let catalog = q_storage::loader::load_catalog(&base_specs()).expect("base catalog loads");
         let mut q = QSystem::new(catalog, QConfig::default());
         q.add_matcher(Box::new(MetadataMatcher::new()));
         q.add_matcher(Box::new(MadMatcher::new()));
@@ -524,13 +536,17 @@ mod tests {
         // The new source's entry_ac should align with entry.entry_ac.
         let pub_entry_ac = q.catalog().resolve_qualified("pub.entry_ac").unwrap();
         let entry_ac = q.catalog().resolve_qualified("entry.entry_ac").unwrap();
-        assert!(q.graph().association_between(pub_entry_ac, entry_ac).is_some());
+        assert!(q
+            .graph()
+            .association_between(pub_entry_ac, entry_ac)
+            .is_some());
         // And the refreshed view now reaches publication titles.
         let view = q.view(view_id).unwrap();
         let found = view.answers.iter().any(|a| {
-            a.values.iter().flatten().any(
-                |v| matches!(v, Value::Text(s) if s.contains("Kringle structure")),
-            )
+            a.values
+                .iter()
+                .flatten()
+                .any(|v| matches!(v, Value::Text(s) if s.contains("Kringle structure")))
         });
         assert!(found, "answers: {:?}", view.answers);
     }
@@ -545,13 +561,18 @@ mod tests {
             },
         );
         exhaustive.add_matcher(Box::new(MetadataMatcher::new()));
-        let acc = exhaustive.catalog().resolve_qualified("go_term.acc").unwrap();
+        let acc = exhaustive
+            .catalog()
+            .resolve_qualified("go_term.acc")
+            .unwrap();
         let go_id = exhaustive
             .catalog()
             .resolve_qualified("interpro2go.go_id")
             .unwrap();
         exhaustive.add_manual_association(acc, go_id, 0.95);
-        exhaustive.create_view(&["plasma membrane", "entry"]).unwrap();
+        exhaustive
+            .create_view(&["plasma membrane", "entry"])
+            .unwrap();
         let ex_report = exhaustive.register_source(&new_pub_source()).unwrap();
 
         let mut view_based = QSystem::new(
@@ -562,13 +583,18 @@ mod tests {
             },
         );
         view_based.add_matcher(Box::new(MetadataMatcher::new()));
-        let acc = view_based.catalog().resolve_qualified("go_term.acc").unwrap();
+        let acc = view_based
+            .catalog()
+            .resolve_qualified("go_term.acc")
+            .unwrap();
         let go_id = view_based
             .catalog()
             .resolve_qualified("interpro2go.go_id")
             .unwrap();
         view_based.add_manual_association(acc, go_id, 0.95);
-        view_based.create_view(&["plasma membrane", "entry"]).unwrap();
+        view_based
+            .create_view(&["plasma membrane", "entry"])
+            .unwrap();
         let vb_report = view_based.register_source(&new_pub_source()).unwrap();
 
         let ex_comparisons = ex_report.stats_per_matcher[0].1.attribute_comparisons;
@@ -588,14 +614,17 @@ mod tests {
         let term_name = q.catalog().resolve_qualified("go_term.name").unwrap();
         // One good association and one bad one.
         q.add_manual_association(acc, go_id, 0.9);
-        q.graph_mut().add_association(term_name, entry_name, "metadata", 0.9);
+        q.graph_mut()
+            .add_association(term_name, entry_name, "metadata", 0.9);
         let view_id = q.create_view(&["plasma membrane", "entry"]).unwrap();
         let view = q.view(view_id).unwrap();
         assert!(view.queries.len() >= 2, "need alternative trees");
 
         // Mark the best answer correct; weights must change such that its
         // query stays cheapest and all views refresh without error.
-        let outcome = q.feedback(view_id, Feedback::Correct { answer: 0 }).unwrap();
+        let outcome = q
+            .feedback(view_id, Feedback::Correct { answer: 0 })
+            .unwrap();
         assert!(outcome.constraints > 0);
         let view = q.view(view_id).unwrap();
         assert!(!view.queries.is_empty());

@@ -4,9 +4,7 @@
 use std::collections::{HashMap, HashSet};
 
 use q_graph::{EdgeKind, Node, QueryGraph, SearchGraph, SteinerTree};
-use q_storage::{
-    exec, AttrRef, AttributeId, Catalog, ConjunctiveQuery, RelationId, StorageError,
-};
+use q_storage::{exec, AttrRef, AttributeId, Catalog, ConjunctiveQuery, RelationId, StorageError};
 
 use crate::answer::{Answer, RankedQuery};
 
@@ -174,6 +172,9 @@ fn keyword_and_target<'g>(
     }
 }
 
+/// A materialised view's `(column labels, column source attributes, answers)`.
+pub type MaterializedView = (Vec<String>, Vec<AttributeId>, Vec<Answer>);
+
 /// Build the unified output schema and materialise the answers of a view's
 /// ranked queries (the disjoint / outer union of Section 2.2).
 ///
@@ -186,7 +187,7 @@ pub fn materialize_view(
     queries: &[RankedQuery],
     column_merge_threshold: f64,
     max_answers: usize,
-) -> Result<(Vec<String>, Vec<AttributeId>, Vec<Answer>), StorageError> {
+) -> Result<MaterializedView, StorageError> {
     // Cheap association lookup: attribute -> (aligned attribute, cost).
     let mut aligned: HashMap<AttributeId, Vec<(AttributeId, f64)>> = HashMap::new();
     for (edge, a, b) in graph.association_edges() {

@@ -424,22 +424,86 @@ pub fn declare_foreign_keys(catalog: &mut Catalog, fks: &[(String, String)]) -> 
 /// new sources are introduced.
 pub fn gbco_trials() -> Vec<GbcoTrial> {
     vec![
-        GbcoTrial::new(&["normalized_value", "symbol"], &["expression", "probe", "gene"], &["pathway", "gene_pathway"]),
-        GbcoTrial::new(&["organ", "diabetic_status"], &["tissue", "donor"], &["cohort", "study"]),
-        GbcoTrial::new(&["replicate_count", "manufacturer"], &["experiment", "platform"], &["probe", "protocol"]),
-        GbcoTrial::new(&["rna_quality", "organ"], &["sample", "tissue"], &["donor", "marker"]),
-        GbcoTrial::new(&["symbol", "evidence_code"], &["gene", "annotation"], &["go_terms", "publication"]),
-        GbcoTrial::new(&["funding_source", "pubmed_id"], &["study", "publication"], &["cohort", "lab"]),
-        GbcoTrial::new(&["specificity", "biotype"], &["marker", "gene"], &["tissue", "probe"]),
-        GbcoTrial::new(&["fold_change", "rna_quality"], &["expression", "sample"], &["donor", "experiment"]),
-        GbcoTrial::new(&["symbol", "source_db"], &["gene", "gene_pathway", "pathway"], &["annotation", "go_terms", "publication"]),
-        GbcoTrial::new(&["investigator", "institution"], &["experiment", "lab"], &["protocol", "platform", "study"]),
-        GbcoTrial::new(&["glucose_level", "inclusion_criteria"], &["donor", "cohort"], &["study", "publication", "sample"]),
-        GbcoTrial::new(&["gc_content", "technology"], &["probe", "platform"], &["gene", "expression", "experiment"]),
-        GbcoTrial::new(&["evidence_code", "ontology"], &["annotation", "go_terms"], &["gene", "marker", "publication"]),
-        GbcoTrial::new(&["preservation", "sensitivity"], &["tissue", "marker"], &["gene", "publication", "sample"]),
-        GbcoTrial::new(&["pubmed_id", "first_author"], &["publication"], &["study", "annotation", "marker"]),
-        GbcoTrial::new(&["fold_change", "replicate_count"], &["expression", "experiment"], &["platform", "protocol", "lab"]),
+        GbcoTrial::new(
+            &["normalized_value", "symbol"],
+            &["expression", "probe", "gene"],
+            &["pathway", "gene_pathway"],
+        ),
+        GbcoTrial::new(
+            &["organ", "diabetic_status"],
+            &["tissue", "donor"],
+            &["cohort", "study"],
+        ),
+        GbcoTrial::new(
+            &["replicate_count", "manufacturer"],
+            &["experiment", "platform"],
+            &["probe", "protocol"],
+        ),
+        GbcoTrial::new(
+            &["rna_quality", "organ"],
+            &["sample", "tissue"],
+            &["donor", "marker"],
+        ),
+        GbcoTrial::new(
+            &["symbol", "evidence_code"],
+            &["gene", "annotation"],
+            &["go_terms", "publication"],
+        ),
+        GbcoTrial::new(
+            &["funding_source", "pubmed_id"],
+            &["study", "publication"],
+            &["cohort", "lab"],
+        ),
+        GbcoTrial::new(
+            &["specificity", "biotype"],
+            &["marker", "gene"],
+            &["tissue", "probe"],
+        ),
+        GbcoTrial::new(
+            &["fold_change", "rna_quality"],
+            &["expression", "sample"],
+            &["donor", "experiment"],
+        ),
+        GbcoTrial::new(
+            &["symbol", "source_db"],
+            &["gene", "gene_pathway", "pathway"],
+            &["annotation", "go_terms", "publication"],
+        ),
+        GbcoTrial::new(
+            &["investigator", "institution"],
+            &["experiment", "lab"],
+            &["protocol", "platform", "study"],
+        ),
+        GbcoTrial::new(
+            &["glucose_level", "inclusion_criteria"],
+            &["donor", "cohort"],
+            &["study", "publication", "sample"],
+        ),
+        GbcoTrial::new(
+            &["gc_content", "technology"],
+            &["probe", "platform"],
+            &["gene", "expression", "experiment"],
+        ),
+        GbcoTrial::new(
+            &["evidence_code", "ontology"],
+            &["annotation", "go_terms"],
+            &["gene", "marker", "publication"],
+        ),
+        GbcoTrial::new(
+            &["preservation", "sensitivity"],
+            &["tissue", "marker"],
+            &["gene", "publication", "sample"],
+        ),
+        GbcoTrial::new(
+            &["pubmed_id", "first_author"],
+            &["publication"],
+            &["study", "annotation", "marker"],
+        ),
+        GbcoTrial::new(
+            &["fold_change", "replicate_count"],
+            &["expression", "experiment"],
+            &["platform", "protocol", "lab"],
+        ),
     ]
 }
 

@@ -113,11 +113,21 @@ pub fn interpro_go_source_specs(config: &InterproGoConfig) -> Vec<SourceSpec> {
     let n_journal = (n / 10).max(5);
 
     // --------------- identifier pools ---------------
-    let go_ids: Vec<String> = (0..n_go).map(|i| words::padded_id("GO:", 1000 + i, 7)).collect();
-    let entry_acs: Vec<String> = (0..n_entry).map(|i| words::padded_id("IPR", 1 + i, 6)).collect();
-    let method_acs: Vec<String> = (0..n_method).map(|i| words::padded_id("PF", 100 + i, 5)).collect();
-    let pub_ids: Vec<String> = (0..n_pub).map(|i| words::padded_id("PUB", 1 + i, 5)).collect();
-    let journal_codes: Vec<String> = (0..n_journal).map(|i| words::padded_id("J", 1 + i, 3)).collect();
+    let go_ids: Vec<String> = (0..n_go)
+        .map(|i| words::padded_id("GO:", 1000 + i, 7))
+        .collect();
+    let entry_acs: Vec<String> = (0..n_entry)
+        .map(|i| words::padded_id("IPR", 1 + i, 6))
+        .collect();
+    let method_acs: Vec<String> = (0..n_method)
+        .map(|i| words::padded_id("PF", 100 + i, 5))
+        .collect();
+    let pub_ids: Vec<String> = (0..n_pub)
+        .map(|i| words::padded_id("PUB", 1 + i, 5))
+        .collect();
+    let journal_codes: Vec<String> = (0..n_journal)
+        .map(|i| words::padded_id("J", 1 + i, 3))
+        .collect();
     let entry_names: Vec<String> = (0..n_entry).map(|_| words::term_name(&mut rng)).collect();
 
     // --------------- go_term ---------------
@@ -208,7 +218,14 @@ pub fn interpro_go_source_specs(config: &InterproGoConfig) -> Vec<SourceSpec> {
     // --------------- interpro_pub ---------------
     let mut publication = RelationSpec::new(
         "interpro_pub",
-        &["pub_id", "title", "year", "journal_id", "volume", "first_author"],
+        &[
+            "pub_id",
+            "title",
+            "year",
+            "journal_id",
+            "volume",
+            "first_author",
+        ],
     );
     for id in &pub_ids {
         publication = publication.row([
@@ -237,7 +254,11 @@ pub fn interpro_go_source_specs(config: &InterproGoConfig) -> Vec<SourceSpec> {
             code.clone(),
             abbrev,
             full,
-            format!("{:04}-{:04}", rng.gen_range(1000..9999), rng.gen_range(1000..9999)),
+            format!(
+                "{:04}-{:04}",
+                rng.gen_range(1000..9999),
+                rng.gen_range(1000..9999)
+            ),
         ]);
     }
 

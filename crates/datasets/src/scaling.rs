@@ -112,12 +112,8 @@ mod tests {
         let edges_before = graph.edge_count();
         let sources_before = catalog.sources().len();
 
-        let added = expand_with_synthetic_sources(
-            &mut catalog,
-            &mut graph,
-            20,
-            &ScalingConfig::default(),
-        );
+        let added =
+            expand_with_synthetic_sources(&mut catalog, &mut graph, 20, &ScalingConfig::default());
         assert_eq!(added.len(), 20);
         assert_eq!(catalog.sources().len(), sources_before + 20);
         // Each synthetic source contributes attribute-relation edges plus two

@@ -9,24 +9,88 @@ use rand::Rng;
 /// descriptions. Combining fragments keeps the vocabulary realistic while
 /// still producing the value overlaps the experiments rely on.
 pub const TERM_WORDS: &[&str] = &[
-    "plasma", "membrane", "kinase", "binding", "receptor", "transport", "nuclear", "signal",
-    "transduction", "photosystem", "interleukin", "cytokine", "apoptosis", "mitochondrial",
-    "ribosome", "transcription", "regulation", "glucose", "insulin", "secretion", "beta",
-    "cell", "islet", "pancreatic", "oxidative", "stress", "protein", "domain", "helix",
-    "zinc", "finger", "homeobox", "growth", "factor", "pathway", "metabolic", "lipid",
-    "catalytic", "activity", "extracellular", "matrix", "adhesion", "channel", "calcium",
+    "plasma",
+    "membrane",
+    "kinase",
+    "binding",
+    "receptor",
+    "transport",
+    "nuclear",
+    "signal",
+    "transduction",
+    "photosystem",
+    "interleukin",
+    "cytokine",
+    "apoptosis",
+    "mitochondrial",
+    "ribosome",
+    "transcription",
+    "regulation",
+    "glucose",
+    "insulin",
+    "secretion",
+    "beta",
+    "cell",
+    "islet",
+    "pancreatic",
+    "oxidative",
+    "stress",
+    "protein",
+    "domain",
+    "helix",
+    "zinc",
+    "finger",
+    "homeobox",
+    "growth",
+    "factor",
+    "pathway",
+    "metabolic",
+    "lipid",
+    "catalytic",
+    "activity",
+    "extracellular",
+    "matrix",
+    "adhesion",
+    "channel",
+    "calcium",
 ];
 
 /// Journal-like names.
 pub const JOURNAL_WORDS: &[&str] = &[
-    "nature", "science", "cell", "bioinformatics", "nucleic", "acids", "research", "journal",
-    "molecular", "biology", "proteomics", "genomics", "diabetes", "endocrinology",
+    "nature",
+    "science",
+    "cell",
+    "bioinformatics",
+    "nucleic",
+    "acids",
+    "research",
+    "journal",
+    "molecular",
+    "biology",
+    "proteomics",
+    "genomics",
+    "diabetes",
+    "endocrinology",
 ];
 
 /// Author-ish surnames for publication metadata.
 pub const SURNAMES: &[&str] = &[
-    "smith", "chen", "garcia", "mueller", "tanaka", "kumar", "rossi", "novak", "silva",
-    "johansson", "kim", "dubois", "ivanov", "haddad", "okafor", "nguyen",
+    "smith",
+    "chen",
+    "garcia",
+    "mueller",
+    "tanaka",
+    "kumar",
+    "rossi",
+    "novak",
+    "silva",
+    "johansson",
+    "kim",
+    "dubois",
+    "ivanov",
+    "haddad",
+    "okafor",
+    "nguyen",
 ];
 
 /// Evidence / category codes.

@@ -160,10 +160,7 @@ impl FeatureVector {
 
     /// Dot product with a weight vector.
     pub fn dot(&self, weights: &WeightVector) -> f64 {
-        self.entries
-            .iter()
-            .map(|(f, v)| weights.get(*f) * v)
-            .sum()
+        self.entries.iter().map(|(f, v)| weights.get(*f) * v).sum()
     }
 
     /// `self += other` (used to accumulate Φ(T) = Σ_{e ∈ T} f(e)).

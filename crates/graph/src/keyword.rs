@@ -131,9 +131,7 @@ impl KeywordIndex {
                 let mut seen = HashSet::new();
                 for tuple in &rel.tuples {
                     if let Some(Value::Text(_)) = tuple.get(attr.position) {
-                        if let Some(norm) =
-                            tuple.get(attr.position).and_then(Value::normalized)
-                        {
+                        if let Some(norm) = tuple.get(attr.position).and_then(Value::normalized) {
                             if seen.insert(norm.clone()) {
                                 self.add_document(
                                     MatchTarget::Value {
@@ -410,9 +408,7 @@ mod tests {
     fn unmatched_keyword_returns_empty() {
         let cat = catalog();
         let idx = KeywordIndex::build(&cat);
-        assert!(idx
-            .matches("zzzqqqxxx", &MatchConfig::default())
-            .is_empty());
+        assert!(idx.matches("zzzqqqxxx", &MatchConfig::default()).is_empty());
         assert!(idx.matches("", &MatchConfig::default()).is_empty());
     }
 

@@ -199,7 +199,12 @@ impl<'a> QueryGraph<'a> {
             attribute,
             value: value.to_string(),
         });
-        self.push_edge(n, attr_node, EdgeKind::ValueAttribute, FeatureVector::empty());
+        self.push_edge(
+            n,
+            attr_node,
+            EdgeKind::ValueAttribute,
+            FeatureVector::empty(),
+        );
         self.value_nodes.insert((attribute, value.to_string()), n);
         n
     }
@@ -301,7 +306,12 @@ mod tests {
     #[test]
     fn keywords_become_terminal_nodes() {
         let (_cat, graph, index) = setup();
-        let qg = QueryGraph::build(&graph, &index, &["title", "plasma membrane"], &MatchConfig::default());
+        let qg = QueryGraph::build(
+            &graph,
+            &index,
+            &["title", "plasma membrane"],
+            &MatchConfig::default(),
+        );
         assert_eq!(qg.keywords().len(), 2);
         assert_eq!(qg.terminals().len(), 2);
         // Terminals are query-local nodes.
@@ -314,7 +324,12 @@ mod tests {
     #[test]
     fn value_matches_materialize_value_nodes_with_zero_cost_attachment() {
         let (cat, graph, index) = setup();
-        let qg = QueryGraph::build(&graph, &index, &["plasma membrane"], &MatchConfig::default());
+        let qg = QueryGraph::build(
+            &graph,
+            &index,
+            &["plasma membrane"],
+            &MatchConfig::default(),
+        );
         let name_attr = cat.resolve_qualified("go_term.name").unwrap();
         // Find the value node.
         let value_node = (graph.node_count()..qg.node_count())

@@ -8,7 +8,7 @@
 //! dot product with the graph's current weight vector (Equation 1), which the
 //! learner in `q-learn` adjusts from user feedback.
 
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -51,8 +51,10 @@ pub struct SearchGraph {
     adjacency: Vec<Vec<EdgeId>>,
     features: FeatureSpace,
     weights: WeightVector,
-    /// Canonically ordered attribute pair -> association edge.
-    associations: HashMap<(AttributeId, AttributeId), EdgeId>,
+    /// Canonically ordered attribute pair -> association edge. Ordered map so
+    /// `association_edges()` iterates deterministically — downstream top-Y
+    /// cutoffs break cost ties by iteration order.
+    associations: BTreeMap<(AttributeId, AttributeId), EdgeId>,
     provenance: HashMap<EdgeId, Vec<AssociationProvenance>>,
 }
 
@@ -229,9 +231,7 @@ impl SearchGraph {
     pub fn association_edges(
         &self,
     ) -> impl Iterator<Item = (EdgeId, AttributeId, AttributeId)> + '_ {
-        self.associations
-            .iter()
-            .map(|((a, b), e)| (*e, *a, *b))
+        self.associations.iter().map(|((a, b), e)| (*e, *a, *b))
     }
 
     /// Matchers' recorded opinions about an association edge.
@@ -327,10 +327,11 @@ impl SearchGraph {
     /// attribute–relation edge).
     pub fn relation_of_attribute(&self, attribute: AttributeId) -> Option<RelationId> {
         let attr_node = self.attribute_node(attribute)?;
-        self.neighbors(attr_node).find_map(|(_, n)| match self.node(n) {
-            Node::Relation(r) => Some(*r),
-            _ => None,
-        })
+        self.neighbors(attr_node)
+            .find_map(|(_, n)| match self.node(n) {
+                Node::Relation(r) => Some(*r),
+                _ => None,
+            })
     }
 
     // ------------------------------------------------------------------
@@ -388,17 +389,16 @@ impl SearchGraph {
     }
 
     /// Multi-source Dijkstra distances, optionally bounded by `limit`.
-    pub fn distances_from(
-        &self,
-        starts: &[NodeId],
-        limit: Option<f64>,
-    ) -> HashMap<NodeId, f64> {
+    pub fn distances_from(&self, starts: &[NodeId], limit: Option<f64>) -> HashMap<NodeId, f64> {
         #[derive(PartialEq)]
         struct Item(f64, NodeId);
         impl Eq for Item {}
         impl Ord for Item {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
         impl PartialOrd for Item {
@@ -542,7 +542,9 @@ mod tests {
             .load_into(&mut cat)
             .unwrap();
         SourceSpec::new("interpro")
-            .relation(RelationSpec::new("interpro2go", &["go_id", "entry_ac"]).row(["GO:1", "IPR01"]))
+            .relation(
+                RelationSpec::new("interpro2go", &["go_id", "entry_ac"]).row(["GO:1", "IPR01"]),
+            )
             .relation(RelationSpec::new("entry", &["entry_ac", "name"]).row(["IPR01", "Kringle"]))
             .foreign_key("interpro2go.entry_ac", "entry.entry_ac")
             .load_into(&mut cat)
@@ -634,7 +636,10 @@ mod tests {
         // relation, and the relation's other attributes via zero-cost edges).
         let small = g.cost_neighborhood(&[start], 0.0);
         assert!(small.contains(&start));
-        assert!(small.contains(&g.relation_node(cat.relation_by_name("go_term").unwrap().id).unwrap()));
+        assert!(small.contains(
+            &g.relation_node(cat.relation_by_name("go_term").unwrap().id)
+                .unwrap()
+        ));
         assert!(!small.contains(&g.attribute_node(go_id).unwrap()));
 
         // Large alpha reaches everything connected.

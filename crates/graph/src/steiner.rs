@@ -276,10 +276,7 @@ fn prune_to_tree<G: GraphView>(
 /// Returns `None` when the terminals cannot all be connected. Falls back to
 /// the approximation when there are more than 12 terminals (the DP is
 /// exponential in the number of terminals).
-pub fn exact_minimum_steiner<G: GraphView>(
-    graph: &G,
-    terminals: &[NodeId],
-) -> Option<SteinerTree> {
+pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> Option<SteinerTree> {
     if terminals.is_empty() {
         return None;
     }
@@ -342,9 +339,9 @@ pub fn exact_minimum_steiner<G: GraphView>(
         }
         // Propagate step: Dijkstra relaxation within this subset level.
         let mut heap = BinaryHeap::new();
-        for v in 0..n {
-            if dp[mask][v] < INF {
-                heap.push(HeapItem(dp[mask][v], NodeId(v as u32)));
+        for (v, &d) in dp[mask].iter().enumerate() {
+            if d < INF {
+                heap.push(HeapItem(d, NodeId(v as u32)));
             }
         }
         while let Some(HeapItem(d, node)) = heap.pop() {
@@ -441,15 +438,7 @@ mod tests {
 
     /// Path graph 0-1-2-3 plus a shortcut 0-3.
     fn path_with_shortcut() -> TestGraph {
-        TestGraph::new(
-            4,
-            &[
-                (0, 1, 1.0),
-                (1, 2, 1.0),
-                (2, 3, 1.0),
-                (0, 3, 2.5),
-            ],
-        )
+        TestGraph::new(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 2.5)])
     }
 
     #[test]

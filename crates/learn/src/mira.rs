@@ -85,11 +85,13 @@ impl Mira {
         weights: &mut WeightVector,
         constraints: &[TreeConstraint],
     ) -> MiraUpdateSummary {
-        let mut summary = MiraUpdateSummary::default();
-        summary.initially_violated = constraints
-            .iter()
-            .filter(|c| self.violation(weights, c) > self.config.tolerance)
-            .count();
+        let mut summary = MiraUpdateSummary {
+            initially_violated: constraints
+                .iter()
+                .filter(|c| self.violation(weights, c) > self.config.tolerance)
+                .count(),
+            ..MiraUpdateSummary::default()
+        };
         if summary.initially_violated == 0 {
             return summary;
         }

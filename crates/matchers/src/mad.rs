@@ -16,7 +16,7 @@
 //! crossbeam-scoped threads, standing in for the paper's Hadoop MapReduce
 //! implementation.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -66,8 +66,11 @@ impl Default for MadConfig {
     }
 }
 
-/// Sparse label distribution: label index -> score.
-type LabelVec = HashMap<u32, f64>;
+/// Sparse label distribution: label index -> score. A `BTreeMap` (not a
+/// `HashMap`) so that float accumulation and truncation tie-breaking are
+/// deterministic across runs — propagation scores feed top-Y cutoffs, and
+/// hash-order-dependent summation made those cutoffs flip between runs.
+type LabelVec = BTreeMap<u32, f64>;
 
 /// Outcome of one MAD propagation run.
 #[derive(Debug, Clone)]
@@ -75,8 +78,9 @@ pub struct MadResult {
     /// The label universe: label index i corresponds to `labels[i]`.
     labels: Vec<AttributeId>,
     /// Per-attribute label scores (excluding the dummy label), sorted
-    /// descending by score.
-    distributions: HashMap<AttributeId, Vec<(AttributeId, f64)>>,
+    /// descending by score. Ordered map so alignment derivation is
+    /// deterministic.
+    distributions: BTreeMap<AttributeId, Vec<(AttributeId, f64)>>,
     /// Number of nodes in the propagation graph after pruning.
     pub node_count: usize,
     /// Number of edges in the propagation graph after pruning.
@@ -209,7 +213,12 @@ impl MadMatcher {
         let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); num_attrs];
         let mut value_node_count = 0usize;
         let mut edge_count = 0usize;
-        for (_value, attrs) in value_postings.into_iter() {
+        // Sort by value text before numbering value nodes: hash order would
+        // otherwise permute adjacency lists (and thus float accumulation
+        // order) from run to run.
+        let mut value_postings: Vec<(String, Vec<usize>)> = value_postings.into_iter().collect();
+        value_postings.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_value, attrs) in value_postings {
             if self.config.prune_degree_one && attrs.len() < 2 {
                 continue;
             }
@@ -306,14 +315,14 @@ impl MadMatcher {
         }
 
         // ---------------- Collect distributions ----------------
-        let mut distributions: HashMap<AttributeId, Vec<(AttributeId, f64)>> = HashMap::new();
+        let mut distributions: BTreeMap<AttributeId, Vec<(AttributeId, f64)>> = BTreeMap::new();
         for (v, attr) in attr_nodes.iter().enumerate() {
             let mut scores: Vec<(AttributeId, f64)> = current[v]
                 .iter()
                 .filter(|(label, _)| **label != dummy_label && **label != v as u32)
                 .map(|(label, score)| (attr_nodes[*label as usize], *score))
                 .collect();
-            scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
             distributions.insert(*attr, scores);
         }
 
@@ -370,7 +379,7 @@ impl MadMatcher {
             // Bound the number of labels kept per node.
             if cfg.max_labels_per_node > 0 && out.len() > cfg.max_labels_per_node {
                 let mut entries: Vec<(u32, f64)> = out.into_iter().collect();
-                entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
                 entries.truncate(cfg.max_labels_per_node);
                 out = entries.into_iter().collect();
             }
@@ -382,8 +391,7 @@ impl MadMatcher {
         }
 
         let chunk = n.div_ceil(threads);
-        let mut result: Vec<LabelVec> = vec![LabelVec::new(); n];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let start = t * chunk;
@@ -392,20 +400,16 @@ impl MadMatcher {
                     continue;
                 }
                 let update_node = &update_node;
-                handles.push(scope.spawn(move |_| {
-                    (start..end).map(update_node).collect::<Vec<LabelVec>>()
-                }));
+                handles.push(
+                    scope.spawn(move || (start..end).map(update_node).collect::<Vec<LabelVec>>()),
+                );
             }
-            let mut offset = 0usize;
-            for handle in handles {
-                let part = handle.join().expect("mad worker thread panicked");
-                let len = part.len();
-                result[offset..offset + len].clone_from_slice(&part);
-                offset += len;
-            }
+            // Handles are in chunk order, so joining in order rebuilds 0..n.
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("mad worker thread panicked"))
+                .collect()
         })
-        .expect("mad thread scope failed");
-        result
     }
 }
 
@@ -549,10 +553,9 @@ mod tests {
         let alignments = result.top_alignments(&cat, 1, 0.0);
         let acc = cat.resolve_qualified("go_term.acc").unwrap();
         let go_id = cat.resolve_qualified("interpro2go.go_id").unwrap();
-        assert!(alignments
-            .iter()
-            .any(|a| (a.new_attribute == acc && a.existing_attribute == go_id)
-                || (a.new_attribute == go_id && a.existing_attribute == acc)));
+        assert!(alignments.iter().any(|a| (a.new_attribute == acc
+            && a.existing_attribute == go_id)
+            || (a.new_attribute == go_id && a.existing_attribute == acc)));
     }
 
     #[test]
@@ -571,16 +574,8 @@ mod tests {
     fn numeric_values_are_pruned_by_default() {
         let mut cat = Catalog::new();
         SourceSpec::new("s")
-            .relation(
-                RelationSpec::new("a", &["x"])
-                    .row(["123"])
-                    .row(["456"]),
-            )
-            .relation(
-                RelationSpec::new("b", &["y"])
-                    .row(["123"])
-                    .row(["456"]),
-            )
+            .relation(RelationSpec::new("a", &["x"]).row(["123"]).row(["456"]))
+            .relation(RelationSpec::new("b", &["y"]).row(["123"]).row(["456"]))
             .load_into(&mut cat)
             .unwrap();
         let mad = MadMatcher::new();

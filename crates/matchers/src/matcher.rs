@@ -18,7 +18,11 @@ pub struct AttributeAlignment {
 
 impl AttributeAlignment {
     /// Construct an alignment, clamping the confidence into `[0, 1]`.
-    pub fn new(new_attribute: AttributeId, existing_attribute: AttributeId, confidence: f64) -> Self {
+    pub fn new(
+        new_attribute: AttributeId,
+        existing_attribute: AttributeId,
+        confidence: f64,
+    ) -> Self {
         AttributeAlignment {
             new_attribute,
             existing_attribute,
@@ -80,6 +84,9 @@ pub fn keep_top_y_per_attribute(
         a.new_attribute
             .cmp(&b.new_attribute)
             .then(b.confidence.partial_cmp(&a.confidence).unwrap())
+            // Deterministic tie-break so equal-confidence candidates don't
+            // make the top-Y cutoff depend on input order.
+            .then(a.existing_attribute.cmp(&b.existing_attribute))
     });
     let mut out = Vec::new();
     let mut current: Option<AttributeId> = None;

@@ -75,8 +75,7 @@ impl MetadataMatcher {
     /// Name similarity between two attribute names (no structural context).
     pub fn name_similarity(&self, a: &str, b: &str) -> f64 {
         let c = &self.config;
-        let base_weight =
-            c.token_weight + c.trigram_weight + c.edit_weight + c.containment_weight;
+        let base_weight = c.token_weight + c.trigram_weight + c.edit_weight + c.containment_weight;
         if base_weight <= 0.0 {
             return 0.0;
         }
@@ -93,8 +92,7 @@ impl MetadataMatcher {
         let c = &self.config;
         let name_sim = self.name_similarity(attr_a, attr_b);
         let total_weight = 1.0 + c.structural_weight;
-        ((name_sim + c.structural_weight * relation_similarity * name_sim.max(0.3))
-            / total_weight)
+        ((name_sim + c.structural_weight * relation_similarity * name_sim.max(0.3)) / total_weight)
             .clamp(0.0, 1.0)
     }
 }
@@ -219,9 +217,9 @@ mod tests {
         let i2g = cat.relation_by_name("interpro2go").unwrap().id;
         let go = cat.relation_by_name("go_term").unwrap().id;
         let y1 = m.match_relations(&cat, i2g, go, 1);
-        let counts = y1.iter().filter(|a| {
-            a.new_attribute == cat.resolve_qualified("interpro2go.go_id").unwrap()
-        });
+        let counts = y1
+            .iter()
+            .filter(|a| a.new_attribute == cat.resolve_qualified("interpro2go.go_id").unwrap());
         assert!(counts.count() <= 1);
     }
 
@@ -242,12 +240,15 @@ mod tests {
         let entry_ac_existing = cat.resolve_qualified("interpro_entry.entry_ac").unwrap();
         assert!(alignments
             .iter()
-            .any(|a| a.new_attribute == entry_ac_new
-                && a.existing_attribute == entry_ac_existing));
+            .any(|a| a.new_attribute == entry_ac_new && a.existing_attribute == entry_ac_existing));
         // And no attribute gets more than 2 candidates.
-        for attr in [entry_ac_new] {
-            assert!(alignments.iter().filter(|a| a.new_attribute == attr).count() <= 2);
-        }
+        assert!(
+            alignments
+                .iter()
+                .filter(|a| a.new_attribute == entry_ac_new)
+                .count()
+                <= 2
+        );
     }
 
     #[test]

@@ -191,7 +191,9 @@ impl Catalog {
 
     /// Source by name.
     pub fn source_by_name(&self, name: &str) -> Option<&Source> {
-        self.source_by_name.get(name).map(|id| &self.sources[id.index()])
+        self.source_by_name
+            .get(name)
+            .map(|id| &self.sources[id.index()])
     }
 
     /// Relation by id.
@@ -259,12 +261,9 @@ impl Catalog {
         relation: RelationId,
     ) -> impl Iterator<Item = (AttributeId, &'a Value)> + 'a {
         self.relation(relation).into_iter().flat_map(|rel| {
-            rel.tuples.iter().flat_map(move |t| {
-                rel.attributes
-                    .iter()
-                    .copied()
-                    .zip(t.values().iter())
-            })
+            rel.tuples
+                .iter()
+                .flat_map(move |t| rel.attributes.iter().copied().zip(t.values().iter()))
         })
     }
 
@@ -308,8 +307,16 @@ mod tests {
         cat.insert_rows(
             term,
             vec![
-                vec![Value::from("GO:0005134"), Value::from("plasma membrane"), Value::from("component")],
-                vec![Value::from("GO:0007652"), Value::from("kinase activity"), Value::from("function")],
+                vec![
+                    Value::from("GO:0005134"),
+                    Value::from("plasma membrane"),
+                    Value::from("component"),
+                ],
+                vec![
+                    Value::from("GO:0007652"),
+                    Value::from("kinase activity"),
+                    Value::from("function"),
+                ],
             ],
         )
         .unwrap();
@@ -366,8 +373,17 @@ mod tests {
     #[test]
     fn arity_mismatch_rejected() {
         let (mut cat, term, _) = small_catalog();
-        let err = cat.insert(term, Tuple::new(vec![Value::Int(1)])).unwrap_err();
-        assert!(matches!(err, StorageError::ArityMismatch { expected: 3, got: 1, .. }));
+        let err = cat
+            .insert(term, Tuple::new(vec![Value::Int(1)]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -179,7 +179,7 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
 
     // Join atoms left to right.
     let mut bindings: Vec<Binding> = candidates[0].iter().map(|t| vec![*t]).collect();
-    for atom_idx in 1..query.atoms.len() {
+    for (atom_idx, atom_candidates) in candidates.iter().enumerate().skip(1) {
         // Join predicates connecting this atom to already-bound atoms.
         let preds: Vec<(AttrRef, AttrRef)> = query
             .joins
@@ -201,7 +201,7 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
         if preds.is_empty() {
             // Cross product.
             for b in &bindings {
-                for t in &candidates[atom_idx] {
+                for t in atom_candidates {
                     let mut nb = b.clone();
                     nb.push(*t);
                     next.push(nb);
@@ -211,7 +211,7 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
             // Hash the new atom's candidate tuples on the join key composed
             // of all predicates' right-hand attributes.
             let mut hashed: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
-            for t in &candidates[atom_idx] {
+            for t in atom_candidates {
                 let tuple = &rel.tuples[*t];
                 let mut key = Vec::with_capacity(preds.len());
                 let mut valid = true;
@@ -408,7 +408,11 @@ mod tests {
             AttrRef::new(a1, attr(&cat, "interpro2go.entry_ac")),
             AttrRef::new(a2, attr(&cat, "entry.entry_ac")),
         );
-        q.add_selection(AttrRef::new(a0, attr(&cat, "go_term.name")), "kinase", false);
+        q.add_selection(
+            AttrRef::new(a0, attr(&cat, "go_term.name")),
+            "kinase",
+            false,
+        );
         q.add_select(AttrRef::new(a2, attr(&cat, "entry.name")));
         let rs = execute(&cat, &q).unwrap();
         // GO:2 joins IPR02 and IPR03 but only IPR02 exists in entry.

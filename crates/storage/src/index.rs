@@ -62,10 +62,7 @@ impl ValueIndex {
                 .entry(norm.clone())
                 .or_default()
                 .insert(attribute);
-            self.by_attribute
-                .entry(attribute)
-                .or_default()
-                .insert(norm);
+            self.by_attribute.entry(attribute).or_default().insert(norm);
         }
     }
 
@@ -89,7 +86,11 @@ impl ValueIndex {
     pub fn overlap(&self, a: AttributeId, b: AttributeId) -> usize {
         match (self.by_attribute.get(&a), self.by_attribute.get(&b)) {
             (Some(sa), Some(sb)) => {
-                let (small, large) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+                let (small, large) = if sa.len() <= sb.len() {
+                    (sa, sb)
+                } else {
+                    (sb, sa)
+                };
                 small.iter().filter(|v| large.contains(*v)).count()
             }
             _ => 0,
@@ -147,12 +148,20 @@ mod tests {
         let c = cat.add_relation(s, "c", &["z"]).unwrap();
         cat.insert_rows(
             a,
-            vec![vec![Value::from("GO:1")], vec![Value::from("GO:2")], vec![Value::from("GO:3")]],
+            vec![
+                vec![Value::from("GO:1")],
+                vec![Value::from("GO:2")],
+                vec![Value::from("GO:3")],
+            ],
         )
         .unwrap();
-        cat.insert_rows(b, vec![vec![Value::from("go:2")], vec![Value::from("GO:3")]])
+        cat.insert_rows(
+            b,
+            vec![vec![Value::from("go:2")], vec![Value::from("GO:3")]],
+        )
+        .unwrap();
+        cat.insert_rows(c, vec![vec![Value::from("other")]])
             .unwrap();
-        cat.insert_rows(c, vec![vec![Value::from("other")]]).unwrap();
         let ax = cat.resolve_qualified("a.x").unwrap();
         let by = cat.resolve_qualified("b.y").unwrap();
         let cz = cat.resolve_qualified("c.z").unwrap();

@@ -146,8 +146,7 @@ mod tests {
     fn interpro_spec() -> SourceSpec {
         SourceSpec::new("interpro")
             .relation(
-                RelationSpec::new("interpro2go", &["go_id", "entry_ac"])
-                    .row(["GO:1", "IPR01"]),
+                RelationSpec::new("interpro2go", &["go_id", "entry_ac"]).row(["GO:1", "IPR01"]),
             )
             .foreign_key("interpro2go.go_id", "go_term.acc")
     }

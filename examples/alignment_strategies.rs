@@ -6,7 +6,9 @@
 
 use q_align::{AlignerConfig, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner};
 use q_core::{QConfig, QSystem};
-use q_datasets::gbco::{declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig};
+use q_datasets::gbco::{
+    declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig,
+};
 use q_matchers::MetadataMatcher;
 use q_storage::ValueIndex;
 
@@ -34,12 +36,22 @@ fn main() {
     let mut q = QSystem::new(catalog, QConfig::default());
     let keywords: Vec<&str> = trial.keywords.iter().map(String::as_str).collect();
     let view_id = q.create_view(&keywords).unwrap();
-    let alpha = q.view(view_id).and_then(|v| v.alpha()).unwrap_or(f64::INFINITY);
+    let alpha = q
+        .view(view_id)
+        .and_then(|v| v.alpha())
+        .unwrap_or(f64::INFINITY);
     let view_nodes = q.view_nodes(view_id);
-    println!("view has {} ranked queries, alpha = {:.3}\n", q.view(view_id).unwrap().queries.len(), alpha);
+    println!(
+        "view has {} ranked queries, alpha = {:.3}\n",
+        q.view(view_id).unwrap().queries.len(),
+        alpha
+    );
 
     let matcher = MetadataMatcher::new();
-    println!("{:<22} {:>12} {:>14} {:>18} {:>12}", "strategy", "matcher_calls", "comparisons", "with_value_filter", "time_us");
+    println!(
+        "{:<22} {:>12} {:>14} {:>18} {:>12}",
+        "strategy", "matcher_calls", "comparisons", "with_value_filter", "time_us"
+    );
     for name in &trial.new_sources {
         let spec = specs.iter().find(|s| &s.name == name).unwrap();
         let mut catalog = q.catalog().clone();
@@ -56,7 +68,13 @@ fn main() {
         let out = ExhaustiveAligner.align(&catalog, &matcher, source, Some(&index), &config);
         print_row("Exhaustive", &out.stats);
         let out = ViewBasedAligner::new(alpha).align(
-            &catalog, &graph, &matcher, source, &view_nodes, Some(&index), &config,
+            &catalog,
+            &graph,
+            &matcher,
+            source,
+            &view_nodes,
+            Some(&index),
+            &config,
         );
         print_row("ViewBasedAligner", &out.stats);
         let out = PreferentialAligner::new(4).align(

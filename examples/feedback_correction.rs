@@ -7,9 +7,7 @@
 
 use std::collections::HashSet;
 
-use q_core::evaluation::{
-    average_edge_costs, gold_target_query, precision_recall_graph, AttrPair,
-};
+use q_core::evaluation::{average_edge_costs, gold_target_query, precision_recall_graph, AttrPair};
 use q_core::{Feedback, QConfig, QSystem};
 use q_datasets::{interpro_go_catalog, interpro_go_gold, interpro_go_queries, InterproGoConfig};
 use q_matchers::{MadMatcher, MetadataMatcher, SchemaMatcher};
@@ -31,7 +29,9 @@ fn main() {
         let others: Vec<_> = relations.iter().copied().filter(|x| x != r).collect();
         metadata_alignments.extend(metadata.match_against(&catalog, *r, &others, 2));
     }
-    let mad_alignments = mad.propagate(&catalog, &[]).top_alignments(&catalog, 2, 0.0);
+    let mad_alignments = mad
+        .propagate(&catalog, &[])
+        .top_alignments(&catalog, 2, 0.0);
 
     let mut q = QSystem::new(catalog, QConfig::default());
     q.add_alignments(&metadata_alignments, "metadata");
@@ -55,7 +55,9 @@ fn main() {
     let mut steps = 0;
     for pass in 0..2 {
         for view_id in &view_ids {
-            let Some(view) = q.view(*view_id) else { continue };
+            let Some(view) = q.view(*view_id) else {
+                continue;
+            };
             let Some(target) = gold_target_query(view, q.graph(), &gold) else {
                 continue;
             };

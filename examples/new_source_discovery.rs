@@ -34,7 +34,9 @@ fn main() {
     q.add_matcher(Box::new(MadMatcher::new()));
 
     // The user's ongoing information need: GO terms of InterPro entries.
-    let view_id = q.create_view(&["term", "entry"]).expect("view creation succeeds");
+    let view_id = q
+        .create_view(&["term", "entry"])
+        .expect("view creation succeeds");
     println!(
         "initial view: {} ranked queries, {} answers (the two tables are not yet linked)",
         q.view(view_id).unwrap().queries.len(),
@@ -42,7 +44,14 @@ fn main() {
     );
 
     // Register the remaining sources one at a time, as a crawler would.
-    for name in ["interpro2go", "entry2pub", "pub", "method", "method2pub", "journal"] {
+    for name in [
+        "interpro2go",
+        "entry2pub",
+        "pub",
+        "method",
+        "method2pub",
+        "journal",
+    ] {
         let spec = specs.iter().find(|s| s.name == name).unwrap().clone();
         let report = q.register_source(&spec).expect("registration succeeds");
         let total_comparisons: usize = report
@@ -66,7 +75,11 @@ fn main() {
         let row: Vec<String> = answer
             .values
             .iter()
-            .map(|v| v.as_ref().map(|v| v.to_string()).unwrap_or_else(|| "-".into()))
+            .map(|v| {
+                v.as_ref()
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into())
+            })
             .collect();
         println!("  [cost {:.3}] {}", answer.cost, row.join(" | "));
     }

@@ -61,14 +61,23 @@ fn main() {
     println!("columns  : {:?}", view.columns);
     println!("queries  : {} ranked join queries", view.queries.len());
     for (i, rq) in view.queries.iter().enumerate() {
-        println!("  #{i}: cost {:.3}, {} atoms, {} joins", rq.cost, rq.query.atoms.len(), rq.query.joins.len());
+        println!(
+            "  #{i}: cost {:.3}, {} atoms, {} joins",
+            rq.cost,
+            rq.query.atoms.len(),
+            rq.query.joins.len()
+        );
     }
     println!("answers  :");
     for answer in &view.answers {
         let row: Vec<String> = answer
             .values
             .iter()
-            .map(|v| v.as_ref().map(|v| v.to_string()).unwrap_or_else(|| "-".into()))
+            .map(|v| {
+                v.as_ref()
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into())
+            })
             .collect();
         println!(
             "  [query #{} cost {:.3}] {}",

@@ -1,0 +1,230 @@
+//! Vendored API-subset stand-in for `rand` 0.8.
+//!
+//! The build environment has no access to crates.io, so this shim implements
+//! exactly the surface the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen_range, gen_bool}` over integer and
+//! float ranges, and `seq::SliceRandom::{choose, shuffle}`.
+//!
+//! The generator is SplitMix64: deterministic for a given seed, statistically
+//! solid for synthetic-dataset generation, and dependency-free. Note the
+//! streams differ from the real `rand::rngs::StdRng` (ChaCha12), so datasets
+//! are reproducible *within* this workspace but not bit-identical to runs
+//! against the registry crate. Swap `[workspace.dependencies]` to the real
+//! crate if cross-implementation reproducibility ever matters.
+
+/// A seedable RNG, as `rand::RngCore` + `SeedableRng` would provide.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Mirror of `rand::SeedableRng`, reduced to the constructor the workspace
+/// uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types a range can draw uniformly; mirror of
+/// `rand::distributions::uniform::SampleUniform` reduced to this shim's
+/// needs. `sample_half_open` draws from `[lo, hi)`, `sample_inclusive` from
+/// `[lo, hi]`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $ty
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_uniform {
+    ($($ty:ty => ($shift:expr, $denom:expr)),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> $shift) as $ty / $denom;
+                lo + unit * (hi - lo)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // For floats the closed/half-open distinction is immaterial
+                // at this shim's precision.
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> $shift) as $ty / $denom;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_uniform!(
+    f64 => (11, (1u64 << 53) as f64),
+    f32 => (40, (1u32 << 24) as f32)
+);
+
+/// Ranges that can be sampled; mirror of
+/// `rand::distributions::uniform::SampleRange`. Blanket impls over
+/// [`SampleUniform`] keep type inference identical to the real crate
+/// (`rng.gen_range(1..5)` infers `i32`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Mirror of `rand::Rng`, reduced to the methods the workspace uses.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable RNG standing in for `rand::rngs::StdRng`.
+    ///
+    /// SplitMix64 (Steele, Lea, Flood — "Fast splittable pseudorandom number
+    /// generators", OOPSLA 2014): one u64 of state, full 2^64 period.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Mirror of `rand::seq::SliceRandom`, reduced to the methods the
+    /// workspace uses.
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2..=4u32);
+            assert!((2..=4).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = [1, 2, 3, 4];
+        assert!(pool.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,23 @@
+//! Vendored API-subset stand-in for `serde`.
+//!
+//! The workspace only uses serde as `#[derive(Serialize, Deserialize)]`
+//! markers on its data types — nothing serializes at runtime yet. Because the
+//! build environment has no access to crates.io, this shim supplies the two
+//! trait names with blanket implementations so that derive bounds and
+//! `use serde::{Deserialize, Serialize}` imports compile unchanged. When a
+//! future PR needs real (de)serialization, point `[workspace.dependencies]`
+//! at the registry crate; no source edits are required.
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented for all
+/// types, so the no-op derive in the `serde_derive` shim is sufficient.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`. Blanket-implemented for
+/// all types, so the no-op derive in the `serde_derive` shim is sufficient.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Vendored no-op stand-in for `serde_derive`.
+//!
+//! The workspace builds in an offline environment, so the real `serde_derive`
+//! cannot be fetched. The sibling `serde` shim provides blanket
+//! implementations of `Serialize` / `Deserialize` for every type, which makes
+//! these derives pure markers: they expand to nothing and exist only so that
+//! `#[derive(Serialize, Deserialize)]` on the workspace's types keeps
+//! compiling unchanged. Swapping the real serde back in requires no source
+//! changes — only the `[workspace.dependencies]` entry.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; the trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; the trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

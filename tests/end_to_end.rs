@@ -4,9 +4,7 @@
 
 use std::collections::HashSet;
 
-use q_core::evaluation::{
-    average_edge_costs, gold_target_query, precision_recall_graph, AttrPair,
-};
+use q_core::evaluation::{average_edge_costs, gold_target_query, precision_recall_graph, AttrPair};
 use q_core::{AlignmentStrategy, Feedback, QConfig, QSystem};
 use q_datasets::{
     interpro_go_catalog, interpro_go_gold, interpro_go_queries, interpro_go_source_specs,
@@ -81,7 +79,9 @@ fn combined_matchers_cover_the_gold_standard_and_feedback_separates_costs() {
         let others: Vec<_> = relations.iter().copied().filter(|x| x != r).collect();
         metadata_alignments.extend(metadata.match_against(&catalog, *r, &others, 2));
     }
-    let mad_alignments = mad.propagate(&catalog, &[]).top_alignments(&catalog, 2, 0.0);
+    let mad_alignments = mad
+        .propagate(&catalog, &[])
+        .top_alignments(&catalog, 2, 0.0);
 
     let mut q = QSystem::new(catalog, QConfig::default());
     q.add_alignments(&metadata_alignments, "metadata");
@@ -111,7 +111,10 @@ fn combined_matchers_cover_the_gold_standard_and_feedback_separates_costs() {
         q.feedback(*view_id, Feedback::Correct { answer }).unwrap();
         applied += 1;
     }
-    assert!(applied >= 3, "expected several feedback opportunities, got {applied}");
+    assert!(
+        applied >= 3,
+        "expected several feedback opportunities, got {applied}"
+    );
 
     // Gold edges end up cheaper on average than non-gold edges (Figure 12's
     // qualitative claim), and all edge costs stay positive.

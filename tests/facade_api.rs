@@ -1,0 +1,68 @@
+//! Guards the public API surface promised by `src/lib.rs`: every workspace
+//! crate must stay reachable through the `q_integration` façade re-exports,
+//! and the top-level convenience re-exports must be enough to stand up a
+//! working `QSystem` without naming any `q_*` crate directly.
+
+use q_integration::{Catalog, Feedback, QConfig, QSystem, RelationSpec, SourceSpec, Value};
+
+/// A two-source catalog, built purely through façade re-exports.
+fn tiny_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    SourceSpec::new("go")
+        .relation(
+            RelationSpec::new("go_term", &["acc", "name"])
+                .row(["GO:0001", "insulin secretion"])
+                .row(["GO:0002", "glucose transport"]),
+        )
+        .load_into(&mut catalog)
+        .unwrap();
+    SourceSpec::new("interpro")
+        .relation(
+            RelationSpec::new("entry2go", &["entry_ac", "go_acc"])
+                .row(["IPR000001", "GO:0001"])
+                .row(["IPR000002", "GO:0002"]),
+        )
+        .load_into(&mut catalog)
+        .unwrap();
+    catalog
+}
+
+#[test]
+fn facade_reexports_support_the_full_pipeline() {
+    let mut q = QSystem::new(tiny_catalog(), QConfig::default());
+    q.add_matcher(Box::new(q_integration::matchers::MetadataMatcher::new()));
+    q.add_matcher(Box::new(q_integration::matchers::MadMatcher::new()));
+
+    let view_id = q.create_view(&["insulin", "secretion"]).unwrap();
+    let view = q.view(view_id).expect("view exists");
+    assert!(
+        view.answer_count() > 0,
+        "keyword view over the loaded catalog should produce answers"
+    );
+
+    // Feedback through the façade type keeps the system consistent.
+    q.feedback(view_id, Feedback::Correct { answer: 0 })
+        .unwrap();
+    assert!(q.view(view_id).is_some());
+}
+
+#[test]
+fn facade_value_construction_matches_storage() {
+    // `Value` re-export is the storage crate's type, not a copy.
+    let v: Value = Value::from("GO:0001");
+    let w: q_integration::storage::Value = Value::from("GO:0001");
+    assert_eq!(v, w);
+}
+
+#[test]
+fn every_workspace_crate_is_reachable_through_the_facade() {
+    // One symbol per re-exported module; a removed module or renamed
+    // re-export fails this test at compile time.
+    let _storage = q_integration::storage::Catalog::new();
+    let _graph = q_integration::graph::SearchGraph::new();
+    let _matchers = q_integration::matchers::MetadataMatcher::new();
+    let _align = q_integration::align::AlignerConfig::default();
+    let _learn = q_integration::learn::Mira::new();
+    let _core = q_integration::core::QConfig::default();
+    let _datasets = q_integration::datasets::GbcoConfig::default();
+}

@@ -52,8 +52,11 @@ impl GraphView for RandomGraph {
 
 fn random_graph() -> impl Strategy<Value = RandomGraph> {
     // 4..10 nodes, a ring to keep it connected, plus random chords.
-    (4usize..10, proptest::collection::vec((0u32..10, 0u32..10, 0.1f64..3.0), 0..12)).prop_map(
-        |(n, chords)| {
+    (
+        4usize..10,
+        proptest::collection::vec((0u32..10, 0u32..10, 0.1f64..3.0), 0..12),
+    )
+        .prop_map(|(n, chords)| {
             let mut edges: Vec<(u32, u32, f64)> = (0..n as u32)
                 .map(|i| (i, (i + 1) % n as u32, 1.0))
                 .collect();
@@ -65,8 +68,7 @@ fn random_graph() -> impl Strategy<Value = RandomGraph> {
                 }
             }
             RandomGraph { n, edges }
-        },
-    )
+        })
 }
 
 proptest! {
