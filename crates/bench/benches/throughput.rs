@@ -1,0 +1,66 @@
+//! Criterion bench for the batched, cached query-serving path: the GBCO
+//! trial workload answered sequentially without a cache (the pre-CSR/cache
+//! baseline), batched cold, and batched warm. Full-size numbers come from
+//! `cargo run --release -p q-bench --bin experiments -- throughput`, which
+//! also writes `BENCH_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use q_core::{BatchOptions, QConfig, QSystem};
+use q_datasets::{gbco_catalog, gbco_trials, GbcoConfig};
+
+fn small_gbco() -> GbcoConfig {
+    GbcoConfig {
+        rows_per_table: 15,
+        seed: 17,
+    }
+}
+
+fn workload(repeats: usize) -> Vec<Vec<String>> {
+    let trials = gbco_trials();
+    let mut out = Vec::new();
+    for _ in 0..repeats {
+        out.extend(trials.iter().map(|t| t.keywords.clone()));
+    }
+    out
+}
+
+fn sequential_uncached(c: &mut Criterion) {
+    let q = QSystem::new(gbco_catalog(&small_gbco()), QConfig::default());
+    let queries = workload(2);
+    c.bench_function("throughput/sequential_uncached", |b| {
+        b.iter(|| {
+            for kws in &queries {
+                let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+                q.run_query_uncached(&refs).expect("query answers");
+            }
+        })
+    });
+}
+
+fn batched_cold(c: &mut Criterion) {
+    let queries = workload(2);
+    c.bench_function("throughput/batched_cold_cache", |b| {
+        b.iter(|| {
+            // Fresh system per iteration so the cache really is cold.
+            let mut q = QSystem::new(gbco_catalog(&small_gbco()), QConfig::default());
+            q.run_queries_batch(&queries, &BatchOptions::default())
+        })
+    });
+}
+
+fn batched_warm(c: &mut Criterion) {
+    let mut q = QSystem::new(gbco_catalog(&small_gbco()), QConfig::default());
+    let queries = workload(2);
+    q.run_queries_batch(&queries, &BatchOptions::default());
+    c.bench_function("throughput/batched_warm_cache", |b| {
+        b.iter(|| q.run_queries_batch(&queries, &BatchOptions::default()))
+    });
+}
+
+criterion_group!(
+    name = throughput;
+    config = Criterion::default().sample_size(10);
+    targets = sequential_uncached, batched_cold, batched_warm
+);
+criterion_main!(throughput);

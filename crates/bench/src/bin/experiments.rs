@@ -1,11 +1,15 @@
 //! Command-line experiment runner: regenerates every table and figure of the
-//! paper's evaluation section.
+//! paper's evaluation section, plus the post-paper throughput experiment.
 //!
-//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|all]`
+//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|all]`
+//!
+//! `throughput` (and its reduced CI variant `throughput-smoke`) additionally
+//! writes `BENCH_throughput.json` to the current directory.
 
 use q_bench::{
     run_aligner_experiment, run_learning_experiment, run_matcher_quality, run_scaling_experiment,
-    AlignerExperimentConfig, LearningConfig, MatcherQualityConfig, ScalingExperimentConfig,
+    run_throughput_experiment, AlignerExperimentConfig, LearningConfig, MatcherQualityConfig,
+    ScalingExperimentConfig, ThroughputConfig,
 };
 
 fn main() {
@@ -19,17 +23,60 @@ fn main() {
         "fig11" => learning(&["fig11"]),
         "fig12" => learning(&["fig12"]),
         "table2" => learning(&["table2"]),
+        "throughput" => throughput(&ThroughputConfig::default()),
+        "throughput-smoke" => throughput(&ThroughputConfig::smoke()),
         "all" => {
             fig6_7(true, true);
             fig8();
             table1();
             learning(&["fig10", "fig11", "fig12", "table2"]);
+            throughput(&ThroughputConfig::default());
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("expected one of: fig6 fig7 fig8 table1 fig10 fig11 fig12 table2 all");
+            eprintln!(
+                "expected one of: fig6 fig7 fig8 table1 fig10 fig11 fig12 table2 \
+                 throughput throughput-smoke all"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+fn throughput(config: &ThroughputConfig) {
+    let result = run_throughput_experiment(config);
+    println!("== Throughput: batched + cached query serving over the GBCO workload ==");
+    println!(
+        "workload: {} queries ({} distinct), {} workers",
+        result.queries, result.distinct_queries, result.workers
+    );
+    println!("serving path                time_ms     speedup");
+    println!(
+        "sequential, no cache     {:>10.3}        1.00",
+        result.sequential_cold.as_secs_f64() * 1e3
+    );
+    println!(
+        "batched, cold cache      {:>10.3}   {:>9.2}",
+        result.batched_cold.as_secs_f64() * 1e3,
+        result.batch_speedup
+    );
+    println!(
+        "batched, warm cache      {:>10.3}   {:>9.2}",
+        result.warm_cache.as_secs_f64() * 1e3,
+        result.warm_speedup
+    );
+    println!(
+        "deterministic across worker counts: {}",
+        result.deterministic
+    );
+    let json = result.to_json(config);
+    let path = "BENCH_throughput.json";
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+    println!();
+    if !result.deterministic {
+        eprintln!("FATAL: batched execution diverged from the sequential baseline");
+        std::process::exit(1);
     }
 }
 

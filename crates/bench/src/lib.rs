@@ -10,6 +10,7 @@ pub mod aligners;
 pub mod learning;
 pub mod matchers;
 pub mod scaling;
+pub mod throughput;
 
 pub use aligners::{
     run_aligner_experiment, AlignerExperimentConfig, AlignerExperimentResult, StrategyMeasurement,
@@ -19,3 +20,4 @@ pub use matchers::{
     run_matcher_quality, MatcherQualityConfig, MatcherQualityResult, MatcherQualityRow,
 };
 pub use scaling::{run_scaling_experiment, ScalingExperimentConfig, ScalingPoint, ScalingResult};
+pub use throughput::{run_throughput_experiment, ThroughputConfig, ThroughputResult};

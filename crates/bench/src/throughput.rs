@@ -1,0 +1,283 @@
+//! Query-serving throughput over the GBCO workload: sequential-uncached
+//! (the pre-cache, pre-batch serving path) vs batched over scoped workers vs
+//! a fully warm cache.
+//!
+//! This is the experiment behind `BENCH_throughput.json`: the CI smoke step
+//! runs it in a reduced configuration and fails when the file is absent or
+//! malformed, and the full-size numbers land in the JSON for the README's
+//! bench instructions. The workload is the 16 GBCO trial keyword queries
+//! (Section 5.1's query log), each repeated `repeats` times — repeats model
+//! the production query-log shape where the same views are requested over
+//! and over, which is precisely what the weight-epoch cache exploits.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use q_core::{BatchOptions, QConfig, QSystem};
+use q_datasets::{gbco_catalog, gbco_trials, GbcoConfig};
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputConfig {
+    /// GBCO generator configuration.
+    pub gbco: GbcoConfig,
+    /// How many times the 16-query trial workload is replayed.
+    pub repeats: usize,
+    /// Worker threads for the batched run (`0` = available parallelism).
+    pub workers: usize,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            gbco: GbcoConfig::default(),
+            repeats: 4,
+            workers: 0,
+        }
+    }
+}
+
+impl ThroughputConfig {
+    /// Reduced configuration for the CI smoke run: small tables, one
+    /// repeat beyond the distinct set, bounded workers.
+    pub fn smoke() -> Self {
+        ThroughputConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 15,
+                seed: 17,
+            },
+            repeats: 2,
+            workers: 4,
+        }
+    }
+}
+
+/// Measured result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputResult {
+    /// Total workload size (queries answered, including repeats).
+    pub queries: usize,
+    /// Distinct queries in the workload.
+    pub distinct_queries: usize,
+    /// Worker threads the batched runs actually used.
+    pub workers: usize,
+    /// Sequential serving with no cache: every query recomputed.
+    pub sequential_cold: Duration,
+    /// One `run_queries_batch` call on a cold cache.
+    pub batched_cold: Duration,
+    /// A second `run_queries_batch` call: all hits.
+    pub warm_cache: Duration,
+    /// `sequential_cold / batched_cold`.
+    pub batch_speedup: f64,
+    /// `sequential_cold / warm_cache`.
+    pub warm_speedup: f64,
+    /// Batched answers (any worker count) byte-identical to the sequential
+    /// baseline's, and the single-worker batch identical to the multi-worker
+    /// batch.
+    pub deterministic: bool,
+    /// Cache hits over both batched runs.
+    pub cache_hits: u64,
+    /// Cache misses over both batched runs.
+    pub cache_misses: u64,
+}
+
+fn ratio(baseline: Duration, measured: Duration) -> f64 {
+    let b = baseline.as_secs_f64();
+    let m = measured.as_secs_f64();
+    if m > 0.0 {
+        b / m
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Run the throughput experiment.
+pub fn run_throughput_experiment(config: &ThroughputConfig) -> ThroughputResult {
+    let catalog = gbco_catalog(&config.gbco);
+    let mut q = QSystem::new(catalog, QConfig::default());
+
+    let trials = gbco_trials();
+    let mut workload: Vec<Vec<String>> = Vec::new();
+    for _ in 0..config.repeats.max(1) {
+        workload.extend(trials.iter().map(|t| t.keywords.clone()));
+    }
+    let distinct_queries = trials.len();
+
+    // Pre-PR baseline: sequential, no cache, every repeat recomputed. The
+    // timed window covers only the query computation — the Debug rendering
+    // the determinism check needs happens outside it, keeping the baseline
+    // comparable to the (render-free) batched windows below.
+    let start = Instant::now();
+    let sequential_views: Vec<_> = workload
+        .iter()
+        .map(|kws| {
+            let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+            q.run_query_uncached(&refs).expect("query answers")
+        })
+        .collect();
+    let sequential_cold = start.elapsed();
+    let sequential: Vec<String> = sequential_views.iter().map(|v| format!("{v:?}")).collect();
+
+    // Batched over scoped workers, cold cache.
+    let start = Instant::now();
+    let cold = q.run_queries_batch(
+        &workload,
+        &BatchOptions {
+            workers: config.workers,
+        },
+    );
+    let batched_cold = start.elapsed();
+
+    // Same batch again: every query is a cache hit.
+    let start = Instant::now();
+    let warm = q.run_queries_batch(
+        &workload,
+        &BatchOptions {
+            workers: config.workers,
+        },
+    );
+    let warm_cache = start.elapsed();
+
+    // Determinism: batched == sequential per slot, and a single-worker rerun
+    // on a fresh system matches the multi-worker cold run byte for byte.
+    let mut q_single = QSystem::new(gbco_catalog(&config.gbco), QConfig::default());
+    let single = q_single.run_queries_batch(&workload, &BatchOptions { workers: 1 });
+    let render = |r: &Result<std::sync::Arc<q_core::RankedView>, q_core::QError>| {
+        format!("{:?}", **r.as_ref().expect("query answers"))
+    };
+    let deterministic = cold
+        .results
+        .iter()
+        .zip(&sequential)
+        .all(|(b, s)| render(b) == *s)
+        && cold
+            .results
+            .iter()
+            .zip(&single.results)
+            .all(|(a, b)| render(a) == render(b))
+        && warm
+            .results
+            .iter()
+            .zip(&cold.results)
+            .all(|(a, b)| render(a) == render(b));
+
+    ThroughputResult {
+        queries: workload.len(),
+        distinct_queries,
+        workers: cold.workers,
+        sequential_cold,
+        batched_cold,
+        warm_cache,
+        batch_speedup: ratio(sequential_cold, batched_cold),
+        warm_speedup: ratio(sequential_cold, warm_cache),
+        deterministic,
+        cache_hits: (cold.cache_hits + warm.cache_hits) as u64,
+        cache_misses: (cold.cache_misses + warm.cache_misses) as u64,
+    }
+}
+
+impl ThroughputResult {
+    /// Serialise to the `BENCH_throughput.json` schema (hand-rolled: the
+    /// vendored serde shim has no JSON backend). Keys are stable — the CI
+    /// smoke step asserts their presence.
+    pub fn to_json(&self, config: &ThroughputConfig) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"throughput\",\n",
+                "  \"workload\": \"gbco_trials\",\n",
+                "  \"gbco_rows_per_table\": {},\n",
+                "  \"gbco_seed\": {},\n",
+                "  \"queries\": {},\n",
+                "  \"distinct_queries\": {},\n",
+                "  \"workers\": {},\n",
+                "  \"sequential_cold_ms\": {:.3},\n",
+                "  \"batched_cold_ms\": {:.3},\n",
+                "  \"warm_cache_ms\": {:.3},\n",
+                "  \"batch_speedup\": {:.3},\n",
+                "  \"warm_speedup\": {:.3},\n",
+                "  \"deterministic\": {},\n",
+                "  \"cache_hits\": {},\n",
+                "  \"cache_misses\": {}\n",
+                "}}\n"
+            ),
+            config.gbco.rows_per_table,
+            config.gbco.seed,
+            self.queries,
+            self.distinct_queries,
+            self.workers,
+            ms(self.sequential_cold),
+            ms(self.batched_cold),
+            ms(self.warm_cache),
+            self.batch_speedup,
+            self.warm_speedup,
+            self.deterministic,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_configuration_is_deterministic_and_caches() {
+        let config = ThroughputConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 12,
+                seed: 17,
+            },
+            repeats: 2,
+            workers: 2,
+        };
+        let result = run_throughput_experiment(&config);
+        assert_eq!(result.queries, 32);
+        assert_eq!(result.distinct_queries, 16);
+        assert!(result.deterministic, "batched answers diverged");
+        // Cold run: 16 misses + 16 in-batch duplicate hits; warm run: 32
+        // hits.
+        assert_eq!(result.cache_misses, 16);
+        assert_eq!(result.cache_hits, 48);
+        assert!(result.warm_speedup >= result.batch_speedup * 0.5);
+    }
+
+    #[test]
+    fn json_has_the_contracted_keys() {
+        let config = ThroughputConfig::smoke();
+        let result = ThroughputResult {
+            queries: 32,
+            distinct_queries: 16,
+            workers: 4,
+            sequential_cold: Duration::from_millis(100),
+            batched_cold: Duration::from_millis(20),
+            warm_cache: Duration::from_millis(1),
+            batch_speedup: 5.0,
+            warm_speedup: 100.0,
+            deterministic: true,
+            cache_hits: 48,
+            cache_misses: 16,
+        };
+        let json = result.to_json(&config);
+        for key in [
+            "\"experiment\"",
+            "\"queries\"",
+            "\"distinct_queries\"",
+            "\"workers\"",
+            "\"sequential_cold_ms\"",
+            "\"batched_cold_ms\"",
+            "\"warm_cache_ms\"",
+            "\"batch_speedup\"",
+            "\"warm_speedup\"",
+            "\"deterministic\"",
+            "\"cache_hits\"",
+            "\"cache_misses\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Weight-epoch-keyed answer cache.
+//!
+//! Every answer a Q view serves is a pure function of (the keyword query,
+//! the search graph's topology, the edge-cost weights). The search graph
+//! collapses the last two into one monotone counter — its *weight epoch*,
+//! bumped by every MIRA re-pricing and every topology change (see
+//! [`SearchGraph::weight_epoch`](q_graph::SearchGraph::weight_epoch)). The
+//! cache therefore keys entries on `(normalized keywords, epoch)`: feedback
+//! bumps the epoch, which invalidates exactly the entries priced under the
+//! old weights, and nothing else ever needs invalidating.
+//!
+//! Since all live entries share the current epoch, the key stores only the
+//! keywords and the whole map is cleared when the epoch moves — the
+//! cache-coherence rule is "stale epoch ⇒ empty cache", which is trivially
+//! audit-able and cheap.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::answer::RankedView;
+
+/// Normalise a keyword query into its cache key: per-keyword trim +
+/// lowercase (exactly what [`KeywordIndex`](q_graph::KeywordIndex) does to a
+/// keyword before matching), order and arity preserved. Order determines
+/// view column order and every keyword — even a blank one — becomes a
+/// Steiner terminal (a blank keyword matches nothing, leaving its terminal
+/// unreachable and the view empty), so both are part of the key.
+///
+/// Two spellings with equal keys produce identical ranked answers; only the
+/// verbatim `keywords` echo in the cached [`RankedView`] may differ.
+pub fn normalize_keywords(keywords: &[&str]) -> Vec<String> {
+    keywords.iter().map(|k| k.trim().to_lowercase()).collect()
+}
+
+/// Answer cache for the query path. See the module docs for the coherence
+/// rule; capacity-bounded with FIFO eviction (the workloads Q serves repeat
+/// whole query sets, where FIFO and LRU behave identically and FIFO needs no
+/// bookkeeping on hits).
+#[derive(Debug, Clone)]
+pub struct QueryCache {
+    epoch: u64,
+    entries: HashMap<Vec<String>, Arc<RankedView>>,
+    insertion_order: VecDeque<Vec<String>>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+/// Default maximum number of cached views.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl QueryCache {
+    /// Cache holding at most `capacity` views (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        QueryCache {
+            epoch: 0,
+            entries: HashMap::new(),
+            insertion_order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Align the cache with the graph's current weight epoch, dropping every
+    /// entry priced under an older one. Callers do this before any lookup.
+    pub fn sync_epoch(&mut self, current: u64) {
+        if self.epoch != current {
+            self.invalidations += self.entries.len() as u64;
+            self.entries.clear();
+            self.insertion_order.clear();
+            self.epoch = current;
+        }
+    }
+
+    /// Look up a normalized query, counting the hit or miss.
+    pub fn get(&mut self, key: &[String]) -> Option<Arc<RankedView>> {
+        match self.entries.get(key) {
+            Some(view) => {
+                self.hits += 1;
+                Some(Arc::clone(view))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a computed view under a normalized key, evicting the oldest
+    /// entry when full.
+    pub fn insert(&mut self, key: Vec<String>, view: Arc<RankedView>) {
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = view;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            let Some(oldest) = self.insertion_order.pop_front() else {
+                break;
+            };
+            self.entries.remove(&oldest);
+        }
+        self.insertion_order.push_back(key.clone());
+        self.entries.insert(key, view);
+    }
+
+    /// Epoch the live entries were computed under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a fresh computation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped by epoch invalidation (not capacity eviction).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(tag: &str) -> Arc<RankedView> {
+        Arc::new(RankedView {
+            keywords: vec![tag.to_string()],
+            ..RankedView::default()
+        })
+    }
+
+    #[test]
+    fn normalization_trims_lowercases_and_keeps_order_and_arity() {
+        assert_eq!(
+            normalize_keywords(&["  Plasma ", "MEMBRANE", "", "entry"]),
+            vec!["plasma", "membrane", "", "entry"]
+        );
+        // Order is part of the key.
+        assert_ne!(
+            normalize_keywords(&["a", "b"]),
+            normalize_keywords(&["b", "a"])
+        );
+        // So is arity: a blank keyword still adds an (unreachable) Steiner
+        // terminal, which empties the view — it must not share a key with
+        // the query that lacks it.
+        assert_ne!(normalize_keywords(&["a", "  "]), normalize_keywords(&["a"]));
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(3);
+        let key = normalize_keywords(&["plasma membrane"]);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), view("v"));
+        let got = cache.get(&key).expect("cached");
+        assert_eq!(got.keywords, vec!["v"]);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn epoch_move_invalidates_everything() {
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(1);
+        cache.insert(normalize_keywords(&["a"]), view("a"));
+        cache.insert(normalize_keywords(&["b"]), view("b"));
+        cache.sync_epoch(2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidations(), 2);
+        assert_eq!(cache.epoch(), 2);
+        // Same epoch: nothing dropped.
+        cache.insert(normalize_keywords(&["c"]), view("c"));
+        cache.sync_epoch(2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut cache = QueryCache::with_capacity(2);
+        cache.insert(normalize_keywords(&["a"]), view("a"));
+        cache.insert(normalize_keywords(&["b"]), view("b"));
+        cache.insert(normalize_keywords(&["c"]), view("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&normalize_keywords(&["a"])).is_none());
+        assert!(cache.get(&normalize_keywords(&["b"])).is_some());
+        assert!(cache.get(&normalize_keywords(&["c"])).is_some());
+    }
+}

@@ -23,6 +23,7 @@
 //! the paper's Section 5.2 experiments.
 
 pub mod answer;
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod evaluation;
@@ -31,6 +32,7 @@ pub mod system;
 pub mod translate;
 
 pub use answer::{Answer, RankedQuery, RankedView, ViewId};
+pub use cache::{normalize_keywords, QueryCache};
 pub use config::{AlignmentStrategy, QConfig};
 pub use error::QError;
 pub use evaluation::{
@@ -38,4 +40,4 @@ pub use evaluation::{
     EdgeCostSummary, PrPoint,
 };
 pub use feedback::{Feedback, FeedbackOutcome};
-pub use system::{QSystem, RegistrationReport};
+pub use system::{BatchOptions, BatchReport, QSystem, RegistrationReport};

@@ -1,4 +1,8 @@
-//! The `QSystem` façade: view creation, source registration and feedback.
+//! The `QSystem` façade: view creation, source registration, feedback and
+//! the cached, batched query-serving path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -6,12 +10,16 @@ use q_align::{
     AlignerConfig, AlignmentStats, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner,
 };
 use q_graph::keyword::MatchTarget;
-use q_graph::{approx_top_k, KeywordIndex, NodeId, QueryGraph, SearchGraph, SteinerConfig};
+use q_graph::{
+    approx_top_k, approx_top_k_with, KeywordIndex, NodeId, QueryGraph, SearchGraph, SteinerConfig,
+    SteinerScratch,
+};
 use q_learn::{constraints_from_candidates, enforce_positive_costs, Mira};
 use q_matchers::{AttributeAlignment, SchemaMatcher};
 use q_storage::{AttributeId, Catalog, SourceId, SourceSpec, ValueIndex};
 
 use crate::answer::{RankedQuery, RankedView, ViewId};
+use crate::cache::{normalize_keywords, QueryCache};
 use crate::config::{AlignmentStrategy, QConfig};
 use crate::error::QError;
 use crate::feedback::{Feedback, FeedbackOutcome};
@@ -30,6 +38,30 @@ pub struct RegistrationReport {
     pub refreshed_views: Vec<ViewId>,
 }
 
+/// Options for [`QSystem::run_queries_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchOptions {
+    /// Worker threads answering cache misses. `0` (the default) uses the
+    /// machine's available parallelism. Results are deterministic regardless
+    /// of the value — workers only change wall-clock time.
+    pub workers: usize,
+}
+
+/// Outcome of [`QSystem::run_queries_batch`]: one result per workload query,
+/// in workload order.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query ranked views, in the order the workload listed them.
+    pub results: Vec<Result<Arc<RankedView>, QError>>,
+    /// Queries served from the cache as the batch started (duplicates of an
+    /// earlier in-batch query count here too: they are answered once).
+    pub cache_hits: usize,
+    /// Distinct queries that had to be computed.
+    pub cache_misses: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
 /// The Q data-integration system (Figure 1 of the paper).
 pub struct QSystem {
     catalog: Catalog,
@@ -40,6 +72,7 @@ pub struct QSystem {
     matchers: Vec<Box<dyn SchemaMatcher>>,
     views: Vec<RankedView>,
     mira: Mira,
+    cache: QueryCache,
 }
 
 impl QSystem {
@@ -59,6 +92,7 @@ impl QSystem {
             matchers: Vec::new(),
             views: Vec::new(),
             mira: Mira::new(),
+            cache: QueryCache::default(),
         }
     }
 
@@ -148,43 +182,170 @@ impl QSystem {
     }
 
     fn compute_view(&self, keywords: &[&str]) -> Result<RankedView, QError> {
-        let query_graph = QueryGraph::build(
-            &self.graph,
-            &self.keyword_index,
-            keywords,
-            &self.config.match_config,
-        );
-        let terminals = query_graph.terminals();
-        let steiner = SteinerConfig {
-            k: self.config.top_k,
-            ..self.config.steiner
-        };
-        let trees = approx_top_k(&query_graph, &terminals, &steiner);
-        let mut queries: Vec<RankedQuery> = Vec::new();
-        for tree in trees {
-            if let Some(query) = tree_to_query(&self.catalog, &query_graph, &tree) {
-                queries.push(RankedQuery {
-                    cost: tree.cost,
-                    tree,
-                    query,
-                });
-            }
-        }
-        queries.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
-        let (columns, column_sources, answers) = materialize_view(
+        answer_keywords(
             &self.catalog,
             &self.graph,
-            &queries,
-            self.config.column_merge_threshold,
-            self.config.max_answers,
-        )?;
-        Ok(RankedView {
-            keywords: keywords.iter().map(|s| s.to_string()).collect(),
-            columns,
-            column_sources,
-            queries,
-            answers,
-        })
+            &self.keyword_index,
+            &self.config,
+            keywords,
+            &mut SteinerScratch::default(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Cached, batched query serving
+    // ------------------------------------------------------------------
+
+    /// Answer a keyword query through the weight-epoch-keyed cache: a repeat
+    /// of a query under unchanged weights returns the cached ranked view; any
+    /// re-pricing or topology change bumps the graph's epoch and the query is
+    /// recomputed. Unlike [`QSystem::create_view`] this registers no
+    /// persistent view.
+    pub fn run_query_cached(&mut self, keywords: &[&str]) -> Result<Arc<RankedView>, QError> {
+        self.cache.sync_epoch(self.graph.weight_epoch());
+        let key = normalize_keywords(keywords);
+        if let Some(view) = self.cache.get(&key) {
+            return Ok(view);
+        }
+        let view = Arc::new(self.compute_view(keywords)?);
+        self.cache.insert(key, Arc::clone(&view));
+        Ok(view)
+    }
+
+    /// Answer a workload of keyword queries, filling cache misses across
+    /// `std::thread::scope` workers. Results come back in workload order and
+    /// are byte-identical to answering each query sequentially, regardless of
+    /// worker count: each distinct query is computed exactly once by a pure
+    /// function of the (immutable during the batch) graph, and written to its
+    /// own slot.
+    pub fn run_queries_batch(
+        &mut self,
+        workload: &[Vec<String>],
+        options: &BatchOptions,
+    ) -> BatchReport {
+        self.cache.sync_epoch(self.graph.weight_epoch());
+
+        // Resolve each workload entry against the cache; collect the
+        // distinct misses (first occurrence wins, duplicates share it).
+        let keys: Vec<Vec<String>> = workload
+            .iter()
+            .map(|kws| {
+                let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+                normalize_keywords(&refs)
+            })
+            .collect();
+        let mut results: Vec<Option<Result<Arc<RankedView>, QError>>> = vec![None; workload.len()];
+        let mut miss_queries: Vec<Vec<String>> = Vec::new();
+        let mut miss_of: Vec<Option<usize>> = vec![None; workload.len()];
+        let mut first_miss: HashMap<&[String], usize> = HashMap::new();
+        let mut cache_hits = 0usize;
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(&first) = first_miss.get(key.as_slice()) {
+                // Duplicate of an earlier in-batch miss: computed once, and
+                // the cache's own counters see only the first occurrence.
+                miss_of[i] = Some(first);
+                cache_hits += 1;
+            } else if let Some(view) = self.cache.get(key) {
+                results[i] = Some(Ok(view));
+                cache_hits += 1;
+            } else {
+                first_miss.insert(key.as_slice(), miss_queries.len());
+                miss_of[i] = Some(miss_queries.len());
+                miss_queries.push(workload[i].clone());
+            }
+        }
+
+        let workers = match options.workers {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            w => w,
+        }
+        .min(miss_queries.len())
+        .max(1);
+
+        // Fan the misses out over scoped workers on a strided schedule; each
+        // worker reuses one Steiner scratch across its queries and returns
+        // `(miss index, result)` pairs, so no slot is written twice and the
+        // merged outcome is independent of scheduling. A fully-warm batch
+        // skips the scope entirely.
+        let catalog = &self.catalog;
+        let graph = &self.graph;
+        let keyword_index = &self.keyword_index;
+        let config = &self.config;
+        let mut computed: Vec<Option<Result<RankedView, QError>>> = vec![None; miss_queries.len()];
+        if !miss_queries.is_empty() {
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let miss_queries = &miss_queries;
+                    handles.push(s.spawn(move || {
+                        let mut scratch = SteinerScratch::default();
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < miss_queries.len() {
+                            let refs: Vec<&str> =
+                                miss_queries[i].iter().map(String::as_str).collect();
+                            out.push((
+                                i,
+                                answer_keywords(
+                                    catalog,
+                                    graph,
+                                    keyword_index,
+                                    config,
+                                    &refs,
+                                    &mut scratch,
+                                ),
+                            ));
+                            i += workers;
+                        }
+                        out
+                    }));
+                }
+                for handle in handles {
+                    for (i, result) in handle.join().expect("batch worker panicked") {
+                        computed[i] = Some(result);
+                    }
+                }
+            });
+        }
+
+        // Cache the fresh views and resolve every slot in workload order.
+        let computed: Vec<Result<Arc<RankedView>, QError>> = computed
+            .into_iter()
+            .map(|r| r.expect("every miss computed").map(Arc::new))
+            .collect();
+        for (m, result) in computed.iter().enumerate() {
+            if let Ok(view) = result {
+                let refs: Vec<&str> = miss_queries[m].iter().map(String::as_str).collect();
+                self.cache
+                    .insert(normalize_keywords(&refs), Arc::clone(view));
+            }
+        }
+        let results = results
+            .into_iter()
+            .zip(miss_of)
+            .map(|(slot, miss)| match slot {
+                Some(r) => r,
+                None => computed[miss.expect("slot is hit or miss")].clone(),
+            })
+            .collect();
+        BatchReport {
+            results,
+            cache_hits,
+            cache_misses: miss_queries.len(),
+            workers,
+        }
+    }
+
+    /// Answer a keyword query bypassing the cache: every call recomputes
+    /// from scratch. This is the pre-cache serving behaviour, kept as the
+    /// baseline the throughput experiment measures against.
+    pub fn run_query_uncached(&self, keywords: &[&str]) -> Result<RankedView, QError> {
+        self.compute_view(keywords)
+    }
+
+    /// The answer cache and its statistics.
+    pub fn query_cache(&self) -> &QueryCache {
+        &self.cache
     }
 
     /// Search-graph nodes matched by a view's keywords (value matches map to
@@ -441,6 +602,53 @@ impl QSystem {
     }
 }
 
+/// Answer one keyword query against a frozen snapshot of the system: build
+/// the query graph, run the top-k Steiner search (into the caller's scratch
+/// buffers), translate trees to conjunctive queries and materialise the
+/// ranked view. Pure in its inputs — the batch path calls this from worker
+/// threads holding only shared references.
+fn answer_keywords(
+    catalog: &Catalog,
+    graph: &SearchGraph,
+    keyword_index: &KeywordIndex,
+    config: &QConfig,
+    keywords: &[&str],
+    scratch: &mut SteinerScratch,
+) -> Result<RankedView, QError> {
+    let query_graph = QueryGraph::build(graph, keyword_index, keywords, &config.match_config);
+    let terminals = query_graph.terminals();
+    let steiner = SteinerConfig {
+        k: config.top_k,
+        ..config.steiner
+    };
+    let trees = approx_top_k_with(&query_graph, &terminals, &steiner, scratch);
+    let mut queries: Vec<RankedQuery> = Vec::new();
+    for tree in trees {
+        if let Some(query) = tree_to_query(catalog, &query_graph, &tree) {
+            queries.push(RankedQuery {
+                cost: tree.cost,
+                tree,
+                query,
+            });
+        }
+    }
+    queries.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    let (columns, column_sources, answers) = materialize_view(
+        catalog,
+        graph,
+        &queries,
+        config.column_merge_threshold,
+        config.max_answers,
+    )?;
+    Ok(RankedView {
+        keywords: keywords.iter().map(|s| s.to_string()).collect(),
+        columns,
+        column_sources,
+        queries,
+        answers,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,6 +855,121 @@ mod tests {
             q.feedback(99, Feedback::Correct { answer: 0 }).unwrap_err(),
             QError::UnknownView(99)
         ));
+    }
+
+    #[test]
+    fn cached_query_hits_on_normalized_repeats() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        q.add_manual_association(acc, go_id, 0.95);
+
+        let v1 = q.run_query_cached(&["plasma membrane", "entry"]).unwrap();
+        assert!(!v1.answers.is_empty());
+        // Case / whitespace variants normalise to the same key: served from
+        // the cache, same allocation.
+        let v2 = q
+            .run_query_cached(&["  Plasma Membrane ", "ENTRY"])
+            .unwrap();
+        assert!(Arc::ptr_eq(&v1, &v2));
+        assert_eq!(q.query_cache().hits(), 1);
+        assert_eq!(q.query_cache().misses(), 1);
+        // A different query is its own entry.
+        let v3 = q.run_query_cached(&["kinase activity"]).unwrap();
+        assert!(!Arc::ptr_eq(&v1, &v3));
+        assert_eq!(q.query_cache().len(), 2);
+        // A blank extra keyword adds an unreachable Steiner terminal and
+        // empties the view — it must be a distinct cache entry, not a hit
+        // on the two-keyword query.
+        let v4 = q
+            .run_query_cached(&["plasma membrane", "entry", "  "])
+            .unwrap();
+        assert!(!Arc::ptr_eq(&v1, &v4));
+        assert!(v4.answers.is_empty());
+        assert_eq!(q.query_cache().len(), 3);
+    }
+
+    #[test]
+    fn feedback_repricing_invalidates_the_cache_and_recomputes_costs() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        let entry_name = q.catalog().resolve_qualified("entry.name").unwrap();
+        let term_name = q.catalog().resolve_qualified("go_term.name").unwrap();
+        q.add_manual_association(acc, go_id, 0.9);
+        q.graph_mut()
+            .add_association(term_name, entry_name, "metadata", 0.9);
+
+        let keywords = ["plasma membrane", "entry"];
+        let before = q.run_query_cached(&keywords).unwrap();
+        assert!(before.queries.len() >= 2, "need alternative trees");
+
+        // MIRA re-prices association edges through a persistent view.
+        let view_id = q.create_view(&keywords).unwrap();
+        q.feedback(view_id, Feedback::Correct { answer: 0 })
+            .unwrap();
+
+        // The repeat must miss (epoch moved) and reflect the new costs: the
+        // recomputed view equals the freshly computed persistent view, not
+        // the stale cached one.
+        let after = q.run_query_cached(&keywords).unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "stale cache hit");
+        assert!(q.query_cache().invalidations() > 0);
+        let fresh = q.view(view_id).unwrap();
+        assert_eq!(&*after, fresh);
+        let costs_before: Vec<f64> = before.queries.iter().map(|rq| rq.cost).collect();
+        let costs_after: Vec<f64> = after.queries.iter().map(|rq| rq.cost).collect();
+        assert_ne!(costs_before, costs_after, "feedback did not re-price");
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_counts_hits() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        q.add_manual_association(acc, go_id, 0.95);
+
+        let workload: Vec<Vec<String>> = [
+            vec!["plasma membrane", "entry"],
+            vec!["kinase activity"],
+            vec!["plasma membrane", "entry"], // in-batch duplicate
+            vec!["qqzzvv"],                   // matches nothing
+        ]
+        .iter()
+        .map(|kws| kws.iter().map(|s| s.to_string()).collect())
+        .collect();
+
+        // Sequential reference on an identically prepared system.
+        let mut q_seq = system();
+        q_seq.add_manual_association(acc, go_id, 0.95);
+        let sequential: Vec<Arc<RankedView>> = workload
+            .iter()
+            .map(|kws| {
+                let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+                q_seq.run_query_cached(&refs).unwrap()
+            })
+            .collect();
+
+        let report = q.run_queries_batch(&workload, &BatchOptions { workers: 3 });
+        assert_eq!(report.results.len(), workload.len());
+        assert_eq!(report.cache_misses, 3, "three distinct queries");
+        assert_eq!(report.cache_hits, 1, "the in-batch duplicate");
+        for (batch, seq) in report.results.iter().zip(&sequential) {
+            assert_eq!(&**batch.as_ref().unwrap(), &**seq);
+        }
+        // Duplicate slots share one computation.
+        assert!(Arc::ptr_eq(
+            report.results[0].as_ref().unwrap(),
+            report.results[2].as_ref().unwrap()
+        ));
+
+        // A second batch under unchanged weights is all hits.
+        let warm = q.run_queries_batch(&workload, &BatchOptions::default());
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, workload.len());
+        for (w, c) in warm.results.iter().zip(&report.results) {
+            assert!(Arc::ptr_eq(w.as_ref().unwrap(), c.as_ref().unwrap()));
+        }
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub mod interpro_go;
 pub mod scaling;
 pub mod words;
 
-pub use gbco::{gbco_catalog, gbco_source_specs, gbco_trials, GbcoConfig, GbcoTrial};
+pub use gbco::{
+    declare_foreign_keys, gbco_catalog, gbco_foreign_keys, gbco_source_specs, gbco_trials,
+    GbcoConfig, GbcoTrial,
+};
 pub use gold::GoldStandard;
 pub use interpro_go::{
     interpro_go_catalog, interpro_go_gold, interpro_go_queries, interpro_go_source_specs,

@@ -1,0 +1,148 @@
+//! Compressed-sparse-row adjacency index.
+//!
+//! The Steiner search visits every node's incident edges many times per
+//! query (once per terminal Dijkstra, again per candidate root, again in the
+//! Dreyfus–Wagner relaxation). The original adjacency representation — a
+//! `Vec<EdgeId>` per node, with the opposite endpoint recomputed per visit —
+//! allocated a fresh `Vec<(EdgeId, NodeId)>` on every call. [`Csr`] packs
+//! the same information into two flat arrays (prefix-sum offsets and
+//! `(edge, neighbour)` targets) so a node's neighbourhood is a borrowed
+//! slice: no allocation, one cache line per small node, and a layout the
+//! hot loops can iterate without pointer chasing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::edge::EdgeId;
+use crate::node::NodeId;
+
+/// Packed adjacency: `targets[offsets[n]..offsets[n + 1]]` holds the
+/// `(incident edge, opposite endpoint)` pairs of node `n`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<(EdgeId, NodeId)>,
+}
+
+impl Csr {
+    /// Empty index over zero nodes.
+    pub fn new() -> Self {
+        Csr::default()
+    }
+
+    /// Build the index from an edge list. Self-loops contribute a single
+    /// adjacency entry (matching the list-of-lists representation this
+    /// replaces); every other edge appears in both endpoints' ranges.
+    pub fn build<I>(node_count: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (EdgeId, NodeId, NodeId)> + Clone,
+    {
+        let mut degrees = vec![0u32; node_count];
+        for (_, a, b) in edges.clone() {
+            degrees[a.index()] += 1;
+            if a != b {
+                degrees[b.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for d in &degrees {
+            total += d;
+            offsets.push(total);
+        }
+        // Fill targets using a per-node write cursor that starts at the
+        // node's offset and advances as its entries land.
+        let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+        let mut targets = vec![(EdgeId(0), NodeId(0)); total as usize];
+        for (e, a, b) in edges {
+            targets[cursor[a.index()] as usize] = (e, b);
+            cursor[a.index()] += 1;
+            if a != b {
+                targets[cursor[b.index()] as usize] = (e, a);
+                cursor[b.index()] += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Incident `(edge, opposite endpoint)` pairs of a node, in insertion
+    /// order. Nodes beyond the indexed range (e.g. interned after the last
+    /// rebuild, necessarily isolated) have an empty neighbourhood.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+        let n = node.index();
+        if n + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[n] as usize..self.offsets[n + 1] as usize]
+    }
+
+    /// Number of nodes the index covers.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of adjacency entries (≈ 2 × edge count).
+    pub fn entry_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -e0- 1 -e1- 2, plus chord 0 -e2- 2 and self-loop e3 at 1.
+        Csr::build(
+            4,
+            [
+                (EdgeId(0), NodeId(0), NodeId(1)),
+                (EdgeId(1), NodeId(1), NodeId(2)),
+                (EdgeId(2), NodeId(0), NodeId(2)),
+                (EdgeId(3), NodeId(1), NodeId(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn neighbors_list_both_directions() {
+        let csr = sample();
+        assert_eq!(
+            csr.neighbors(NodeId(0)),
+            &[(EdgeId(0), NodeId(1)), (EdgeId(2), NodeId(2))]
+        );
+        assert_eq!(
+            csr.neighbors(NodeId(2)),
+            &[(EdgeId(1), NodeId(1)), (EdgeId(2), NodeId(0))]
+        );
+    }
+
+    #[test]
+    fn self_loop_appears_once() {
+        let csr = sample();
+        let at_1: Vec<_> = csr
+            .neighbors(NodeId(1))
+            .iter()
+            .filter(|(e, _)| *e == EdgeId(3))
+            .collect();
+        assert_eq!(at_1.len(), 1);
+        assert_eq!(at_1[0].1, NodeId(1));
+    }
+
+    #[test]
+    fn isolated_and_out_of_range_nodes_are_empty() {
+        let csr = sample();
+        assert!(csr.neighbors(NodeId(3)).is_empty());
+        assert!(csr.neighbors(NodeId(99)).is_empty());
+        assert!(Csr::new().neighbors(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn counts_match_the_edge_list() {
+        let csr = sample();
+        assert_eq!(csr.node_count(), 4);
+        // 3 ordinary edges × 2 entries + 1 self-loop × 1 entry.
+        assert_eq!(csr.entry_count(), 7);
+    }
+}

@@ -169,7 +169,12 @@ impl KeywordIndex {
         }
 
         // Candidate generation: anything sharing a token or a trigram.
-        let mut candidates: HashSet<usize> = HashSet::new();
+        // Candidates are sorted by document index before scoring so that
+        // equal-similarity matches rank in indexing order — never in the
+        // iteration order of a per-call hash set, which would make match
+        // lists (and with them query-graph edge ids and Steiner tree edge
+        // sets between cost ties) differ from call to call.
+        let mut candidates: Vec<usize> = Vec::new();
         for t in &query_tokens {
             if let Some(docs) = self.token_postings.get(t) {
                 candidates.extend(docs.iter().copied());
@@ -180,6 +185,8 @@ impl KeywordIndex {
                 candidates.extend(docs.iter().copied());
             }
         }
+        candidates.sort_unstable();
+        candidates.dedup();
 
         let mut scored: Vec<KeywordMatch> = candidates
             .into_iter()
@@ -193,6 +200,7 @@ impl KeywordIndex {
             })
             .filter(|m| m.similarity >= config.min_similarity)
             .collect();
+        // Stable sort: similarity ties keep ascending document order.
         scored.sort_by(|a, b| b.similarity.partial_cmp(&a.similarity).unwrap());
         scored.truncate(config.max_matches);
         scored

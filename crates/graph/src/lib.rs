@@ -14,6 +14,7 @@
 //! * [`steiner`] — exact (Dreyfus–Wagner) and approximate top-k Steiner tree
 //!   algorithms that turn the query graph into ranked join trees.
 
+pub mod csr;
 pub mod edge;
 pub mod features;
 pub mod keyword;
@@ -22,6 +23,7 @@ pub mod query_graph;
 pub mod search_graph;
 pub mod steiner;
 
+pub use csr::Csr;
 pub use edge::{Edge, EdgeId, EdgeKind};
 pub use features::{
     bin_confidence, FeatureId, FeatureSpace, FeatureVector, WeightVector, CONFIDENCE_BINS,
@@ -30,4 +32,7 @@ pub use keyword::{KeywordIndex, KeywordMatch, MatchTarget};
 pub use node::{Node, NodeId};
 pub use query_graph::{KeywordNode, QueryGraph};
 pub use search_graph::{AssociationProvenance, SearchGraph};
-pub use steiner::{approx_top_k, exact_minimum_steiner, SteinerConfig, SteinerTree};
+pub use steiner::{
+    approx_top_k, approx_top_k_with, exact_minimum_steiner, SteinerConfig, SteinerScratch,
+    SteinerTree,
+};

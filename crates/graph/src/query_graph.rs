@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use q_storage::AttributeId;
 
+use crate::csr::Csr;
 use crate::edge::{Edge, EdgeId, EdgeKind};
 use crate::features::{FeatureVector, WeightVector};
 use crate::keyword::{KeywordIndex, KeywordMatch, MatchConfig, MatchTarget};
@@ -32,12 +33,17 @@ pub struct KeywordNode {
 
 /// The query graph: a read-only view of the search graph plus keyword nodes,
 /// value nodes and match edges local to one query.
+///
+/// Adjacency is a single packed [`Csr`] over base *and* query-local edges,
+/// built once at the end of [`QueryGraph::build`] — the Steiner search then
+/// borrows each node's neighbourhood as a slice instead of concatenating
+/// base and extra edge lists per visit.
 #[derive(Debug)]
 pub struct QueryGraph<'a> {
     base: &'a SearchGraph,
     extra_nodes: Vec<Node>,
     extra_edges: Vec<Edge>,
-    extra_adjacency: HashMap<NodeId, Vec<EdgeId>>,
+    csr: Csr,
     keywords: Vec<KeywordNode>,
     value_nodes: HashMap<(AttributeId, String), NodeId>,
 }
@@ -59,7 +65,7 @@ impl<'a> QueryGraph<'a> {
             base,
             extra_nodes: Vec::new(),
             extra_edges: Vec::new(),
-            extra_adjacency: HashMap::new(),
+            csr: Csr::new(),
             keywords: Vec::new(),
             value_nodes: HashMap::new(),
         };
@@ -105,6 +111,15 @@ impl<'a> QueryGraph<'a> {
                 matches,
             });
         }
+        // Pack the combined adjacency once; every subsequent neighbourhood
+        // read is a borrowed slice.
+        qg.csr = Csr::build(
+            qg.node_count(),
+            base.edges()
+                .iter()
+                .chain(qg.extra_edges.iter())
+                .map(|e| (e.id, e.a, e.b)),
+        );
         qg
     }
 
@@ -173,18 +188,11 @@ impl<'a> QueryGraph<'a> {
         &self.edge(id).features
     }
 
-    /// Edges incident to a node, including query-local ones.
-    pub fn adjacent(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
-        let mut out: Vec<(EdgeId, NodeId)> = Vec::new();
-        if node.index() < self.base.node_count() {
-            out.extend(self.base.neighbors(node));
-        }
-        if let Some(extra) = self.extra_adjacency.get(&node) {
-            for e in extra {
-                out.push((*e, self.edge(*e).other(node)));
-            }
-        }
-        out
+    /// Edges incident to a node, including query-local ones — a borrowed
+    /// slice into the packed combined adjacency.
+    #[inline]
+    pub fn adjacent(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.neighbors(node)
     }
 
     // ------------------------------------------------------------------
@@ -230,10 +238,6 @@ impl<'a> QueryGraph<'a> {
             kind,
             features,
         });
-        self.extra_adjacency.entry(a).or_default().push(id);
-        if a != b {
-            self.extra_adjacency.entry(b).or_default().push(id);
-        }
         id
     }
 }
@@ -243,7 +247,7 @@ impl GraphView for QueryGraph<'_> {
         QueryGraph::node_count(self)
     }
 
-    fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
+    fn neighbors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
         self.adjacent(node)
     }
 
@@ -262,8 +266,8 @@ impl GraphView for SearchGraph {
         SearchGraph::node_count(self)
     }
 
-    fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
-        SearchGraph::neighbors(self, node).collect()
+    fn neighbors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+        SearchGraph::neighbors(self, node)
     }
 
     fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
@@ -355,7 +359,7 @@ mod tests {
         let title_node = graph.attribute_node(title).unwrap();
         let edge = qg
             .adjacent(kw)
-            .into_iter()
+            .iter()
             .find(|(_, n)| *n == title_node)
             .expect("keyword matched title attribute");
         // Exact match: cost = keyword_base + 0 mismatch.

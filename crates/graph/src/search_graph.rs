@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use q_storage::{AttributeId, Catalog, RelationId, SourceId};
 
+use crate::csr::Csr;
 use crate::edge::{Edge, EdgeId, EdgeKind};
 use crate::features::{bin_confidence, FeatureSpace, FeatureVector, WeightVector};
 use crate::node::{Node, NodeId};
@@ -48,9 +49,20 @@ pub struct SearchGraph {
     nodes: Vec<Node>,
     node_ids: HashMap<Node, NodeId>,
     edges: Vec<Edge>,
+    /// Incremental per-node edge lists, the ground truth while a mutation is
+    /// in flight (`find_edge` must see edges pushed earlier in the same
+    /// `add_source` call). Public reads go through `csr`.
     adjacency: Vec<Vec<EdgeId>>,
+    /// Packed adjacency rebuilt at the end of every topology mutation; the
+    /// query hot path iterates this without allocating.
+    csr: Csr,
     features: FeatureSpace,
     weights: WeightVector,
+    /// Monotone counter bumped whenever anything that can change an edge
+    /// cost changes: weight updates (MIRA re-pricing, authoritativeness) and
+    /// topology growth (new sources, new associations). Answer caches key on
+    /// it — see `q-core`'s `QueryCache`.
+    weight_epoch: u64,
     /// Canonically ordered attribute pair -> association edge. Ordered map so
     /// `association_edges()` iterates deterministically — downstream top-Y
     /// cutoffs break cost ties by iteration order.
@@ -138,6 +150,7 @@ impl SearchGraph {
             }
         }
         self.weights.sync_with(&self.features);
+        self.finish_topology_change();
     }
 
     // ------------------------------------------------------------------
@@ -177,6 +190,10 @@ impl SearchGraph {
                     matcher: matcher.to_string(),
                     confidence,
                 });
+            if !already_has {
+                // The merged bin feature re-prices the edge.
+                self.weight_epoch += 1;
+            }
             return edge_id;
         }
 
@@ -218,6 +235,7 @@ impl SearchGraph {
                 confidence,
             }],
         );
+        self.finish_topology_change();
         id
     }
 
@@ -255,6 +273,7 @@ impl SearchGraph {
         let feature = self.features.intern(&format!("relation:{relation}"), 0.0);
         self.weights.sync_with(&self.features);
         self.weights.set(feature, -a.ln());
+        self.weight_epoch += 1;
     }
 
     /// The learned weight attached to a relation's authoritativeness feature
@@ -314,13 +333,17 @@ impl SearchGraph {
         self.edges.len()
     }
 
-    /// Edges incident to a node, with the opposite endpoint.
-    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
-        self.adjacency
-            .get(node.index())
-            .into_iter()
-            .flatten()
-            .map(move |e| (*e, self.edges[e.index()].other(node)))
+    /// Edges incident to a node, with the opposite endpoint. A borrowed
+    /// slice into the packed CSR index — the query hot path iterates this
+    /// without allocating.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.neighbors(node)
+    }
+
+    /// The packed adjacency index itself.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
     }
 
     /// Relation that an attribute node is attached to (via its zero-cost
@@ -328,7 +351,8 @@ impl SearchGraph {
     pub fn relation_of_attribute(&self, attribute: AttributeId) -> Option<RelationId> {
         let attr_node = self.attribute_node(attribute)?;
         self.neighbors(attr_node)
-            .find_map(|(_, n)| match self.node(n) {
+            .iter()
+            .find_map(|(_, n)| match self.node(*n) {
                 Node::Relation(r) => Some(*r),
                 _ => None,
             })
@@ -348,10 +372,22 @@ impl SearchGraph {
         &self.weights
     }
 
-    /// Replace the weight vector (the learner produces new weights).
+    /// Replace the weight vector (the learner produces new weights). Bumps
+    /// the weight epoch: every cached answer computed under the old prices
+    /// becomes unreachable.
     pub fn set_weights(&mut self, weights: WeightVector) {
         self.weights = weights;
         self.weights.sync_with(&self.features);
+        self.weight_epoch += 1;
+    }
+
+    /// Current weight epoch: a monotone version counter for the edge-cost
+    /// model. It increases whenever a weight update (MIRA re-pricing,
+    /// authoritativeness) or a topology change (new source, new or re-binned
+    /// association) can alter any query's answers. `(query, epoch)` is
+    /// therefore a sound cache key: equal epochs imply identical costs.
+    pub fn weight_epoch(&self) -> u64 {
+        self.weight_epoch
     }
 
     /// The feature space shared by all edges.
@@ -424,7 +460,7 @@ impl SearchGraph {
                     continue;
                 }
             }
-            for (edge_id, next) in self.neighbors(node) {
+            for &(edge_id, next) in self.neighbors(node) {
                 let nd = d + self.edge_cost(edge_id).max(0.0);
                 if let Some(l) = limit {
                     if nd > l + 1e-12 {
@@ -501,12 +537,25 @@ impl SearchGraph {
     }
 
     fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        // Reads the incremental lists, not the CSR: callers probe for edges
+        // pushed earlier in the same (unfinished) mutation.
         self.adjacency.get(a.index()).and_then(|edges| {
             edges
                 .iter()
                 .find(|e| self.edges[e.index()].touches(b))
                 .copied()
         })
+    }
+
+    /// Epilogue of every topology mutation: repack the CSR index and bump
+    /// the weight epoch (new edges change query answers just as re-pricing
+    /// does).
+    fn finish_topology_change(&mut self) {
+        self.csr = Csr::build(
+            self.nodes.len(),
+            self.edges.iter().map(|e| (e.id, e.a, e.b)),
+        );
+        self.weight_epoch += 1;
     }
 
     fn add_relation_features(&mut self, fv: &mut FeatureVector, relation: RelationId) {
@@ -682,6 +731,62 @@ mod tests {
         }
         assert_eq!(full.node_count(), incremental.node_count());
         assert_eq!(full.edge_count(), incremental.edge_count());
+    }
+
+    #[test]
+    fn neighbors_slice_matches_incremental_adjacency() {
+        let cat = catalog();
+        let mut g = SearchGraph::from_catalog(&cat);
+        let a = attr(&cat, "go_term.acc");
+        let b = attr(&cat, "interpro2go.go_id");
+        g.add_association(a, b, "mad", 0.9);
+        for (id, _) in g.nodes() {
+            let packed = g.neighbors(id);
+            let incremental: Vec<(EdgeId, NodeId)> = g.adjacency[id.index()]
+                .iter()
+                .map(|e| (*e, g.edges[e.index()].other(id)))
+                .collect();
+            assert_eq!(packed, incremental.as_slice(), "node {id}");
+        }
+    }
+
+    #[test]
+    fn weight_epoch_bumps_on_repricing_and_topology_changes() {
+        let cat = catalog();
+        let mut g = SearchGraph::from_catalog(&cat);
+        let e0 = g.weight_epoch();
+
+        // Weight replacement (the MIRA path) bumps.
+        let w = g.weights().clone();
+        g.set_weights(w);
+        assert!(g.weight_epoch() > e0);
+
+        // A new association edge bumps.
+        let e1 = g.weight_epoch();
+        let a = attr(&cat, "go_term.acc");
+        let b = attr(&cat, "interpro2go.go_id");
+        g.add_association(a, b, "mad", 0.9);
+        assert!(g.weight_epoch() > e1);
+
+        // Merging a new matcher bin into an existing edge re-prices it.
+        let e2 = g.weight_epoch();
+        g.add_association(a, b, "metadata", 0.1);
+        assert!(g.weight_epoch() > e2);
+
+        // Re-asserting the same (matcher, bin) changes nothing: no bump.
+        let e3 = g.weight_epoch();
+        g.add_association(a, b, "metadata", 0.1);
+        assert_eq!(g.weight_epoch(), e3);
+
+        // Authoritativeness re-pricing bumps.
+        g.set_relation_authoritativeness(cat.relation_by_name("entry").unwrap().id, 0.5);
+        assert!(g.weight_epoch() > e3);
+
+        // Pure reads never bump.
+        let e4 = g.weight_epoch();
+        let _ = g.min_learnable_edge_cost();
+        let _ = g.neighbors(NodeId(0));
+        assert_eq!(g.weight_epoch(), e4);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   terminal, then prunes and ranks them. This is what the Q pipeline uses
 //!   at query time and what the learner uses for its K-best list.
 
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -22,11 +22,15 @@ use crate::node::NodeId;
 /// Read-only adjacency/cost view shared by [`SearchGraph`](crate::SearchGraph)
 /// and [`QueryGraph`](crate::QueryGraph), so the Steiner algorithms work over
 /// either.
+///
+/// `neighbors` returns a *borrowed slice* — implementors keep a packed
+/// adjacency index (see [`Csr`](crate::Csr)) so the search loops below never
+/// allocate per visited node.
 pub trait GraphView {
     /// Number of nodes (node ids are dense in `0..node_count`).
     fn node_count(&self) -> usize;
     /// Incident edges of a node, with the opposite endpoint.
-    fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)>;
+    fn neighbors(&self, node: NodeId) -> &[(EdgeId, NodeId)];
     /// Endpoints of an edge.
     fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId);
     /// Non-negative cost of an edge under the current weights.
@@ -45,28 +49,48 @@ pub struct SteinerTree {
 }
 
 impl SteinerTree {
-    fn from_edges<G: GraphView>(graph: &G, edges: HashSet<EdgeId>, terminals: &[NodeId]) -> Self {
-        let mut nodes: HashSet<NodeId> = terminals.iter().copied().collect();
+    /// Build from a sorted, deduplicated edge list.
+    fn from_edges<G: GraphView>(graph: &G, edges: Vec<EdgeId>, terminals: &[NodeId]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        let mut nodes: Vec<NodeId> = terminals.to_vec();
         let mut cost = 0.0;
         for e in &edges {
             let (a, b) = graph.edge_endpoints(*e);
-            nodes.insert(a);
-            nodes.insert(b);
+            nodes.push(a);
+            nodes.push(b);
             cost += graph.edge_cost(*e);
         }
-        let mut edges: Vec<EdgeId> = edges.into_iter().collect();
-        edges.sort();
-        let mut nodes: Vec<NodeId> = nodes.into_iter().collect();
         nodes.sort();
+        nodes.dedup();
         SteinerTree { edges, nodes, cost }
     }
 
     /// Symmetric edge-set difference with another tree — the loss function
-    /// `L(T, T')` of Equation 2.
+    /// `L(T, T')` of Equation 2. Both edge lists are sorted (a `SteinerTree`
+    /// invariant), so this is a linear merge: no per-call set building,
+    /// which matters because the MIRA constraint builder calls it once per
+    /// candidate tree on every feedback interaction.
     pub fn symmetric_loss(&self, other: &SteinerTree) -> f64 {
-        let a: HashSet<EdgeId> = self.edges.iter().copied().collect();
-        let b: HashSet<EdgeId> = other.edges.iter().copied().collect();
-        (a.difference(&b).count() + b.difference(&a).count()) as f64
+        debug_assert!(self.edges.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(other.edges.windows(2).all(|w| w[0] < w[1]));
+        let (mut i, mut j, mut diff) = (0, 0, 0usize);
+        while i < self.edges.len() && j < other.edges.len() {
+            match self.edges[i].cmp(&other.edges[j]) {
+                std::cmp::Ordering::Less => {
+                    diff += 1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    diff += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (diff + (self.edges.len() - i) + (other.edges.len() - j)) as f64
     }
 
     /// True if the tree uses the given edge.
@@ -94,7 +118,7 @@ impl Default for SteinerConfig {
     }
 }
 
-#[derive(PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct HeapItem(f64, NodeId);
 impl Eq for HeapItem {}
 impl Ord for HeapItem {
@@ -111,30 +135,66 @@ impl PartialOrd for HeapItem {
     }
 }
 
-/// Single-source Dijkstra returning distance and predecessor edge per node.
-fn dijkstra<G: GraphView>(
+/// Sentinel marking "no predecessor" in the dense parent arrays.
+const NO_PARENT: EdgeId = EdgeId(u32::MAX);
+
+/// Dense single-source shortest-path state: distance and predecessor
+/// `(edge, node)` per graph node, indexed by node id.
+#[derive(Debug, Clone, Default)]
+struct ShortestPaths {
+    dist: Vec<f64>,
+    parent_edge: Vec<EdgeId>,
+    parent_node: Vec<NodeId>,
+}
+
+impl ShortestPaths {
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, NO_PARENT);
+        self.parent_node.clear();
+        self.parent_node.resize(n, NodeId(0));
+    }
+}
+
+/// Reusable scratch buffers for [`approx_top_k`]: the per-terminal
+/// shortest-path arrays, the Dijkstra frontier and the per-root candidate
+/// edge list. One instance serves any number of searches over graphs of any
+/// size (buffers grow to the largest graph seen and are then reused) — batch
+/// workers keep one per thread via [`approx_top_k_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SteinerScratch {
+    paths: Vec<ShortestPaths>,
+    heap: BinaryHeap<HeapItem>,
+    candidate_edges: Vec<EdgeId>,
+}
+
+/// Single-source Dijkstra into dense, reused buffers.
+fn dijkstra_into<G: GraphView>(
     graph: &G,
     source: NodeId,
-) -> (HashMap<NodeId, f64>, HashMap<NodeId, (EdgeId, NodeId)>) {
-    let mut dist: HashMap<NodeId, f64> = HashMap::new();
-    let mut parent: HashMap<NodeId, (EdgeId, NodeId)> = HashMap::new();
-    let mut heap = BinaryHeap::new();
-    dist.insert(source, 0.0);
+    paths: &mut ShortestPaths,
+    heap: &mut BinaryHeap<HeapItem>,
+) {
+    paths.reset(graph.node_count());
+    heap.clear();
+    paths.dist[source.index()] = 0.0;
     heap.push(HeapItem(0.0, source));
     while let Some(HeapItem(d, node)) = heap.pop() {
-        if d > dist.get(&node).copied().unwrap_or(f64::INFINITY) + 1e-12 {
+        if d > paths.dist[node.index()] + 1e-12 {
             continue;
         }
-        for (edge, next) in graph.neighbors(node) {
+        for &(edge, next) in graph.neighbors(node) {
             let nd = d + graph.edge_cost(edge).max(0.0);
-            if nd < dist.get(&next).copied().unwrap_or(f64::INFINITY) - 1e-12 {
-                dist.insert(next, nd);
-                parent.insert(next, (edge, node));
+            if nd < paths.dist[next.index()] - 1e-12 {
+                paths.dist[next.index()] = nd;
+                paths.parent_edge[next.index()] = edge;
+                paths.parent_node[next.index()] = node;
                 heap.push(HeapItem(nd, next));
             }
         }
     }
-    (dist, parent)
 }
 
 /// Approximate top-k Steiner trees connecting `terminals`.
@@ -147,6 +207,17 @@ pub fn approx_top_k<G: GraphView>(
     terminals: &[NodeId],
     config: &SteinerConfig,
 ) -> Vec<SteinerTree> {
+    approx_top_k_with(graph, terminals, config, &mut SteinerScratch::default())
+}
+
+/// [`approx_top_k`] with caller-provided scratch buffers, for hot loops that
+/// run many searches (the batched query path, the learner's K-best).
+pub fn approx_top_k_with<G: GraphView>(
+    graph: &G,
+    terminals: &[NodeId],
+    config: &SteinerConfig,
+    scratch: &mut SteinerScratch,
+) -> Vec<SteinerTree> {
     if terminals.is_empty() || config.k == 0 {
         return Vec::new();
     }
@@ -158,21 +229,28 @@ pub fn approx_top_k<G: GraphView>(
         }];
     }
 
-    // Dijkstra from every terminal.
-    let per_terminal: Vec<_> = terminals.iter().map(|t| dijkstra(graph, *t)).collect();
+    // Dijkstra from every terminal, into reused dense buffers.
+    while scratch.paths.len() < terminals.len() {
+        scratch.paths.push(ShortestPaths::default());
+    }
+    for (i, t) in terminals.iter().enumerate() {
+        let paths = &mut scratch.paths[i];
+        dijkstra_into(graph, *t, paths, &mut scratch.heap);
+    }
+    let per_terminal = &scratch.paths[..terminals.len()];
 
     // Candidate roots: nodes reachable from every terminal.
     let mut roots: Vec<(NodeId, f64)> = Vec::new();
     'outer: for n in 0..graph.node_count() {
-        let node = NodeId(n as u32);
         let mut total = 0.0;
-        for (dist, _) in &per_terminal {
-            match dist.get(&node) {
-                Some(d) => total += d,
-                None => continue 'outer,
+        for paths in per_terminal {
+            let d = paths.dist[n];
+            if !d.is_finite() {
+                continue 'outer;
             }
+            total += d;
         }
-        roots.push((node, total));
+        roots.push((NodeId(n as u32), total));
     }
     roots.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     if config.max_roots > 0 {
@@ -182,15 +260,18 @@ pub fn approx_top_k<G: GraphView>(
     let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
     let mut trees: Vec<SteinerTree> = Vec::new();
     for (root, _) in roots {
-        let mut edges: HashSet<EdgeId> = HashSet::new();
-        for (_, parent) in &per_terminal {
+        let edges = &mut scratch.candidate_edges;
+        edges.clear();
+        for paths in per_terminal {
             // Walk from the root back towards the terminal.
             let mut cur = root;
-            while let Some((edge, prev)) = parent.get(&cur) {
-                edges.insert(*edge);
-                cur = *prev;
+            while paths.parent_edge[cur.index()] != NO_PARENT {
+                edges.push(paths.parent_edge[cur.index()]);
+                cur = paths.parent_node[cur.index()];
             }
         }
+        edges.sort();
+        edges.dedup();
         let pruned = prune_to_tree(graph, edges, terminals);
         let tree = SteinerTree::from_edges(graph, pruned, terminals);
         let key = tree.edges.clone();
@@ -203,72 +284,104 @@ pub fn approx_top_k<G: GraphView>(
     trees
 }
 
-/// Prune a candidate edge set down to a tree that still connects the
-/// terminals: build a minimum spanning forest of the subgraph, then
-/// repeatedly strip non-terminal leaves.
-fn prune_to_tree<G: GraphView>(
-    graph: &G,
-    edges: HashSet<EdgeId>,
-    terminals: &[NodeId],
-) -> HashSet<EdgeId> {
+/// Prune a candidate edge set (sorted, deduplicated) down to a tree that
+/// still connects the terminals: build a minimum spanning forest of the
+/// subgraph, then repeatedly strip non-terminal leaves. Returns a sorted
+/// edge list. Works over node ids compacted to the candidate subgraph, so
+/// the union-find and degree arrays are small dense vectors.
+fn prune_to_tree<G: GraphView>(graph: &G, edges: &[EdgeId], terminals: &[NodeId]) -> Vec<EdgeId> {
     if edges.is_empty() {
-        return edges;
+        return Vec::new();
     }
+    // Compact the touched nodes to local indices.
+    let mut local_nodes: Vec<NodeId> = Vec::with_capacity(edges.len() * 2);
+    for e in edges {
+        let (a, b) = graph.edge_endpoints(*e);
+        local_nodes.push(a);
+        local_nodes.push(b);
+    }
+    local_nodes.sort();
+    local_nodes.dedup();
+    let local = |n: NodeId| local_nodes.binary_search(&n).expect("touched node");
+
     // Kruskal MST over the candidate edges (connects everything the
-    // candidate set connects, with minimum cost, and removes cycles).
-    let mut sorted: Vec<EdgeId> = edges.iter().copied().collect();
-    sorted.sort_by(|a, b| {
+    // candidate set connects, with minimum cost, and removes cycles). Cost
+    // ties break by edge id so the result is independent of input order.
+    let mut by_cost: Vec<EdgeId> = edges.to_vec();
+    by_cost.sort_by(|a, b| {
         graph
             .edge_cost(*a)
             .partial_cmp(&graph.edge_cost(*b))
             .unwrap()
+            .then(a.cmp(b))
     });
-    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
-    fn find(parent: &mut HashMap<NodeId, NodeId>, x: NodeId) -> NodeId {
-        let p = *parent.entry(x).or_insert(x);
-        if p == x {
-            x
-        } else {
-            let root = find(parent, p);
-            parent.insert(x, root);
-            root
+    let mut uf: Vec<u32> = (0..local_nodes.len() as u32).collect();
+    fn find(uf: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while uf[root as usize] != root {
+            root = uf[root as usize];
         }
+        // Path compression.
+        let mut cur = x;
+        while uf[cur as usize] != root {
+            let next = uf[cur as usize];
+            uf[cur as usize] = root;
+            cur = next;
+        }
+        root
     }
-    let mut mst: HashSet<EdgeId> = HashSet::new();
-    for e in sorted {
+    let mut mst: Vec<EdgeId> = Vec::with_capacity(local_nodes.len());
+    for e in by_cost {
         let (a, b) = graph.edge_endpoints(e);
-        let ra = find(&mut parent, a);
-        let rb = find(&mut parent, b);
+        let ra = find(&mut uf, local(a) as u32);
+        let rb = find(&mut uf, local(b) as u32);
         if ra != rb {
-            parent.insert(ra, rb);
-            mst.insert(e);
+            uf[ra as usize] = rb;
+            mst.push(e);
         }
     }
+
     // Strip non-terminal leaves until fixpoint.
-    let terminal_set: HashSet<NodeId> = terminals.iter().copied().collect();
+    let mut is_terminal = vec![false; local_nodes.len()];
+    for t in terminals {
+        if let Ok(i) = local_nodes.binary_search(t) {
+            is_terminal[i] = true;
+        }
+    }
+    let mut alive = vec![true; mst.len()];
+    let mut degree = vec![0u32; local_nodes.len()];
     loop {
-        let mut degree: HashMap<NodeId, Vec<EdgeId>> = HashMap::new();
-        for e in &mst {
+        degree.iter_mut().for_each(|d| *d = 0);
+        for (i, e) in mst.iter().enumerate() {
+            if alive[i] {
+                let (a, b) = graph.edge_endpoints(*e);
+                degree[local(a)] += 1;
+                degree[local(b)] += 1;
+            }
+        }
+        let mut removed_any = false;
+        for (i, e) in mst.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
             let (a, b) = graph.edge_endpoints(*e);
-            degree.entry(a).or_default().push(*e);
-            degree.entry(b).or_default().push(*e);
+            let (la, lb) = (local(a), local(b));
+            if (degree[la] == 1 && !is_terminal[la]) || (degree[lb] == 1 && !is_terminal[lb]) {
+                alive[i] = false;
+                removed_any = true;
+            }
         }
-        let removable: Vec<EdgeId> = degree
-            .iter()
-            .filter(|(n, es)| es.len() == 1 && !terminal_set.contains(n))
-            .map(|(_, es)| es[0])
-            .collect();
-        if removable.is_empty() {
-            break;
-        }
-        for e in removable {
-            mst.remove(&e);
-        }
-        if mst.is_empty() {
+        if !removed_any {
             break;
         }
     }
-    mst
+    let mut kept: Vec<EdgeId> = mst
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(e, keep)| keep.then_some(e))
+        .collect();
+    kept.sort();
+    kept
 }
 
 /// Exact minimum Steiner tree via the Dreyfus–Wagner dynamic program.
@@ -348,7 +461,7 @@ pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> O
             if d > dp[mask][node.index()] + 1e-12 {
                 continue;
             }
-            for (edge, next) in graph.neighbors(node) {
+            for &(edge, next) in graph.neighbors(node) {
                 let nd = d + graph.edge_cost(edge).max(0.0);
                 if nd < dp[mask][next.index()] - 1e-12 {
                     dp[mask][next.index()] = nd;
@@ -368,13 +481,13 @@ pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> O
     }
 
     // Reconstruct the edge set.
-    let mut edges: HashSet<EdgeId> = HashSet::new();
+    let mut edges: Vec<EdgeId> = Vec::new();
     let mut stack = vec![(full, best_v)];
     while let Some((mask, v)) = stack.pop() {
         match choice[mask][v] {
             Choice::Root | Choice::None => {}
             Choice::Extend { from, edge } => {
-                edges.insert(edge);
+                edges.push(edge);
                 stack.push((mask, from.index()));
             }
             Choice::Merge { subset } => {
@@ -383,6 +496,8 @@ pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> O
             }
         }
     }
+    edges.sort();
+    edges.dedup();
     Some(SteinerTree::from_edges(graph, edges, terminals))
 }
 
@@ -390,21 +505,29 @@ pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> O
 mod tests {
     use super::*;
 
+    use crate::csr::Csr;
+
     /// Small explicit graph for testing the algorithms in isolation.
     struct TestGraph {
         edges: Vec<(NodeId, NodeId, f64)>,
         n: usize,
+        csr: Csr,
     }
 
     impl TestGraph {
         fn new(n: usize, edges: &[(u32, u32, f64)]) -> Self {
-            TestGraph {
+            let edges: Vec<(NodeId, NodeId, f64)> = edges
+                .iter()
+                .map(|(a, b, c)| (NodeId(*a), NodeId(*b), *c))
+                .collect();
+            let csr = Csr::build(
                 n,
-                edges: edges
+                edges
                     .iter()
-                    .map(|(a, b, c)| (NodeId(*a), NodeId(*b), *c))
-                    .collect(),
-            }
+                    .enumerate()
+                    .map(|(i, (a, b, _))| (EdgeId(i as u32), *a, *b)),
+            );
+            TestGraph { edges, n, csr }
         }
     }
 
@@ -412,20 +535,8 @@ mod tests {
         fn node_count(&self) -> usize {
             self.n
         }
-        fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
-            self.edges
-                .iter()
-                .enumerate()
-                .filter_map(|(i, (a, b, _))| {
-                    if *a == node {
-                        Some((EdgeId(i as u32), *b))
-                    } else if *b == node {
-                        Some((EdgeId(i as u32), *a))
-                    } else {
-                        None
-                    }
-                })
-                .collect()
+        fn neighbors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+            self.csr.neighbors(node)
         }
         fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
             let (a, b, _) = self.edges[edge.index()];
@@ -532,6 +643,62 @@ mod tests {
         assert!(approx.cost >= exact.cost - 1e-9);
         // On this small instance the heuristic should find the optimum.
         assert!((approx.cost - exact.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_across_graph_sizes() {
+        // One scratch serving a big graph, then a small one, then the big
+        // one again must give the same trees as fresh buffers every time.
+        let big = TestGraph::new(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 0, 1.0),
+                (0, 3, 2.0),
+            ],
+        );
+        let small = path_with_shortcut();
+        let mut scratch = SteinerScratch::default();
+        let runs = [
+            (
+                approx_top_k_with(
+                    &big,
+                    &[NodeId(0), NodeId(3)],
+                    &SteinerConfig::default(),
+                    &mut scratch,
+                ),
+                approx_top_k(&big, &[NodeId(0), NodeId(3)], &SteinerConfig::default()),
+            ),
+            (
+                approx_top_k_with(
+                    &small,
+                    &[NodeId(0), NodeId(2)],
+                    &SteinerConfig::default(),
+                    &mut scratch,
+                ),
+                approx_top_k(&small, &[NodeId(0), NodeId(2)], &SteinerConfig::default()),
+            ),
+            (
+                approx_top_k_with(
+                    &big,
+                    &[NodeId(1), NodeId(4), NodeId(5)],
+                    &SteinerConfig::default(),
+                    &mut scratch,
+                ),
+                approx_top_k(
+                    &big,
+                    &[NodeId(1), NodeId(4), NodeId(5)],
+                    &SteinerConfig::default(),
+                ),
+            ),
+        ];
+        for (with_scratch, fresh) in runs {
+            assert_eq!(with_scratch, fresh);
+        }
     }
 
     #[test]

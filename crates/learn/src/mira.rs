@@ -318,6 +318,45 @@ mod tests {
     }
 
     #[test]
+    fn learner_weight_updates_bump_the_graph_weight_epoch() {
+        use q_storage::{Catalog, RelationSpec, SourceSpec};
+        let mut cat = Catalog::new();
+        SourceSpec::new("a")
+            .relation(RelationSpec::new("r1", &["x"]))
+            .load_into(&mut cat)
+            .unwrap();
+        SourceSpec::new("b")
+            .relation(RelationSpec::new("r2", &["y"]))
+            .load_into(&mut cat)
+            .unwrap();
+        let mut graph = SearchGraph::from_catalog(&cat);
+        let x = cat.resolve_qualified("r1.x").unwrap();
+        let y = cat.resolve_qualified("r2.y").unwrap();
+        graph.add_association(x, y, "mad", 0.9);
+
+        // The learner's write path is `set_weights` — every MIRA re-pricing
+        // goes through it and must advance the epoch so caches keyed on it
+        // drop their stale answers.
+        let before = graph.weight_epoch();
+        let mut w = graph.weights().clone();
+        let default = graph.feature_space().get("default").unwrap();
+        w.set(default, -5.0);
+        graph.set_weights(w);
+        assert!(graph.weight_epoch() > before, "set_weights must bump");
+
+        // `enforce_positive_costs` re-prices (it raises the default weight
+        // here), so it must bump too.
+        let before = graph.weight_epoch();
+        assert!(enforce_positive_costs(&mut graph, 0.05) > 0.0);
+        assert!(graph.weight_epoch() > before, "positivity repair must bump");
+
+        // A no-op repair changes no cost and must leave the epoch alone.
+        let before = graph.weight_epoch();
+        assert_eq!(enforce_positive_costs(&mut graph, 0.05), 0.0);
+        assert_eq!(graph.weight_epoch(), before, "no-op must not bump");
+    }
+
+    #[test]
     fn enforce_positive_costs_raises_default_weight() {
         use q_storage::{Catalog, RelationSpec, SourceSpec};
         let mut cat = Catalog::new();

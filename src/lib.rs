@@ -31,5 +31,5 @@ pub use q_learn as learn;
 pub use q_matchers as matchers;
 pub use q_storage as storage;
 
-pub use q_core::{Feedback, QConfig, QSystem};
+pub use q_core::{BatchOptions, Feedback, QConfig, QSystem};
 pub use q_storage::{Catalog, RelationSpec, SourceSpec, Value};

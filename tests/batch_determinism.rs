@@ -1,0 +1,107 @@
+//! Regression tests for end-to-end determinism and the batched/cached query
+//! path over the GBCO workload.
+//!
+//! PR 1 repaired several hash-iteration-order bugs that made the pipeline's
+//! ranked answers flip between runs; this suite pins the repaired behaviour:
+//! the full pipeline (load → register sources through matchers → batch-serve
+//! the trial workload) run twice in-process is byte-identical, a cached
+//! repeat is byte-identical, and batched execution returns the same bytes
+//! for every worker count.
+
+use q_core::{BatchOptions, QConfig, QSystem};
+use q_datasets::{
+    declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig,
+};
+use q_matchers::{MadMatcher, MetadataMatcher};
+
+fn small() -> GbcoConfig {
+    GbcoConfig {
+        rows_per_table: 12,
+        seed: 17,
+    }
+}
+
+/// Sources incorporated through the matchers rather than the initial load,
+/// so the transcript covers the alignment pipeline too.
+const HELD_OUT: [&str; 2] = ["pathway", "gene_pathway"];
+
+fn build_system() -> QSystem {
+    let specs = gbco_source_specs(&small());
+    let initial: Vec<_> = specs
+        .iter()
+        .filter(|s| !HELD_OUT.contains(&s.name.as_str()))
+        .cloned()
+        .collect();
+    let mut catalog = q_storage::loader::load_catalog(&initial).expect("GBCO loads");
+    declare_foreign_keys(&mut catalog, &gbco_foreign_keys());
+    let mut q = QSystem::new(catalog, QConfig::default());
+    q.add_matcher(Box::new(MetadataMatcher::new()));
+    q.add_matcher(Box::new(MadMatcher::new()));
+    for spec in specs.iter().filter(|s| HELD_OUT.contains(&s.name.as_str())) {
+        q.register_source(spec).expect("registration succeeds");
+    }
+    q
+}
+
+fn workload() -> Vec<Vec<String>> {
+    gbco_trials().iter().map(|t| t.keywords.clone()).collect()
+}
+
+/// Serve the trial workload through the batch API and render every ranked
+/// view to its canonical byte representation.
+fn batch_transcript(q: &mut QSystem, workers: usize) -> String {
+    let report = q.run_queries_batch(&workload(), &BatchOptions { workers });
+    report
+        .results
+        .iter()
+        .map(|r| format!("{:?}\n", **r.as_ref().expect("GBCO queries answer")))
+        .collect()
+}
+
+#[test]
+fn gbco_pipeline_twice_in_process_and_once_through_the_cache_is_byte_identical() {
+    let mut first = build_system();
+    let transcript_1 = batch_transcript(&mut first, 2);
+
+    // Second full pipeline run in the same process, from scratch.
+    let mut second = build_system();
+    let transcript_2 = batch_transcript(&mut second, 2);
+    assert_eq!(
+        transcript_1, transcript_2,
+        "two in-process pipeline runs diverged (hash-order regression?)"
+    );
+
+    // Sequential uncached serving must agree with the batch too.
+    let uncached: String = workload()
+        .iter()
+        .map(|kws| {
+            let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+            format!("{:?}\n", first.run_query_uncached(&refs).unwrap())
+        })
+        .collect();
+    assert_eq!(transcript_1, uncached, "batch diverged from sequential");
+
+    // Replaying the workload through the warm cache returns the same bytes
+    // without recomputing anything.
+    let misses_before = first.query_cache().misses();
+    let cached = batch_transcript(&mut first, 2);
+    assert_eq!(transcript_1, cached, "cached replay diverged");
+    assert_eq!(
+        first.query_cache().misses(),
+        misses_before,
+        "warm replay recomputed"
+    );
+}
+
+#[test]
+fn batched_answers_are_byte_identical_for_every_worker_count() {
+    let reference = batch_transcript(&mut build_system(), 1);
+    assert!(!reference.is_empty());
+    for workers in [2, 3, 8, 0] {
+        let transcript = batch_transcript(&mut build_system(), workers);
+        assert_eq!(
+            reference, transcript,
+            "worker count {workers} changed the ranked answers"
+        );
+    }
+}

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use q_graph::steiner::GraphView;
 use q_graph::{
-    approx_top_k, bin_confidence, exact_minimum_steiner, EdgeId, FeatureId, FeatureVector, NodeId,
-    SteinerConfig, WeightVector,
+    approx_top_k, bin_confidence, exact_minimum_steiner, Csr, EdgeId, FeatureId, FeatureVector,
+    NodeId, SteinerConfig, WeightVector,
 };
 use q_learn::{constraints_from_candidates, Mira};
 use q_storage::{Catalog, Value, ValueIndex};
@@ -20,26 +20,28 @@ use q_storage::{Catalog, Value, ValueIndex};
 struct RandomGraph {
     n: usize,
     edges: Vec<(u32, u32, f64)>,
+    csr: Csr,
+}
+
+impl RandomGraph {
+    fn new(n: usize, edges: Vec<(u32, u32, f64)>) -> Self {
+        let csr = Csr::build(
+            n,
+            edges
+                .iter()
+                .enumerate()
+                .map(|(i, (a, b, _))| (EdgeId(i as u32), NodeId(*a), NodeId(*b))),
+        );
+        RandomGraph { n, edges, csr }
+    }
 }
 
 impl GraphView for RandomGraph {
     fn node_count(&self) -> usize {
         self.n
     }
-    fn neighbors(&self, node: NodeId) -> Vec<(EdgeId, NodeId)> {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter_map(|(i, (a, b, _))| {
-                if *a == node.0 {
-                    Some((EdgeId(i as u32), NodeId(*b)))
-                } else if *b == node.0 {
-                    Some((EdgeId(i as u32), NodeId(*a)))
-                } else {
-                    None
-                }
-            })
-            .collect()
+    fn neighbors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.neighbors(node)
     }
     fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
         let (a, b, _) = self.edges[edge.index()];
@@ -67,8 +69,37 @@ fn random_graph() -> impl Strategy<Value = RandomGraph> {
                     edges.push((a, b, w));
                 }
             }
-            RandomGraph { n, edges }
+            RandomGraph::new(n, edges)
         })
+}
+
+/// A random *tree*: node `i` hangs off a random earlier node. On a tree
+/// every pair of nodes has exactly one connecting path, so the shortest-path
+/// heuristic is exact.
+fn random_tree() -> impl Strategy<Value = RandomGraph> {
+    (
+        3usize..10,
+        proptest::collection::vec((0u32..u32::MAX, 0.1f64..3.0), 9),
+    )
+        .prop_map(|(n, params)| {
+            let edges: Vec<(u32, u32, f64)> = (1..n as u32)
+                .map(|i| {
+                    let (pick, w) = params[(i - 1) as usize];
+                    (pick % i, i, w)
+                })
+                .collect();
+            RandomGraph::new(n, edges)
+        })
+}
+
+/// A random path graph 0 - 1 - ... - (n-1) with random edge weights.
+fn random_path() -> impl Strategy<Value = RandomGraph> {
+    (3usize..10, proptest::collection::vec(0.1f64..3.0, 9)).prop_map(|(n, weights)| {
+        let edges: Vec<(u32, u32, f64)> = (0..n as u32 - 1)
+            .map(|i| (i, i + 1, weights[i as usize]))
+            .collect();
+        RandomGraph::new(n, edges)
+    })
 }
 
 proptest! {
@@ -109,6 +140,62 @@ proptest! {
         }
         let exact = exact_minimum_steiner(&graph, &terminals).expect("connected");
         prop_assert!(exact.cost <= trees[0].cost + 1e-9);
+    }
+
+    /// On trees the approximation is exact: the unique connecting subtree is
+    /// both the heuristic's best candidate and the optimum, so the costs
+    /// (and edge sets) coincide.
+    #[test]
+    fn approx_is_exact_on_trees(
+        graph in random_tree(),
+        t1 in 0u32..10,
+        t2 in 0u32..10,
+        t3 in 0u32..10,
+    ) {
+        let n = graph.node_count() as u32;
+        let mut terminals: Vec<NodeId> = [t1 % n, t2 % n, t3 % n]
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        terminals.sort();
+        terminals.dedup();
+
+        let trees = approx_top_k(&graph, &terminals, &SteinerConfig { k: 3, max_roots: 0 });
+        prop_assert!(!trees.is_empty());
+        let exact = exact_minimum_steiner(&graph, &terminals).expect("trees are connected");
+        prop_assert!((trees[0].cost - exact.cost).abs() < 1e-9,
+            "approx {} vs exact {} on a tree", trees[0].cost, exact.cost);
+        prop_assert_eq!(&trees[0].edges, &exact.edges);
+        // A tree has exactly one subtree spanning the terminals: no second
+        // distinct candidate can exist.
+        prop_assert_eq!(trees.len(), 1);
+    }
+
+    /// Same exactness on path graphs (the other shape the ISSUE calls out):
+    /// the optimal Steiner tree of terminals on a path is the sub-path
+    /// between the extremes.
+    #[test]
+    fn approx_is_exact_on_paths(
+        graph in random_path(),
+        t1 in 0u32..10,
+        t2 in 0u32..10,
+    ) {
+        let n = graph.node_count() as u32;
+        let mut terminals: Vec<NodeId> = [t1 % n, t2 % n].into_iter().map(NodeId).collect();
+        terminals.sort();
+        terminals.dedup();
+
+        let trees = approx_top_k(&graph, &terminals, &SteinerConfig::default());
+        prop_assert!(!trees.is_empty());
+        let exact = exact_minimum_steiner(&graph, &terminals).expect("paths are connected");
+        prop_assert!((trees[0].cost - exact.cost).abs() < 1e-9);
+        prop_assert_eq!(&trees[0].edges, &exact.edges);
+        // Direct check of the closed form: sum of edge weights strictly
+        // between the extreme terminals.
+        let lo = terminals.first().unwrap().0;
+        let hi = terminals.last().unwrap().0;
+        let expected: f64 = (lo..hi).map(|i| graph.edges[i as usize].2).sum();
+        prop_assert!((exact.cost - expected).abs() < 1e-9);
     }
 
     /// Confidence binning always lands in range and is monotone.
