@@ -88,7 +88,16 @@ fn ablation_steiner_exact_vs_approx(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_steiner");
     group.bench_function("approx_top5", |b| {
-        b.iter(|| approx_top_k(&qg, &terminals, &SteinerConfig { k: 5, max_roots: 0 }))
+        b.iter(|| {
+            approx_top_k(
+                &qg,
+                &terminals,
+                &SteinerConfig {
+                    k: 5,
+                    ..SteinerConfig::default()
+                },
+            )
+        })
     });
     group.bench_function("exact_dreyfus_wagner", |b| {
         b.iter(|| exact_minimum_steiner(&qg, &terminals))

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use q_core::{BatchOptions, QConfig, QSystem};
+use q_core::{BatchOptions, CachePolicy, QConfig, QSystem, QueryRequest};
 use q_datasets::{gbco_catalog, gbco_trials, GbcoConfig};
 
 fn small_gbco() -> GbcoConfig {
@@ -16,45 +16,48 @@ fn small_gbco() -> GbcoConfig {
     }
 }
 
-fn workload(repeats: usize) -> Vec<Vec<String>> {
+fn workload(repeats: usize, policy: CachePolicy) -> Vec<QueryRequest> {
     let trials = gbco_trials();
     let mut out = Vec::new();
     for _ in 0..repeats {
-        out.extend(trials.iter().map(|t| t.keywords.clone()));
+        out.extend(
+            trials
+                .iter()
+                .map(|t| QueryRequest::new(t.keywords.iter().cloned()).cache_policy(policy)),
+        );
     }
     out
 }
 
 fn sequential_uncached(c: &mut Criterion) {
-    let q = QSystem::new(gbco_catalog(&small_gbco()), QConfig::default());
-    let queries = workload(2);
+    let mut q = QSystem::new(gbco_catalog(&small_gbco()), QConfig::default());
+    let requests = workload(2, CachePolicy::Bypass);
     c.bench_function("throughput/sequential_uncached", |b| {
         b.iter(|| {
-            for kws in &queries {
-                let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
-                q.run_query_uncached(&refs).expect("query answers");
+            for request in &requests {
+                q.query(request).expect("query answers");
             }
         })
     });
 }
 
 fn batched_cold(c: &mut Criterion) {
-    let queries = workload(2);
+    let requests = workload(2, CachePolicy::Cached);
     c.bench_function("throughput/batched_cold_cache", |b| {
         b.iter(|| {
             // Fresh system per iteration so the cache really is cold.
             let mut q = QSystem::new(gbco_catalog(&small_gbco()), QConfig::default());
-            q.run_queries_batch(&queries, &BatchOptions::default())
+            q.query_batch(&requests, &BatchOptions::default())
         })
     });
 }
 
 fn batched_warm(c: &mut Criterion) {
     let mut q = QSystem::new(gbco_catalog(&small_gbco()), QConfig::default());
-    let queries = workload(2);
-    q.run_queries_batch(&queries, &BatchOptions::default());
+    let requests = workload(2, CachePolicy::Cached);
+    q.query_batch(&requests, &BatchOptions::default());
     c.bench_function("throughput/batched_warm_cache", |b| {
-        b.iter(|| q.run_queries_batch(&queries, &BatchOptions::default()))
+        b.iter(|| q.query_batch(&requests, &BatchOptions::default()))
     });
 }
 

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use q_core::{BatchOptions, QConfig, QSystem};
+use q_core::{BatchOptions, CachePolicy, QConfig, QSystem, QueryRequest};
 use q_datasets::{gbco_catalog, gbco_trials, GbcoConfig};
 
 /// Experiment configuration.
@@ -103,26 +103,33 @@ pub fn run_throughput_experiment(config: &ThroughputConfig) -> ThroughputResult 
         workload.extend(trials.iter().map(|t| t.keywords.clone()));
     }
     let distinct_queries = trials.len();
-
-    // Pre-PR baseline: sequential, no cache, every repeat recomputed. The
-    // timed window covers only the query computation — the Debug rendering
-    // the determinism check needs happens outside it, keeping the baseline
-    // comparable to the (render-free) batched windows below.
-    let start = Instant::now();
-    let sequential_views: Vec<_> = workload
+    // Typed requests, built outside every timed window.
+    let requests: Vec<QueryRequest> = workload
         .iter()
-        .map(|kws| {
-            let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
-            q.run_query_uncached(&refs).expect("query answers")
-        })
+        .map(|kws| QueryRequest::new(kws.iter().cloned()))
+        .collect();
+    let bypass_requests: Vec<QueryRequest> = workload
+        .iter()
+        .map(|kws| QueryRequest::new(kws.iter().cloned()).cache_policy(CachePolicy::Bypass))
+        .collect();
+
+    // Pre-PR baseline: sequential, no cache, every repeat recomputed
+    // (`CachePolicy::Bypass` per request). The timed window covers only the
+    // query computation — the Debug rendering the determinism check needs
+    // happens outside it, keeping the baseline comparable to the
+    // (render-free) batched windows below.
+    let start = Instant::now();
+    let sequential_views: Vec<_> = bypass_requests
+        .iter()
+        .map(|r| q.query(r).expect("query answers").view)
         .collect();
     let sequential_cold = start.elapsed();
     let sequential: Vec<String> = sequential_views.iter().map(|v| format!("{v:?}")).collect();
 
     // Batched over scoped workers, cold cache.
     let start = Instant::now();
-    let cold = q.run_queries_batch(
-        &workload,
+    let cold = q.query_batch(
+        &requests,
         &BatchOptions {
             workers: config.workers,
         },
@@ -131,8 +138,8 @@ pub fn run_throughput_experiment(config: &ThroughputConfig) -> ThroughputResult 
 
     // Same batch again: every query is a cache hit.
     let start = Instant::now();
-    let warm = q.run_queries_batch(
-        &workload,
+    let warm = q.query_batch(
+        &requests,
         &BatchOptions {
             workers: config.workers,
         },
@@ -142,24 +149,24 @@ pub fn run_throughput_experiment(config: &ThroughputConfig) -> ThroughputResult 
     // Determinism: batched == sequential per slot, and a single-worker rerun
     // on a fresh system matches the multi-worker cold run byte for byte.
     let mut q_single = QSystem::new(gbco_catalog(&config.gbco), QConfig::default());
-    let single = q_single.run_queries_batch(&workload, &BatchOptions { workers: 1 });
-    let render = |r: &Result<std::sync::Arc<q_core::RankedView>, q_core::QError>| {
-        format!("{:?}", **r.as_ref().expect("query answers"))
+    let single = q_single.query_batch(&requests, &BatchOptions { workers: 1 });
+    let render = |r: &Result<q_core::QueryOutcome, q_core::QError>| {
+        format!("{:?}", *r.as_ref().expect("query answers").view)
     };
     let deterministic = cold
-        .results
+        .outcomes
         .iter()
         .zip(&sequential)
         .all(|(b, s)| render(b) == *s)
         && cold
-            .results
+            .outcomes
             .iter()
-            .zip(&single.results)
+            .zip(&single.outcomes)
             .all(|(a, b)| render(a) == render(b))
         && warm
-            .results
+            .outcomes
             .iter()
-            .zip(&cold.results)
+            .zip(&cold.outcomes)
             .all(|(a, b)| render(a) == render(b));
 
     ThroughputResult {

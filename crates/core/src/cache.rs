@@ -1,36 +1,66 @@
 //! Weight-epoch-keyed answer cache.
 //!
 //! Every answer a Q view serves is a pure function of (the keyword query,
-//! the search graph's topology, the edge-cost weights). The search graph
-//! collapses the last two into one monotone counter — its *weight epoch*,
-//! bumped by every MIRA re-pricing and every topology change (see
+//! the per-request serving parameters, the search graph's topology, the
+//! edge-cost weights). The search graph collapses the last two into one
+//! monotone counter — its *weight epoch*, bumped by every MIRA re-pricing
+//! and every topology change (see
 //! [`SearchGraph::weight_epoch`](q_graph::SearchGraph::weight_epoch)). The
-//! cache therefore keys entries on `(normalized keywords, epoch)`: feedback
-//! bumps the epoch, which invalidates exactly the entries priced under the
-//! old weights, and nothing else ever needs invalidating.
+//! cache therefore keys entries on `(`[`QueryKey`]`, epoch)` — the key
+//! packing the normalized keywords together with the request's
+//! parameter fingerprint: feedback bumps the epoch, which invalidates
+//! exactly the entries priced under the old weights, and nothing else ever
+//! needs invalidating.
 //!
 //! Since all live entries share the current epoch, the key stores only the
-//! keywords and the whole map is cleared when the epoch moves — the
-//! cache-coherence rule is "stale epoch ⇒ empty cache", which is trivially
-//! audit-able and cheap.
+//! keywords + parameters and the whole map is cleared when the epoch moves —
+//! the cache-coherence rule is "stale epoch ⇒ empty cache", which is
+//! trivially audit-able and cheap.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::answer::RankedView;
+use crate::request::QueryParamsKey;
 
-/// Normalise a keyword query into its cache key: per-keyword trim +
-/// lowercase (exactly what [`KeywordIndex`](q_graph::KeywordIndex) does to a
-/// keyword before matching), order and arity preserved. Order determines
-/// view column order and every keyword — even a blank one — becomes a
-/// Steiner terminal (a blank keyword matches nothing, leaving its terminal
-/// unreachable and the view empty), so both are part of the key.
+/// Normalise a keyword query into the keyword half of its cache key:
+/// per-keyword trim + lowercase (exactly what
+/// [`KeywordIndex`](q_graph::KeywordIndex) does to a keyword before
+/// matching), order and arity preserved. Order determines view column order
+/// and every keyword — even a blank one — becomes a Steiner terminal (a
+/// blank keyword matches nothing, leaving its terminal unreachable and the
+/// view empty), so both are part of the key.
 ///
 /// Two spellings with equal keys produce identical ranked answers; only the
 /// verbatim `keywords` echo in the cached [`RankedView`] may differ.
 pub fn normalize_keywords(keywords: &[&str]) -> Vec<String> {
     keywords.iter().map(|k| k.trim().to_lowercase()).collect()
+}
+
+/// Cache key of one query: the normalized keywords plus the request's
+/// answer-changing overrides (see
+/// [`QueryRequest::params_key`](crate::QueryRequest::params_key)). Two
+/// requests with equal keys produce byte-identical ranked answers under
+/// equal weight epochs; a request with no overrides has the default
+/// `params`, sharing entries with the deprecated slice-taking methods.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Normalized keywords, order and arity preserved.
+    pub keywords: Vec<String>,
+    /// The request's overrides; `QueryParamsKey::default()` for a default
+    /// request.
+    pub params: QueryParamsKey,
+}
+
+impl QueryKey {
+    /// Key for a default request (no overrides) over raw keywords.
+    pub fn from_keywords(keywords: &[&str]) -> Self {
+        QueryKey {
+            keywords: normalize_keywords(keywords),
+            params: QueryParamsKey::default(),
+        }
+    }
 }
 
 /// Answer cache for the query path. See the module docs for the coherence
@@ -40,8 +70,8 @@ pub fn normalize_keywords(keywords: &[&str]) -> Vec<String> {
 #[derive(Debug, Clone)]
 pub struct QueryCache {
     epoch: u64,
-    entries: HashMap<Vec<String>, Arc<RankedView>>,
-    insertion_order: VecDeque<Vec<String>>,
+    entries: HashMap<QueryKey, Arc<RankedView>>,
+    insertion_order: VecDeque<QueryKey>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -58,7 +88,10 @@ impl Default for QueryCache {
 }
 
 impl QueryCache {
-    /// Cache holding at most `capacity` views (minimum 1).
+    /// Cache holding at most `capacity` views. A capacity of `0` is clamped
+    /// to 1 rather than panicking or silently caching nothing — the serving
+    /// path relies on "insert then get" succeeding at least for the entry
+    /// just computed.
     pub fn with_capacity(capacity: usize) -> Self {
         QueryCache {
             epoch: 0,
@@ -82,8 +115,8 @@ impl QueryCache {
         }
     }
 
-    /// Look up a normalized query, counting the hit or miss.
-    pub fn get(&mut self, key: &[String]) -> Option<Arc<RankedView>> {
+    /// Look up a query key, counting the hit or miss.
+    pub fn get(&mut self, key: &QueryKey) -> Option<Arc<RankedView>> {
         match self.entries.get(key) {
             Some(view) => {
                 self.hits += 1;
@@ -96,9 +129,9 @@ impl QueryCache {
         }
     }
 
-    /// Insert a computed view under a normalized key, evicting the oldest
-    /// entry when full.
-    pub fn insert(&mut self, key: Vec<String>, view: Arc<RankedView>) {
+    /// Insert a computed view under a key, evicting the oldest entry when
+    /// full.
+    pub fn insert(&mut self, key: QueryKey, view: Arc<RankedView>) {
         if let Some(slot) = self.entries.get_mut(&key) {
             *slot = view;
             return;
@@ -116,6 +149,11 @@ impl QueryCache {
     /// Epoch the live entries were computed under.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Maximum number of entries the cache holds (always at least 1).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of live entries.
@@ -155,6 +193,10 @@ mod tests {
         })
     }
 
+    fn key(keywords: &[&str]) -> QueryKey {
+        QueryKey::from_keywords(keywords)
+    }
+
     #[test]
     fn normalization_trims_lowercases_and_keeps_order_and_arity() {
         assert_eq!(
@@ -173,10 +215,25 @@ mod tests {
     }
 
     #[test]
+    fn params_distinguish_otherwise_equal_keys() {
+        let plain = key(&["a"]);
+        let tuned = QueryKey {
+            keywords: normalize_keywords(&["a"]),
+            params: crate::QueryRequest::new(["a"]).top_k(1).params_key(),
+        };
+        assert_ne!(plain, tuned);
+        let mut cache = QueryCache::default();
+        cache.insert(plain.clone(), view("plain"));
+        cache.insert(tuned.clone(), view("tuned"));
+        assert_eq!(cache.get(&plain).unwrap().keywords, vec!["plain"]);
+        assert_eq!(cache.get(&tuned).unwrap().keywords, vec!["tuned"]);
+    }
+
+    #[test]
     fn hit_after_insert_miss_before() {
         let mut cache = QueryCache::default();
         cache.sync_epoch(3);
-        let key = normalize_keywords(&["plasma membrane"]);
+        let key = key(&["plasma membrane"]);
         assert!(cache.get(&key).is_none());
         cache.insert(key.clone(), view("v"));
         let got = cache.get(&key).expect("cached");
@@ -189,14 +246,14 @@ mod tests {
     fn epoch_move_invalidates_everything() {
         let mut cache = QueryCache::default();
         cache.sync_epoch(1);
-        cache.insert(normalize_keywords(&["a"]), view("a"));
-        cache.insert(normalize_keywords(&["b"]), view("b"));
+        cache.insert(key(&["a"]), view("a"));
+        cache.insert(key(&["b"]), view("b"));
         cache.sync_epoch(2);
         assert!(cache.is_empty());
         assert_eq!(cache.invalidations(), 2);
         assert_eq!(cache.epoch(), 2);
         // Same epoch: nothing dropped.
-        cache.insert(normalize_keywords(&["c"]), view("c"));
+        cache.insert(key(&["c"]), view("c"));
         cache.sync_epoch(2);
         assert_eq!(cache.len(), 1);
     }
@@ -204,12 +261,26 @@ mod tests {
     #[test]
     fn capacity_evicts_oldest_first() {
         let mut cache = QueryCache::with_capacity(2);
-        cache.insert(normalize_keywords(&["a"]), view("a"));
-        cache.insert(normalize_keywords(&["b"]), view("b"));
-        cache.insert(normalize_keywords(&["c"]), view("c"));
+        cache.insert(key(&["a"]), view("a"));
+        cache.insert(key(&["b"]), view("b"));
+        cache.insert(key(&["c"]), view("c"));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&normalize_keywords(&["a"])).is_none());
-        assert!(cache.get(&normalize_keywords(&["b"])).is_some());
-        assert!(cache.get(&normalize_keywords(&["c"])).is_some());
+        assert!(cache.get(&key(&["a"])).is_none());
+        assert!(cache.get(&key(&["b"])).is_some());
+        assert!(cache.get(&key(&["c"])).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one_instead_of_degrading() {
+        let mut cache = QueryCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        // The just-inserted entry is still retrievable.
+        cache.insert(key(&["a"]), view("a"));
+        assert!(cache.get(&key(&["a"])).is_some());
+        // A second insert evicts the first, never panics.
+        cache.insert(key(&["b"]), view("b"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(&["a"])).is_none());
+        assert!(cache.get(&key(&["b"])).is_some());
     }
 }

@@ -51,7 +51,10 @@ impl Default for QConfig {
             top_k: 5,
             top_y: 2,
             match_config: MatchConfig::default(),
-            steiner: SteinerConfig { k: 5, max_roots: 0 },
+            steiner: SteinerConfig {
+                k: 5,
+                ..SteinerConfig::default()
+            },
             strategy: AlignmentStrategy::ViewBased,
             column_merge_threshold: 1.5,
             min_edge_cost: 0.05,

@@ -1,4 +1,11 @@
 //! Error type of the Q system.
+//!
+//! [`QError`] is the single error type every façade entry point returns. It
+//! forms the top of the workspace error chain: storage failures are wrapped
+//! in structured variants that keep the operation context (which source was
+//! loading, which keywords were materialising) and expose the underlying
+//! [`StorageError`] through [`std::error::Error::source`], so callers can
+//! both render one informative message and walk the chain programmatically.
 
 use std::fmt;
 
@@ -7,8 +14,38 @@ use q_storage::StorageError;
 /// Errors surfaced by the Q system API.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QError {
-    /// An underlying storage operation failed.
+    /// An underlying storage operation failed (no extra context available;
+    /// produced by the blanket `From<StorageError>` conversion).
     Storage(StorageError),
+    /// Loading a source specification into the catalog failed.
+    SourceLoad {
+        /// Name of the source being registered.
+        source_name: String,
+        /// The storage-layer failure.
+        source: StorageError,
+    },
+    /// Materialising a keyword query's ranked view failed in the executor.
+    ViewMaterialization {
+        /// The (verbatim) keywords of the failing query.
+        keywords: Vec<String>,
+        /// The storage-layer failure.
+        source: StorageError,
+    },
+    /// A [`QueryRequest`](crate::QueryRequest) carried an unusable parameter.
+    InvalidRequest {
+        /// The offending request field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// [`QSystemBuilder::build`](crate::QSystemBuilder::build) rejected the
+    /// configuration.
+    InvalidBuild {
+        /// The offending configuration field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
     /// The referenced view does not exist.
     UnknownView(usize),
     /// The referenced answer index does not exist in the view.
@@ -26,6 +63,19 @@ impl fmt::Display for QError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QError::Storage(e) => write!(f, "storage error: {e}"),
+            QError::SourceLoad {
+                source_name,
+                source,
+            } => write!(f, "loading source `{source_name}` failed: {source}"),
+            QError::ViewMaterialization { keywords, source } => {
+                write!(f, "materialising view for {keywords:?} failed: {source}")
+            }
+            QError::InvalidRequest { field, reason } => {
+                write!(f, "invalid query request: `{field}` {reason}")
+            }
+            QError::InvalidBuild { field, reason } => {
+                write!(f, "invalid system configuration: `{field}` {reason}")
+            }
             QError::UnknownView(v) => write!(f, "unknown view #{v}"),
             QError::UnknownAnswer { view, answer } => {
                 write!(f, "view #{view} has no answer #{answer}")
@@ -35,7 +85,16 @@ impl fmt::Display for QError {
     }
 }
 
-impl std::error::Error for QError {}
+impl std::error::Error for QError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QError::Storage(e)
+            | QError::SourceLoad { source: e, .. }
+            | QError::ViewMaterialization { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<StorageError> for QError {
     fn from(e: StorageError) -> Self {
@@ -46,6 +105,7 @@ impl From<StorageError> for QError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn displays_are_informative() {
@@ -53,5 +113,52 @@ mod tests {
         let e: QError = StorageError::UnknownRelation("x".into()).into();
         assert!(matches!(e, QError::Storage(_)));
         assert!(e.to_string().contains("storage"));
+        let e = QError::InvalidRequest {
+            field: "top_k",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("top_k"));
+    }
+
+    #[test]
+    fn contextual_variants_chain_to_the_storage_error() {
+        let inner = StorageError::DuplicateSource("go".into());
+        let e = QError::SourceLoad {
+            source_name: "go".into(),
+            source: inner.clone(),
+        };
+        // Display keeps both the context and the storage message.
+        let msg = e.to_string();
+        assert!(msg.contains("loading source `go`"));
+        assert!(msg.contains("duplicate source"));
+        // `source()` walks down to the StorageError, which is the leaf.
+        let chained = e.source().expect("wraps a storage error");
+        let storage = chained
+            .downcast_ref::<StorageError>()
+            .expect("source is the StorageError");
+        assert_eq!(storage, &inner);
+        assert!(chained.source().is_none());
+    }
+
+    #[test]
+    fn materialization_errors_carry_the_keywords() {
+        let e = QError::ViewMaterialization {
+            keywords: vec!["plasma".into(), "entry".into()],
+            source: StorageError::InvalidAtom(7),
+        };
+        assert!(e.to_string().contains("plasma"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn leaf_variants_have_no_source() {
+        assert!(QError::NoQueryTrees.source().is_none());
+        assert!(QError::UnknownView(0).source().is_none());
+        assert!(QError::InvalidBuild {
+            field: "catalog",
+            reason: "empty".into()
+        }
+        .source()
+        .is_none());
     }
 }

@@ -23,16 +23,19 @@
 //! the paper's Section 5.2 experiments.
 
 pub mod answer;
+pub mod builder;
 pub mod cache;
 pub mod config;
 pub mod error;
 pub mod evaluation;
 pub mod feedback;
+pub mod request;
 pub mod system;
 pub mod translate;
 
 pub use answer::{Answer, RankedQuery, RankedView, ViewId};
-pub use cache::{normalize_keywords, QueryCache};
+pub use builder::QSystemBuilder;
+pub use cache::{normalize_keywords, QueryCache, QueryKey};
 pub use config::{AlignmentStrategy, QConfig};
 pub use error::QError;
 pub use evaluation::{
@@ -40,4 +43,7 @@ pub use evaluation::{
     EdgeCostSummary, PrPoint,
 };
 pub use feedback::{Feedback, FeedbackOutcome};
-pub use system::{BatchOptions, BatchReport, QSystem, RegistrationReport};
+pub use request::{
+    CachePolicy, CacheStatus, QueryOutcome, QueryParamsKey, QueryRequest, SearchStrategy,
+};
+pub use system::{BatchOptions, BatchOutcome, BatchReport, QSystem, RegistrationReport};

@@ -1,8 +1,16 @@
 //! The `QSystem` façade: view creation, source registration, feedback and
-//! the cached, batched query-serving path.
+//! the typed, cached, batched query-serving path.
+//!
+//! Serving goes through the typed request/response API:
+//! [`QSystem::query`] answers one [`QueryRequest`], [`QSystem::query_batch`]
+//! answers a workload of them; both return [`QueryOutcome`]s carrying the
+//! ranked view plus serving provenance. The old slice-taking
+//! `run_query_cached` / `run_query_uncached` / `run_queries_batch` methods
+//! survive as thin deprecated shims over the same internals.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -11,18 +19,19 @@ use q_align::{
 };
 use q_graph::keyword::MatchTarget;
 use q_graph::{
-    approx_top_k, approx_top_k_with, KeywordIndex, NodeId, QueryGraph, SearchGraph, SteinerConfig,
-    SteinerScratch,
+    approx_top_k, approx_top_k_detailed, exact_minimum_steiner, KeywordIndex, NodeId, QueryGraph,
+    SearchGraph, SteinerConfig, SteinerScratch, SteinerStats,
 };
 use q_learn::{constraints_from_candidates, enforce_positive_costs, Mira};
 use q_matchers::{AttributeAlignment, SchemaMatcher};
 use q_storage::{AttributeId, Catalog, SourceId, SourceSpec, ValueIndex};
 
 use crate::answer::{RankedQuery, RankedView, ViewId};
-use crate::cache::{normalize_keywords, QueryCache};
+use crate::cache::{normalize_keywords, QueryCache, QueryKey};
 use crate::config::{AlignmentStrategy, QConfig};
 use crate::error::QError;
 use crate::feedback::{Feedback, FeedbackOutcome};
+use crate::request::{CachePolicy, CacheStatus, QueryOutcome, QueryRequest, SearchStrategy};
 use crate::translate::{materialize_view, tree_to_query};
 
 /// Report returned by [`QSystem::register_source`].
@@ -38,7 +47,7 @@ pub struct RegistrationReport {
     pub refreshed_views: Vec<ViewId>,
 }
 
-/// Options for [`QSystem::run_queries_batch`].
+/// Options for [`QSystem::query_batch`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchOptions {
     /// Worker threads answering cache misses. `0` (the default) uses the
@@ -47,8 +56,24 @@ pub struct BatchOptions {
     pub workers: usize,
 }
 
+impl BatchOptions {
+    /// Resolve the configured worker count against `pending` computations:
+    /// `0` expands to the machine's available parallelism, the result is
+    /// capped at `pending` (no idle workers) and clamped to at least 1 (a
+    /// request for zero workers is a configuration mistake, not a reason to
+    /// hang or panic).
+    pub fn effective_workers(&self, pending: usize) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            w => w,
+        }
+        .min(pending)
+        .max(1)
+    }
+}
+
 /// Outcome of [`QSystem::run_queries_batch`]: one result per workload query,
-/// in workload order.
+/// in workload order. The typed API's equivalent is [`BatchOutcome`].
 #[derive(Debug)]
 pub struct BatchReport {
     /// Per-query ranked views, in the order the workload listed them.
@@ -57,6 +82,24 @@ pub struct BatchReport {
     /// earlier in-batch query count here too: they are answered once).
     pub cache_hits: usize,
     /// Distinct queries that had to be computed.
+    pub cache_misses: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+/// Outcome of [`QSystem::query_batch`]: one [`QueryOutcome`] (or error) per
+/// request, in request order, plus batch-level cache accounting.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-request outcomes, in the order the requests were given. A request
+    /// that fails validation gets its error here without affecting the rest
+    /// of the batch.
+    pub outcomes: Vec<Result<QueryOutcome, QError>>,
+    /// Requests served without a fresh computation: cache hits as the batch
+    /// started, plus duplicates of an earlier in-batch request (answered
+    /// once, shared).
+    pub cache_hits: usize,
+    /// Distinct computations the batch performed.
     pub cache_misses: usize,
     /// Worker threads actually used.
     pub workers: usize,
@@ -188,113 +231,198 @@ impl QSystem {
             &self.keyword_index,
             &self.config,
             keywords,
+            ServeParams::defaults(&self.config),
             &mut SteinerScratch::default(),
         )
+        .map(|(view, _)| view)
     }
 
     // ------------------------------------------------------------------
-    // Cached, batched query serving
+    // Typed query serving
     // ------------------------------------------------------------------
 
-    /// Answer a keyword query through the weight-epoch-keyed cache: a repeat
-    /// of a query under unchanged weights returns the cached ranked view; any
-    /// re-pricing or topology change bumps the graph's epoch and the query is
-    /// recomputed. Unlike [`QSystem::create_view`] this registers no
-    /// persistent view.
-    pub fn run_query_cached(&mut self, keywords: &[&str]) -> Result<Arc<RankedView>, QError> {
-        self.cache.sync_epoch(self.graph.weight_epoch());
-        let key = normalize_keywords(keywords);
-        if let Some(view) = self.cache.get(&key) {
-            return Ok(view);
-        }
-        let view = Arc::new(self.compute_view(keywords)?);
-        self.cache.insert(key, Arc::clone(&view));
-        Ok(view)
-    }
-
-    /// Answer a workload of keyword queries, filling cache misses across
-    /// `std::thread::scope` workers. Results come back in workload order and
-    /// are byte-identical to answering each query sequentially, regardless of
-    /// worker count: each distinct query is computed exactly once by a pure
-    /// function of the (immutable during the batch) graph, and written to its
-    /// own slot.
-    pub fn run_queries_batch(
-        &mut self,
-        workload: &[Vec<String>],
-        options: &BatchOptions,
-    ) -> BatchReport {
-        self.cache.sync_epoch(self.graph.weight_epoch());
-
-        // Resolve each workload entry against the cache; collect the
-        // distinct misses (first occurrence wins, duplicates share it).
-        let keys: Vec<Vec<String>> = workload
-            .iter()
-            .map(|kws| {
-                let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
-                normalize_keywords(&refs)
-            })
-            .collect();
-        let mut results: Vec<Option<Result<Arc<RankedView>, QError>>> = vec![None; workload.len()];
-        let mut miss_queries: Vec<Vec<String>> = Vec::new();
-        let mut miss_of: Vec<Option<usize>> = vec![None; workload.len()];
-        let mut first_miss: HashMap<&[String], usize> = HashMap::new();
-        let mut cache_hits = 0usize;
-        for (i, key) in keys.iter().enumerate() {
-            if let Some(&first) = first_miss.get(key.as_slice()) {
-                // Duplicate of an earlier in-batch miss: computed once, and
-                // the cache's own counters see only the first occurrence.
-                miss_of[i] = Some(first);
-                cache_hits += 1;
-            } else if let Some(view) = self.cache.get(key) {
-                results[i] = Some(Ok(view));
-                cache_hits += 1;
-            } else {
-                first_miss.insert(key.as_slice(), miss_queries.len());
-                miss_of[i] = Some(miss_queries.len());
-                miss_queries.push(workload[i].clone());
+    /// Answer one typed [`QueryRequest`].
+    ///
+    /// The request's [`CachePolicy`] decides how the weight-epoch-keyed
+    /// answer cache participates: `Cached` serves repeats under unchanged
+    /// weights from the cache (any re-pricing or topology change bumps the
+    /// graph's epoch and forces a recomputation), `Bypass` recomputes
+    /// without touching the cache, `Refresh` recomputes and overwrites the
+    /// cached entry. Per-request `top_k` / [`SearchStrategy`] / cost-budget
+    /// overrides are threaded down into the Steiner search — and into the
+    /// cache key, so differently-parameterised requests never share an
+    /// entry. Unlike [`QSystem::create_view`] this registers no persistent
+    /// view.
+    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryOutcome, QError> {
+        request.validate()?;
+        let epoch = self.graph.weight_epoch();
+        let params = ServeParams::resolve(&self.config, request);
+        let refs: Vec<&str> = request.keywords().iter().map(String::as_str).collect();
+        // Bypass requests never touch the cache, so they skip key
+        // construction entirely — this is the hot sequential baseline.
+        let key = (request.cache() != CachePolicy::Bypass).then(|| {
+            self.cache.sync_epoch(epoch);
+            QueryKey {
+                keywords: normalize_keywords(&refs),
+                params: request.params_key(),
+            }
+        });
+        if request.cache() == CachePolicy::Cached {
+            let key = key.as_ref().expect("cached policy builds a key");
+            if let Some(view) = self.cache.get(key) {
+                return Ok(QueryOutcome {
+                    view,
+                    cache: CacheStatus::Hit,
+                    weight_epoch: epoch,
+                    steiner: None,
+                    wall_time: Duration::ZERO,
+                });
             }
         }
 
-        let workers = match options.workers {
-            0 => std::thread::available_parallelism().map_or(1, usize::from),
-            w => w,
-        }
-        .min(miss_queries.len())
-        .max(1);
+        let start = Instant::now();
+        let (view, stats) = answer_keywords(
+            &self.catalog,
+            &self.graph,
+            &self.keyword_index,
+            &self.config,
+            &refs,
+            params,
+            &mut SteinerScratch::default(),
+        )?;
+        let wall_time = start.elapsed();
+        let view = Arc::new(view);
+        let cache = match request.cache() {
+            CachePolicy::Cached => {
+                self.cache
+                    .insert(key.expect("cached policy builds a key"), Arc::clone(&view));
+                CacheStatus::Miss
+            }
+            CachePolicy::Refresh => {
+                self.cache
+                    .insert(key.expect("refresh policy builds a key"), Arc::clone(&view));
+                CacheStatus::Refreshed
+            }
+            CachePolicy::Bypass => CacheStatus::Bypassed,
+        };
+        Ok(QueryOutcome {
+            view,
+            cache,
+            weight_epoch: epoch,
+            steiner: Some(stats),
+            wall_time,
+        })
+    }
 
-        // Fan the misses out over scoped workers on a strided schedule; each
-        // worker reuses one Steiner scratch across its queries and returns
-        // `(miss index, result)` pairs, so no slot is written twice and the
-        // merged outcome is independent of scheduling. A fully-warm batch
-        // skips the scope entirely.
+    /// Answer a workload of typed requests, filling the required
+    /// computations across `std::thread::scope` workers.
+    ///
+    /// Outcomes come back in request order and are byte-identical to
+    /// answering each request sequentially through [`QSystem::query`],
+    /// regardless of worker count: each distinct `(keywords, overrides)`
+    /// combination is computed exactly once by a pure function of the
+    /// (immutable during the batch) graph, and written to its own slot.
+    /// Requests that fail validation receive their error in their slot
+    /// without affecting the rest of the batch.
+    pub fn query_batch(
+        &mut self,
+        requests: &[QueryRequest],
+        options: &BatchOptions,
+    ) -> BatchOutcome {
+        let epoch = self.graph.weight_epoch();
+        self.cache.sync_epoch(epoch);
+
+        // Resolve each request against the cache; collect the distinct
+        // computations (first occurrence wins, duplicates share it).
+        let mut outcomes: Vec<Option<Result<QueryOutcome, QError>>> = vec![None; requests.len()];
+        let mut miss_of: Vec<Option<usize>> = vec![None; requests.len()];
+        let mut first_miss: HashMap<QueryKey, usize> = HashMap::new();
+        // Per distinct computation: requester index, key, params, whether
+        // any requester wants the result cached.
+        let mut miss_requester: Vec<usize> = Vec::new();
+        let mut miss_keys: Vec<QueryKey> = Vec::new();
+        let mut miss_params: Vec<ServeParams> = Vec::new();
+        let mut miss_cache_it: Vec<bool> = Vec::new();
+        let mut cache_hits = 0usize;
+        for (i, request) in requests.iter().enumerate() {
+            if let Err(e) = request.validate() {
+                outcomes[i] = Some(Err(e));
+                continue;
+            }
+            let refs: Vec<&str> = request.keywords().iter().map(String::as_str).collect();
+            let key = QueryKey {
+                keywords: normalize_keywords(&refs),
+                params: request.params_key(),
+            };
+            if let Some(&first) = first_miss.get(&key) {
+                // Duplicate of an earlier in-batch computation: answered
+                // once, and the cache's own counters see only the first
+                // occurrence.
+                miss_of[i] = Some(first);
+                miss_cache_it[first] |= request.cache() != CachePolicy::Bypass;
+                cache_hits += 1;
+                continue;
+            }
+            if request.cache() == CachePolicy::Cached {
+                if let Some(view) = self.cache.get(&key) {
+                    outcomes[i] = Some(Ok(QueryOutcome {
+                        view,
+                        cache: CacheStatus::Hit,
+                        weight_epoch: epoch,
+                        steiner: None,
+                        wall_time: Duration::ZERO,
+                    }));
+                    cache_hits += 1;
+                    continue;
+                }
+            }
+            first_miss.insert(key.clone(), miss_requester.len());
+            miss_of[i] = Some(miss_requester.len());
+            miss_requester.push(i);
+            miss_keys.push(key);
+            miss_params.push(ServeParams::resolve(&self.config, request));
+            miss_cache_it.push(request.cache() != CachePolicy::Bypass);
+        }
+
+        let workers = options.effective_workers(miss_requester.len());
+
+        // Fan the computations out over scoped workers on a strided
+        // schedule; each worker reuses one Steiner scratch across its
+        // queries and returns `(miss index, result)` pairs, so no slot is
+        // written twice and the merged outcome is independent of scheduling.
+        // A fully-warm batch skips the scope entirely.
         let catalog = &self.catalog;
         let graph = &self.graph;
         let keyword_index = &self.keyword_index;
         let config = &self.config;
-        let mut computed: Vec<Option<Result<RankedView, QError>>> = vec![None; miss_queries.len()];
-        if !miss_queries.is_empty() {
+        type Computed = Result<(RankedView, SteinerStats), QError>;
+        let mut computed: Vec<Option<(Computed, Duration)>> = vec![None; miss_requester.len()];
+        if !miss_requester.is_empty() {
             std::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(workers);
                 for w in 0..workers {
-                    let miss_queries = &miss_queries;
+                    let miss_requester = &miss_requester;
+                    let miss_params = &miss_params;
+                    let requests = &requests;
                     handles.push(s.spawn(move || {
                         let mut scratch = SteinerScratch::default();
                         let mut out = Vec::new();
                         let mut i = w;
-                        while i < miss_queries.len() {
+                        while i < miss_requester.len() {
+                            let request = &requests[miss_requester[i]];
                             let refs: Vec<&str> =
-                                miss_queries[i].iter().map(String::as_str).collect();
-                            out.push((
-                                i,
-                                answer_keywords(
-                                    catalog,
-                                    graph,
-                                    keyword_index,
-                                    config,
-                                    &refs,
-                                    &mut scratch,
-                                ),
-                            ));
+                                request.keywords().iter().map(String::as_str).collect();
+                            let start = Instant::now();
+                            let result = answer_keywords(
+                                catalog,
+                                graph,
+                                keyword_index,
+                                config,
+                                &refs,
+                                miss_params[i],
+                                &mut scratch,
+                            );
+                            out.push((i, (result, start.elapsed())));
                             i += workers;
                         }
                         out
@@ -308,37 +436,122 @@ impl QSystem {
             });
         }
 
-        // Cache the fresh views and resolve every slot in workload order.
-        let computed: Vec<Result<Arc<RankedView>, QError>> = computed
+        // Cache the fresh views and resolve every slot in request order.
+        type Shared = (Result<(Arc<RankedView>, SteinerStats), QError>, Duration);
+        let computed: Vec<Shared> = computed
             .into_iter()
-            .map(|r| r.expect("every miss computed").map(Arc::new))
-            .collect();
-        for (m, result) in computed.iter().enumerate() {
-            if let Ok(view) = result {
-                let refs: Vec<&str> = miss_queries[m].iter().map(String::as_str).collect();
-                self.cache
-                    .insert(normalize_keywords(&refs), Arc::clone(view));
-            }
-        }
-        let results = results
-            .into_iter()
-            .zip(miss_of)
-            .map(|(slot, miss)| match slot {
-                Some(r) => r,
-                None => computed[miss.expect("slot is hit or miss")].clone(),
+            .map(|slot| {
+                let (result, elapsed) = slot.expect("every miss computed");
+                (result.map(|(view, stats)| (Arc::new(view), stats)), elapsed)
             })
             .collect();
-        BatchReport {
-            results,
+        for (m, (result, _)) in computed.iter().enumerate() {
+            if let (Ok((view, _)), true) = (result, miss_cache_it[m]) {
+                self.cache.insert(miss_keys[m].clone(), Arc::clone(view));
+            }
+        }
+        let outcomes = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(r) => r,
+                None => {
+                    let m = miss_of[i].expect("slot is hit, error or miss");
+                    let (result, elapsed) = &computed[m];
+                    result.clone().map(|(view, stats)| {
+                        if miss_requester[m] == i {
+                            // The requester that triggered the computation.
+                            let cache = match requests[i].cache() {
+                                CachePolicy::Cached => CacheStatus::Miss,
+                                CachePolicy::Refresh => CacheStatus::Refreshed,
+                                CachePolicy::Bypass => CacheStatus::Bypassed,
+                            };
+                            QueryOutcome {
+                                view,
+                                cache,
+                                weight_epoch: epoch,
+                                steiner: Some(stats),
+                                wall_time: *elapsed,
+                            }
+                        } else {
+                            // In-batch duplicate: shares the computation.
+                            QueryOutcome {
+                                view,
+                                cache: CacheStatus::Hit,
+                                weight_epoch: epoch,
+                                steiner: None,
+                                wall_time: Duration::ZERO,
+                            }
+                        }
+                    })
+                }
+            })
+            .collect();
+        BatchOutcome {
+            outcomes,
             cache_hits,
-            cache_misses: miss_queries.len(),
+            cache_misses: miss_requester.len(),
             workers,
         }
     }
 
+    // ------------------------------------------------------------------
+    // Deprecated slice-taking serving shims
+    // ------------------------------------------------------------------
+
+    /// Answer a keyword query through the answer cache.
+    ///
+    /// Deprecated shim: equivalent to
+    /// `self.query(&QueryRequest::new(keywords))?.view` — same cache, same
+    /// bytes (pinned by the `api_equivalence` integration test).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `QSystem::query` with the default `CachePolicy::Cached`"
+    )]
+    pub fn run_query_cached(&mut self, keywords: &[&str]) -> Result<Arc<RankedView>, QError> {
+        self.query(&QueryRequest::new(keywords.iter().copied()))
+            .map(|outcome| outcome.view)
+    }
+
+    /// Answer a workload of keyword queries through the cache and batch
+    /// workers.
+    ///
+    /// Deprecated shim over [`QSystem::query_batch`] with one default
+    /// [`QueryRequest`] per workload entry; counters and bytes match the
+    /// typed path exactly.
+    #[deprecated(since = "0.2.0", note = "use `QSystem::query_batch`")]
+    pub fn run_queries_batch(
+        &mut self,
+        workload: &[Vec<String>],
+        options: &BatchOptions,
+    ) -> BatchReport {
+        let requests: Vec<QueryRequest> = workload
+            .iter()
+            .map(|kws| QueryRequest::new(kws.iter().cloned()))
+            .collect();
+        let outcome = self.query_batch(&requests, options);
+        BatchReport {
+            results: outcome
+                .outcomes
+                .into_iter()
+                .map(|r| r.map(|o| o.view))
+                .collect(),
+            cache_hits: outcome.cache_hits,
+            cache_misses: outcome.cache_misses,
+            workers: outcome.workers,
+        }
+    }
+
     /// Answer a keyword query bypassing the cache: every call recomputes
-    /// from scratch. This is the pre-cache serving behaviour, kept as the
-    /// baseline the throughput experiment measures against.
+    /// from scratch.
+    ///
+    /// Deprecated shim: equivalent to [`QSystem::query`] with
+    /// [`CachePolicy::Bypass`] (kept on `&self` for callers that serve from
+    /// a shared reference).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `QSystem::query` with `CachePolicy::Bypass`"
+    )]
     pub fn run_query_uncached(&self, keywords: &[&str]) -> Result<RankedView, QError> {
         self.compute_view(keywords)
     }
@@ -346,6 +559,13 @@ impl QSystem {
     /// The answer cache and its statistics.
     pub fn query_cache(&self) -> &QueryCache {
         &self.cache
+    }
+
+    /// Replace the answer cache with an empty one holding `capacity` views
+    /// (clamped to at least 1). Cached entries and counters are dropped;
+    /// subsequent queries repopulate under the current weight epoch.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache = QueryCache::with_capacity(capacity);
     }
 
     /// Search-graph nodes matched by a view's keywords (value matches map to
@@ -385,7 +605,12 @@ impl QSystem {
     /// configured alignment strategy, add the resulting association edges,
     /// and refresh every view.
     pub fn register_source(&mut self, spec: &SourceSpec) -> Result<RegistrationReport, QError> {
-        let source = spec.load_into(&mut self.catalog)?;
+        let source = spec
+            .load_into(&mut self.catalog)
+            .map_err(|source| QError::SourceLoad {
+                source_name: spec.name.clone(),
+                source,
+            })?;
         self.graph.add_source(&self.catalog, source);
         if let Some(src) = self.catalog.source(source) {
             for rel in src.relations.clone() {
@@ -602,26 +827,89 @@ impl QSystem {
     }
 }
 
+/// The per-request serving parameters after merging a [`QueryRequest`]'s
+/// overrides with the system [`QConfig`]. Copyable so batch workers can
+/// carry one per pending computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ServeParams {
+    top_k: usize,
+    strategy: SearchStrategy,
+    max_cost: f64,
+}
+
+impl ServeParams {
+    /// The config-default parameters (what the deprecated slice-taking
+    /// methods and the persistent-view path serve with).
+    fn defaults(config: &QConfig) -> Self {
+        ServeParams {
+            top_k: config.top_k,
+            strategy: SearchStrategy::Approx {
+                max_roots: config.steiner.max_roots,
+            },
+            max_cost: config.steiner.max_cost,
+        }
+    }
+
+    /// Merge a request's overrides over the config defaults.
+    fn resolve(config: &QConfig, request: &QueryRequest) -> Self {
+        let mut params = ServeParams::defaults(config);
+        if let Some(top_k) = request.top_k_override() {
+            params.top_k = top_k;
+        }
+        if let Some(strategy) = request.strategy_override() {
+            params.strategy = strategy;
+        }
+        if let Some(budget) = request.cost_budget_override() {
+            params.max_cost = budget;
+        }
+        params
+    }
+}
+
 /// Answer one keyword query against a frozen snapshot of the system: build
-/// the query graph, run the top-k Steiner search (into the caller's scratch
-/// buffers), translate trees to conjunctive queries and materialise the
-/// ranked view. Pure in its inputs — the batch path calls this from worker
-/// threads holding only shared references.
+/// the query graph, run the requested Steiner search (into the caller's
+/// scratch buffers), translate trees to conjunctive queries and materialise
+/// the ranked view. Pure in its inputs — the batch path calls this from
+/// worker threads holding only shared references.
 fn answer_keywords(
     catalog: &Catalog,
     graph: &SearchGraph,
     keyword_index: &KeywordIndex,
     config: &QConfig,
     keywords: &[&str],
+    params: ServeParams,
     scratch: &mut SteinerScratch,
-) -> Result<RankedView, QError> {
+) -> Result<(RankedView, SteinerStats), QError> {
     let query_graph = QueryGraph::build(graph, keyword_index, keywords, &config.match_config);
     let terminals = query_graph.terminals();
-    let steiner = SteinerConfig {
-        k: config.top_k,
-        ..config.steiner
+    let (trees, stats) = match params.strategy {
+        SearchStrategy::Approx { max_roots } => {
+            let steiner = SteinerConfig {
+                k: params.top_k,
+                max_roots,
+                max_cost: params.max_cost,
+            };
+            approx_top_k_detailed(&query_graph, &terminals, &steiner, scratch)
+        }
+        SearchStrategy::Exact => {
+            let found = exact_minimum_steiner(&query_graph, &terminals);
+            let candidates = usize::from(found.is_some());
+            let trees: Vec<_> = found
+                .into_iter()
+                .filter(|t| t.cost <= params.max_cost + 1e-9)
+                .collect();
+            let stats = SteinerStats {
+                terminals: terminals.len(),
+                candidates_generated: candidates,
+                // A found-but-too-expensive tree must read as "over budget",
+                // not as "terminals unconnected".
+                trees_over_budget: candidates - trees.len(),
+                trees_returned: trees.len(),
+                ..SteinerStats::default()
+            };
+            (trees, stats)
+        }
     };
-    let trees = approx_top_k_with(&query_graph, &terminals, &steiner, scratch);
     let mut queries: Vec<RankedQuery> = Vec::new();
     for tree in trees {
         if let Some(query) = tree_to_query(catalog, &query_graph, &tree) {
@@ -639,14 +927,21 @@ fn answer_keywords(
         &queries,
         config.column_merge_threshold,
         config.max_answers,
-    )?;
-    Ok(RankedView {
+    )
+    .map_err(|source| QError::ViewMaterialization {
         keywords: keywords.iter().map(|s| s.to_string()).collect(),
-        columns,
-        column_sources,
-        queries,
-        answers,
-    })
+        source,
+    })?;
+    Ok((
+        RankedView {
+            keywords: keywords.iter().map(|s| s.to_string()).collect(),
+            columns,
+            column_sources,
+            queries,
+            answers,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -864,29 +1159,147 @@ mod tests {
         let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
         q.add_manual_association(acc, go_id, 0.95);
 
-        let v1 = q.run_query_cached(&["plasma membrane", "entry"]).unwrap();
-        assert!(!v1.answers.is_empty());
+        let o1 = q
+            .query(&QueryRequest::new(["plasma membrane", "entry"]))
+            .unwrap();
+        assert!(!o1.view.answers.is_empty());
+        assert_eq!(o1.cache, CacheStatus::Miss);
+        assert!(o1.steiner.is_some(), "a miss reports search stats");
         // Case / whitespace variants normalise to the same key: served from
         // the cache, same allocation.
-        let v2 = q
-            .run_query_cached(&["  Plasma Membrane ", "ENTRY"])
+        let o2 = q
+            .query(&QueryRequest::new(["  Plasma Membrane ", "ENTRY"]))
             .unwrap();
-        assert!(Arc::ptr_eq(&v1, &v2));
+        assert!(Arc::ptr_eq(&o1.view, &o2.view));
+        assert_eq!(o2.cache, CacheStatus::Hit);
+        assert!(o2.steiner.is_none(), "a hit ran no search");
+        assert_eq!(o1.weight_epoch, o2.weight_epoch);
         assert_eq!(q.query_cache().hits(), 1);
         assert_eq!(q.query_cache().misses(), 1);
         // A different query is its own entry.
-        let v3 = q.run_query_cached(&["kinase activity"]).unwrap();
-        assert!(!Arc::ptr_eq(&v1, &v3));
+        let o3 = q.query(&QueryRequest::new(["kinase activity"])).unwrap();
+        assert!(!Arc::ptr_eq(&o1.view, &o3.view));
         assert_eq!(q.query_cache().len(), 2);
         // A blank extra keyword adds an unreachable Steiner terminal and
         // empties the view — it must be a distinct cache entry, not a hit
         // on the two-keyword query.
-        let v4 = q
-            .run_query_cached(&["plasma membrane", "entry", "  "])
+        let o4 = q
+            .query(&QueryRequest::new(["plasma membrane", "entry", "  "]))
             .unwrap();
-        assert!(!Arc::ptr_eq(&v1, &v4));
-        assert!(v4.answers.is_empty());
+        assert!(!Arc::ptr_eq(&o1.view, &o4.view));
+        assert!(o4.view.answers.is_empty());
         assert_eq!(q.query_cache().len(), 3);
+    }
+
+    #[test]
+    fn cache_policies_bypass_and_refresh_behave_as_documented() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        q.add_manual_association(acc, go_id, 0.95);
+        let keywords = ["plasma membrane", "entry"];
+
+        // Bypass never touches the cache.
+        let bypass = q
+            .query(&QueryRequest::new(keywords).cache_policy(CachePolicy::Bypass))
+            .unwrap();
+        assert_eq!(bypass.cache, CacheStatus::Bypassed);
+        assert!(q.query_cache().is_empty());
+        assert_eq!(q.query_cache().misses(), 0);
+
+        // A cached miss populates; a refresh recomputes and replaces the
+        // entry (fresh allocation, same bytes under an unchanged epoch).
+        let miss = q.query(&QueryRequest::new(keywords)).unwrap();
+        assert_eq!(miss.cache, CacheStatus::Miss);
+        let refreshed = q
+            .query(&QueryRequest::new(keywords).cache_policy(CachePolicy::Refresh))
+            .unwrap();
+        assert_eq!(refreshed.cache, CacheStatus::Refreshed);
+        assert!(!Arc::ptr_eq(&miss.view, &refreshed.view));
+        assert_eq!(&*miss.view, &*refreshed.view);
+        // The refreshed allocation is what the cache now serves.
+        let hit = q.query(&QueryRequest::new(keywords)).unwrap();
+        assert_eq!(hit.cache, CacheStatus::Hit);
+        assert!(Arc::ptr_eq(&refreshed.view, &hit.view));
+    }
+
+    #[test]
+    fn per_request_overrides_change_answers_without_rebuilding() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        let entry_name = q.catalog().resolve_qualified("entry.name").unwrap();
+        let term_name = q.catalog().resolve_qualified("go_term.name").unwrap();
+        q.add_manual_association(acc, go_id, 0.9);
+        q.graph_mut()
+            .add_association(term_name, entry_name, "metadata", 0.9);
+        let keywords = ["plasma membrane", "entry"];
+
+        let default = q.query(&QueryRequest::new(keywords)).unwrap();
+        assert!(default.view.queries.len() >= 2, "need alternative trees");
+
+        // top_k = 1 keeps only the best tree — on the same system instance.
+        let top1 = q.query(&QueryRequest::new(keywords).top_k(1)).unwrap();
+        assert_eq!(top1.view.queries.len(), 1);
+        assert_eq!(top1.view.queries[0], default.view.queries[0]);
+
+        // The exact strategy also ranks exactly one (provably cheapest) tree.
+        let exact = q
+            .query(&QueryRequest::new(keywords).strategy(SearchStrategy::Exact))
+            .unwrap();
+        assert_eq!(exact.view.queries.len(), 1);
+        assert!(exact.view.queries[0].cost <= default.view.queries[0].cost + 1e-9);
+
+        // A budget below the second tree's cost prunes the tail.
+        let cutoff = default.view.queries[0].cost + 1e-6;
+        let budgeted = q
+            .query(&QueryRequest::new(keywords).cost_budget(cutoff))
+            .unwrap();
+        assert_eq!(budgeted.view.queries.len(), 1);
+        assert!(budgeted.steiner.unwrap().trees_over_budget >= 1);
+
+        // Differently-parameterised requests never share cache entries: the
+        // default request still hits its own (unchanged) entry.
+        let again = q.query(&QueryRequest::new(keywords)).unwrap();
+        assert_eq!(again.cache, CacheStatus::Hit);
+        assert!(Arc::ptr_eq(&default.view, &again.view));
+
+        // An exact-strategy tree dropped by the budget reads as "over
+        // budget", not as "terminals unconnected".
+        let starved = q
+            .query(
+                &QueryRequest::new(keywords)
+                    .strategy(SearchStrategy::Exact)
+                    .cost_budget(exact.view.queries[0].cost / 2.0),
+            )
+            .unwrap();
+        assert!(starved.view.queries.is_empty());
+        let stats = starved.steiner.unwrap();
+        assert_eq!(stats.candidates_generated, 1);
+        assert_eq!(stats.trees_over_budget, 1);
+        assert_eq!(stats.trees_returned, 0);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_not_served() {
+        let mut q = system();
+        let err = q
+            .query(&QueryRequest::new(["plasma membrane"]).top_k(0))
+            .unwrap_err();
+        assert!(matches!(err, QError::InvalidRequest { field: "top_k", .. }));
+        let err = q
+            .query(&QueryRequest::new(["plasma membrane"]).cost_budget(-1.0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QError::InvalidRequest {
+                field: "cost_budget",
+                ..
+            }
+        ));
+        // Nothing was cached or counted.
+        assert!(q.query_cache().is_empty());
+        assert_eq!(q.query_cache().misses(), 0);
     }
 
     #[test]
@@ -901,8 +1314,8 @@ mod tests {
             .add_association(term_name, entry_name, "metadata", 0.9);
 
         let keywords = ["plasma membrane", "entry"];
-        let before = q.run_query_cached(&keywords).unwrap();
-        assert!(before.queries.len() >= 2, "need alternative trees");
+        let before = q.query(&QueryRequest::new(keywords)).unwrap();
+        assert!(before.view.queries.len() >= 2, "need alternative trees");
 
         // MIRA re-prices association edges through a persistent view.
         let view_id = q.create_view(&keywords).unwrap();
@@ -912,13 +1325,18 @@ mod tests {
         // The repeat must miss (epoch moved) and reflect the new costs: the
         // recomputed view equals the freshly computed persistent view, not
         // the stale cached one.
-        let after = q.run_query_cached(&keywords).unwrap();
-        assert!(!Arc::ptr_eq(&before, &after), "stale cache hit");
+        let after = q.query(&QueryRequest::new(keywords)).unwrap();
+        assert!(!Arc::ptr_eq(&before.view, &after.view), "stale cache hit");
+        assert_eq!(after.cache, CacheStatus::Miss);
+        assert!(
+            after.weight_epoch > before.weight_epoch,
+            "feedback must bump the weight epoch"
+        );
         assert!(q.query_cache().invalidations() > 0);
         let fresh = q.view(view_id).unwrap();
-        assert_eq!(&*after, fresh);
-        let costs_before: Vec<f64> = before.queries.iter().map(|rq| rq.cost).collect();
-        let costs_after: Vec<f64> = after.queries.iter().map(|rq| rq.cost).collect();
+        assert_eq!(&*after.view, fresh);
+        let costs_before: Vec<f64> = before.view.queries.iter().map(|rq| rq.cost).collect();
+        let costs_after: Vec<f64> = after.view.queries.iter().map(|rq| rq.cost).collect();
         assert_ne!(costs_before, costs_after, "feedback did not re-price");
     }
 
@@ -929,47 +1347,89 @@ mod tests {
         let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
         q.add_manual_association(acc, go_id, 0.95);
 
-        let workload: Vec<Vec<String>> = [
+        let requests: Vec<QueryRequest> = [
             vec!["plasma membrane", "entry"],
             vec!["kinase activity"],
             vec!["plasma membrane", "entry"], // in-batch duplicate
             vec!["qqzzvv"],                   // matches nothing
         ]
         .iter()
-        .map(|kws| kws.iter().map(|s| s.to_string()).collect())
+        .map(|kws| QueryRequest::new(kws.iter().copied()))
         .collect();
 
         // Sequential reference on an identically prepared system.
         let mut q_seq = system();
         q_seq.add_manual_association(acc, go_id, 0.95);
-        let sequential: Vec<Arc<RankedView>> = workload
+        let sequential: Vec<Arc<RankedView>> = requests
             .iter()
-            .map(|kws| {
-                let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
-                q_seq.run_query_cached(&refs).unwrap()
-            })
+            .map(|r| q_seq.query(r).unwrap().view)
             .collect();
 
-        let report = q.run_queries_batch(&workload, &BatchOptions { workers: 3 });
-        assert_eq!(report.results.len(), workload.len());
-        assert_eq!(report.cache_misses, 3, "three distinct queries");
-        assert_eq!(report.cache_hits, 1, "the in-batch duplicate");
-        for (batch, seq) in report.results.iter().zip(&sequential) {
-            assert_eq!(&**batch.as_ref().unwrap(), &**seq);
+        let batch = q.query_batch(&requests, &BatchOptions { workers: 3 });
+        assert_eq!(batch.outcomes.len(), requests.len());
+        assert_eq!(batch.cache_misses, 3, "three distinct queries");
+        assert_eq!(batch.cache_hits, 1, "the in-batch duplicate");
+        for (outcome, seq) in batch.outcomes.iter().zip(&sequential) {
+            assert_eq!(&*outcome.as_ref().unwrap().view, &**seq);
         }
-        // Duplicate slots share one computation.
-        assert!(Arc::ptr_eq(
-            report.results[0].as_ref().unwrap(),
-            report.results[2].as_ref().unwrap()
-        ));
+        // Duplicate slots share one computation; provenance says which one
+        // triggered it.
+        let first = batch.outcomes[0].as_ref().unwrap();
+        let duplicate = batch.outcomes[2].as_ref().unwrap();
+        assert!(Arc::ptr_eq(&first.view, &duplicate.view));
+        assert_eq!(first.cache, CacheStatus::Miss);
+        assert_eq!(duplicate.cache, CacheStatus::Hit);
+        assert!(first.steiner.is_some());
+        assert!(duplicate.steiner.is_none());
 
         // A second batch under unchanged weights is all hits.
-        let warm = q.run_queries_batch(&workload, &BatchOptions::default());
+        let warm = q.query_batch(&requests, &BatchOptions::default());
         assert_eq!(warm.cache_misses, 0);
-        assert_eq!(warm.cache_hits, workload.len());
-        for (w, c) in warm.results.iter().zip(&report.results) {
-            assert!(Arc::ptr_eq(w.as_ref().unwrap(), c.as_ref().unwrap()));
+        assert_eq!(warm.cache_hits, requests.len());
+        for (w, c) in warm.outcomes.iter().zip(&batch.outcomes) {
+            let (w, c) = (w.as_ref().unwrap(), c.as_ref().unwrap());
+            assert!(Arc::ptr_eq(&w.view, &c.view));
+            assert_eq!(w.cache, CacheStatus::Hit);
         }
+    }
+
+    #[test]
+    fn batch_isolates_invalid_requests_and_mixes_policies() {
+        let mut q = system();
+        let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        q.add_manual_association(acc, go_id, 0.95);
+
+        let requests = vec![
+            QueryRequest::new(["plasma membrane", "entry"]),
+            QueryRequest::new(["kinase activity"]).top_k(0), // invalid
+            QueryRequest::new(["kinase activity"]).cache_policy(CachePolicy::Bypass),
+        ];
+        let batch = q.query_batch(&requests, &BatchOptions { workers: 2 });
+        assert!(batch.outcomes[0].is_ok());
+        assert!(matches!(
+            batch.outcomes[1],
+            Err(QError::InvalidRequest { field: "top_k", .. })
+        ));
+        let bypass = batch.outcomes[2].as_ref().unwrap();
+        assert_eq!(bypass.cache, CacheStatus::Bypassed);
+        // The error slot counted as neither hit nor miss; the bypass request
+        // computed but did not populate the cache.
+        assert_eq!(batch.cache_misses, 2);
+        assert_eq!(batch.cache_hits, 0);
+        assert_eq!(q.query_cache().len(), 1, "only the cached request stored");
+    }
+
+    #[test]
+    fn effective_workers_resolves_and_clamps() {
+        // Explicit counts are capped by pending work and floored at 1.
+        assert_eq!(BatchOptions { workers: 8 }.effective_workers(3), 3);
+        assert_eq!(BatchOptions { workers: 2 }.effective_workers(10), 2);
+        assert_eq!(BatchOptions { workers: 5 }.effective_workers(0), 1);
+        // `0` = auto-detect; whatever the machine reports, the result is
+        // at least 1 and never exceeds the pending count.
+        let auto = BatchOptions::default().effective_workers(2);
+        assert!((1..=2).contains(&auto));
     }
 
     #[test]

@@ -323,7 +323,14 @@ mod tests {
         keywords: &[&str],
     ) -> RankedQuery {
         let qg = QueryGraph::build(graph, index, keywords, &MatchConfig::default());
-        let trees = approx_top_k(&qg, &qg.terminals(), &SteinerConfig { k: 5, max_roots: 0 });
+        let trees = approx_top_k(
+            &qg,
+            &qg.terminals(),
+            &SteinerConfig {
+                k: 5,
+                ..SteinerConfig::default()
+            },
+        );
         let tree = trees.into_iter().next().expect("a tree exists");
         let query = tree_to_query(cat, &qg, &tree).expect("query is translatable");
         RankedQuery {

@@ -33,6 +33,6 @@ pub use node::{Node, NodeId};
 pub use query_graph::{KeywordNode, QueryGraph};
 pub use search_graph::{AssociationProvenance, SearchGraph};
 pub use steiner::{
-    approx_top_k, approx_top_k_with, exact_minimum_steiner, SteinerConfig, SteinerScratch,
-    SteinerTree,
+    approx_top_k, approx_top_k_detailed, approx_top_k_with, exact_minimum_steiner, SteinerConfig,
+    SteinerScratch, SteinerStats, SteinerTree,
 };

@@ -107,6 +107,10 @@ pub struct SteinerConfig {
     /// Maximum number of candidate roots to expand (0 = consider every
     /// reachable node). Limiting roots bounds work on large graphs.
     pub max_roots: usize,
+    /// Cost budget: trees costing more than this are dropped before the
+    /// top-k cutoff (`f64::INFINITY` = no budget). Serving requests use this
+    /// to refuse expensive join trees outright instead of ranking them.
+    pub max_cost: f64,
 }
 
 impl Default for SteinerConfig {
@@ -114,8 +118,28 @@ impl Default for SteinerConfig {
         SteinerConfig {
             k: 10,
             max_roots: 0,
+            max_cost: f64::INFINITY,
         }
     }
+}
+
+/// Observability counters filled by one [`approx_top_k_detailed`] run — the
+/// per-query search provenance the serving layer reports alongside answers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SteinerStats {
+    /// Terminals the search had to connect.
+    pub terminals: usize,
+    /// Candidate roots expanded (nodes reachable from every terminal, after
+    /// the `max_roots` cutoff).
+    pub roots_considered: usize,
+    /// Candidate trees generated before edge-set deduplication.
+    pub candidates_generated: usize,
+    /// Candidates discarded as duplicates of an earlier tree's edge set.
+    pub duplicates_pruned: usize,
+    /// Distinct trees dropped for exceeding [`SteinerConfig::max_cost`].
+    pub trees_over_budget: usize,
+    /// Trees surviving dedup, budget and the top-k cutoff.
+    pub trees_returned: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -218,15 +242,36 @@ pub fn approx_top_k_with<G: GraphView>(
     config: &SteinerConfig,
     scratch: &mut SteinerScratch,
 ) -> Vec<SteinerTree> {
+    approx_top_k_detailed(graph, terminals, config, scratch).0
+}
+
+/// [`approx_top_k_with`], additionally reporting [`SteinerStats`] about the
+/// search — how many roots were expanded, how many candidates were pruned as
+/// duplicates or dropped over the cost budget. The serving layer surfaces
+/// these stats as per-query provenance.
+pub fn approx_top_k_detailed<G: GraphView>(
+    graph: &G,
+    terminals: &[NodeId],
+    config: &SteinerConfig,
+    scratch: &mut SteinerScratch,
+) -> (Vec<SteinerTree>, SteinerStats) {
+    let mut stats = SteinerStats {
+        terminals: terminals.len(),
+        ..SteinerStats::default()
+    };
     if terminals.is_empty() || config.k == 0 {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
     if terminals.len() == 1 {
-        return vec![SteinerTree {
-            edges: Vec::new(),
-            nodes: vec![terminals[0]],
-            cost: 0.0,
-        }];
+        stats.trees_returned = 1;
+        return (
+            vec![SteinerTree {
+                edges: Vec::new(),
+                nodes: vec![terminals[0]],
+                cost: 0.0,
+            }],
+            stats,
+        );
     }
 
     // Dijkstra from every terminal, into reused dense buffers.
@@ -257,6 +302,8 @@ pub fn approx_top_k_with<G: GraphView>(
         roots.truncate(config.max_roots);
     }
 
+    stats.roots_considered = roots.len();
+
     let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
     let mut trees: Vec<SteinerTree> = Vec::new();
     for (root, _) in roots {
@@ -274,14 +321,23 @@ pub fn approx_top_k_with<G: GraphView>(
         edges.dedup();
         let pruned = prune_to_tree(graph, edges, terminals);
         let tree = SteinerTree::from_edges(graph, pruned, terminals);
+        stats.candidates_generated += 1;
         let key = tree.edges.clone();
         if seen.insert(key) {
             trees.push(tree);
+        } else {
+            stats.duplicates_pruned += 1;
         }
     }
     trees.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    if config.max_cost.is_finite() {
+        let before = trees.len();
+        trees.retain(|t| t.cost <= config.max_cost + 1e-9);
+        stats.trees_over_budget = before - trees.len();
+    }
     trees.truncate(config.k);
-    trees
+    stats.trees_returned = trees.len();
+    (trees, stats)
 }
 
 /// Prune a candidate edge set (sorted, deduplicated) down to a tree that
@@ -401,9 +457,11 @@ pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> O
         });
     }
     if terminals.len() > 12 {
-        return approx_top_k(graph, terminals, &SteinerConfig { k: 1, max_roots: 0 })
-            .into_iter()
-            .next();
+        let config = SteinerConfig {
+            k: 1,
+            ..SteinerConfig::default()
+        };
+        return approx_top_k(graph, terminals, &config).into_iter().next();
     }
 
     let n = graph.node_count();
@@ -612,9 +670,58 @@ mod tests {
         let trees = approx_top_k(
             &g,
             &[NodeId(0), NodeId(3)],
-            &SteinerConfig { k: 1, max_roots: 0 },
+            &SteinerConfig {
+                k: 1,
+                ..SteinerConfig::default()
+            },
         );
         assert_eq!(trees.len(), 1);
+    }
+
+    #[test]
+    fn cost_budget_drops_expensive_trees_and_counts_them() {
+        let g = path_with_shortcut();
+        // Without a budget both the shortcut (2.5) and the path (3.0) rank.
+        let unbounded = approx_top_k(&g, &[NodeId(0), NodeId(3)], &SteinerConfig::default());
+        assert!(unbounded.len() >= 2);
+        // A budget between the two keeps only the shortcut.
+        let config = SteinerConfig {
+            max_cost: 2.6,
+            ..SteinerConfig::default()
+        };
+        let (trees, stats) = approx_top_k_detailed(
+            &g,
+            &[NodeId(0), NodeId(3)],
+            &config,
+            &mut SteinerScratch::default(),
+        );
+        assert_eq!(trees.len(), 1);
+        assert!((trees[0].cost - 2.5).abs() < 1e-9);
+        assert!(stats.trees_over_budget >= 1);
+        assert_eq!(stats.trees_returned, 1);
+    }
+
+    #[test]
+    fn detailed_stats_account_for_every_candidate() {
+        let g = path_with_shortcut();
+        let (trees, stats) = approx_top_k_detailed(
+            &g,
+            &[NodeId(0), NodeId(3)],
+            &SteinerConfig::default(),
+            &mut SteinerScratch::default(),
+        );
+        assert_eq!(stats.terminals, 2);
+        assert!(stats.roots_considered > 0);
+        assert_eq!(
+            stats.candidates_generated,
+            stats.duplicates_pruned + trees.len() + stats.trees_over_budget
+        );
+        assert_eq!(stats.trees_returned, trees.len());
+        // The plain entry point returns the same trees.
+        assert_eq!(
+            trees,
+            approx_top_k(&g, &[NodeId(0), NodeId(3)], &SteinerConfig::default())
+        );
     }
 
     #[test]

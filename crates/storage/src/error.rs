@@ -55,6 +55,11 @@ impl fmt::Display for StorageError {
     }
 }
 
+// `StorageError` is the leaf of the workspace error chain: `q_core::QError`
+// wraps it in structured variants whose `Error::source()` returns the
+// `StorageError`, so façade users can walk `error → source()` from the API
+// surface down to the storage failure. Nothing sits below storage, so the
+// default `source() == None` is correct here.
 impl std::error::Error for StorageError {}
 
 #[cfg(test)]
@@ -72,6 +77,13 @@ mod tests {
         assert!(msg.contains("go_term"));
         assert!(msg.contains('3'));
         assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn storage_error_is_a_chain_leaf() {
+        use std::error::Error;
+        let err = StorageError::UnknownSource("go".into());
+        assert!(err.source().is_none(), "storage errors wrap nothing");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example alignment_strategies`.
 
 use q_align::{AlignerConfig, ExhaustiveAligner, PreferentialAligner, ViewBasedAligner};
-use q_core::{QConfig, QSystem};
+use q_core::QSystem;
 use q_datasets::gbco::{
     declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig,
 };
@@ -33,7 +33,10 @@ fn main() {
     declare_foreign_keys(&mut catalog, &gbco_foreign_keys());
 
     // The user's view provides the α bound for ViewBasedAligner.
-    let mut q = QSystem::new(catalog, QConfig::default());
+    let mut q = QSystem::builder()
+        .catalog(catalog)
+        .build()
+        .expect("valid configuration builds");
     let keywords: Vec<&str> = trial.keywords.iter().map(String::as_str).collect();
     let view_id = q.create_view(&keywords).unwrap();
     let alpha = q

@@ -8,7 +8,7 @@
 use std::collections::HashSet;
 
 use q_core::evaluation::{average_edge_costs, gold_target_query, precision_recall_graph, AttrPair};
-use q_core::{Feedback, QConfig, QSystem};
+use q_core::{Feedback, QSystem};
 use q_datasets::{interpro_go_catalog, interpro_go_gold, interpro_go_queries, InterproGoConfig};
 use q_matchers::{MadMatcher, MetadataMatcher, SchemaMatcher};
 
@@ -33,7 +33,10 @@ fn main() {
         .propagate(&catalog, &[])
         .top_alignments(&catalog, 2, 0.0);
 
-    let mut q = QSystem::new(catalog, QConfig::default());
+    let mut q = QSystem::builder()
+        .catalog(catalog)
+        .build()
+        .expect("valid configuration builds");
     q.add_alignments(&metadata_alignments, "metadata");
     q.add_alignments(&mad_alignments, "mad");
 

@@ -23,15 +23,16 @@ fn main() {
         .collect();
     let catalog = q_storage::loader::load_catalog(&initial).expect("initial catalog loads");
 
-    let mut q = QSystem::new(
-        catalog,
-        QConfig {
+    let mut q = QSystem::builder()
+        .catalog(catalog)
+        .config(QConfig {
             strategy: AlignmentStrategy::ViewBased,
             ..QConfig::default()
-        },
-    );
-    q.add_matcher(Box::new(MetadataMatcher::new()));
-    q.add_matcher(Box::new(MadMatcher::new()));
+        })
+        .matcher(Box::new(MetadataMatcher::new()))
+        .matcher(Box::new(MadMatcher::new()))
+        .build()
+        .expect("valid configuration builds");
 
     // The user's ongoing information need: GO terms of InterPro entries.
     let view_id = q

@@ -1,10 +1,11 @@
 //! Quickstart: build two small bioinformatics sources, link them with a
-//! matcher-proposed association, ask a keyword query and print the ranked,
-//! provenance-annotated answers.
+//! matcher-proposed association, ask a typed keyword query and print the
+//! ranked, provenance-annotated answers — then re-ask with per-request
+//! overrides, no rebuild needed.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use q_integration::{QConfig, QSystem, RelationSpec, SourceSpec};
+use q_integration::{CachePolicy, QSystem, QueryRequest, RelationSpec, SourceSpec};
 use q_matchers::{MadMatcher, MetadataMatcher};
 
 fn main() {
@@ -33,15 +34,18 @@ fn main() {
         )
         .foreign_key("interpro2go.entry_ac", "entry.entry_ac");
 
-    let catalog = q_storage::loader::load_catalog(&[go, interpro]).expect("catalog loads");
-
     // ------------------------------------------------------------------
-    // 2. Start Q: the initial search graph, keyword index and value index
-    //    are built from the catalog; register the two matchers.
+    // 2. Build Q fluently: sources, matchers and config are validated in
+    //    one `build()` step; the search graph, keyword index and value
+    //    index are constructed from the assembled catalog.
     // ------------------------------------------------------------------
-    let mut q = QSystem::new(catalog, QConfig::default());
-    q.add_matcher(Box::new(MetadataMatcher::new()));
-    q.add_matcher(Box::new(MadMatcher::new()));
+    let mut q = QSystem::builder()
+        .source(go)
+        .source(interpro)
+        .matcher(Box::new(MetadataMatcher::new()))
+        .matcher(Box::new(MadMatcher::new()))
+        .build()
+        .expect("valid configuration builds");
 
     // The go_term.acc / interpro2go.go_id link is not a declared foreign key;
     // add it as a matcher-style association (a schema matcher would find it).
@@ -50,15 +54,26 @@ fn main() {
     q.add_manual_association(acc, go_id, 0.95);
 
     // ------------------------------------------------------------------
-    // 3. Ask a keyword query and print the ranked view.
+    // 3. Ask a typed keyword query and print the ranked view with its
+    //    serving provenance.
     // ------------------------------------------------------------------
-    let view_id = q
-        .create_view(&["insulin secretion", "entry"])
-        .expect("view creation succeeds");
-    let view = q.view(view_id).unwrap();
+    let outcome = q
+        .query(&QueryRequest::new(["insulin secretion", "entry"]))
+        .expect("query answers");
+    let view = &outcome.view;
 
     println!("keywords : {:?}", view.keywords);
     println!("columns  : {:?}", view.columns);
+    println!(
+        "served   : {:?} at weight epoch {} in {:?}",
+        outcome.cache, outcome.weight_epoch, outcome.wall_time
+    );
+    if let Some(stats) = outcome.steiner {
+        println!(
+            "search   : {} roots considered, {} candidate trees, {} returned",
+            stats.roots_considered, stats.candidates_generated, stats.trees_returned
+        );
+    }
     println!("queries  : {} ranked join queries", view.queries.len());
     for (i, rq) in view.queries.iter().enumerate() {
         println!(
@@ -86,4 +101,31 @@ fn main() {
             row.join(" | ")
         );
     }
+
+    // ------------------------------------------------------------------
+    // 4. Per-request overrides: the same system serves a top-1 answer and
+    //    a cache-bypassing recomputation without being rebuilt.
+    // ------------------------------------------------------------------
+    let top1 = q
+        .query(&QueryRequest::new(["insulin secretion", "entry"]).top_k(1))
+        .expect("query answers");
+    println!(
+        "\ntop_k=1  : {} ranked query (served {:?})",
+        top1.view.queries.len(),
+        top1.cache
+    );
+    let repeat = q
+        .query(&QueryRequest::new(["insulin secretion", "entry"]))
+        .expect("query answers");
+    println!(
+        "repeat   : served {:?} (same bytes, zero compute)",
+        repeat.cache
+    );
+    let bypass = q
+        .query(&QueryRequest::new(["insulin secretion", "entry"]).cache_policy(CachePolicy::Bypass))
+        .expect("query answers");
+    println!(
+        "bypass   : served {:?} in {:?}",
+        bypass.cache, bypass.wall_time
+    );
 }

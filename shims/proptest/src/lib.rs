@@ -22,7 +22,7 @@ pub mod test_runner {
     use rand::rngs::StdRng;
     use rand::{RngCore, SeedableRng};
 
-    /// Deterministic RNG handed to strategies by the [`proptest!`] runner.
+    /// Deterministic RNG handed to strategies by the `proptest!` runner.
     #[derive(Debug, Clone)]
     pub struct TestRng {
         inner: StdRng,
@@ -282,7 +282,7 @@ pub mod collection {
         }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -16,12 +16,32 @@
 //! * [`align`] — alignment search strategies (Exhaustive, ViewBasedAligner,
 //!   PreferentialAligner).
 //! * [`learn`] — the MIRA association-cost learner.
-//! * [`core`] — the [`QSystem`](q_core::QSystem) tying everything together.
+//! * [`core`] — the [`QSystem`] tying everything together.
 //! * [`datasets`] — synthetic GBCO and InterPro-GO datasets, gold standards
 //!   and workloads used by the experiments.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction methodology.
+//!
+//! ## Query API migration
+//!
+//! Serving goes through the typed request/response surface: construct the
+//! system with [`QSystem::builder`](q_core::QSystem::builder), describe each
+//! query with a [`QueryRequest`] (keywords + per-request `top_k`, search
+//! strategy, cost budget, cache policy), and get a [`QueryOutcome`] back
+//! (the ranked view + cache/epoch/search provenance). The old slice-taking
+//! methods are deprecated shims:
+//!
+//! | Old call | New call |
+//! |---|---|
+//! | `QSystem::new(catalog, config)` + `add_matcher(..)` | `QSystem::builder().catalog(..).config(..).matcher(..).build()?` |
+//! | `q.run_query_cached(&["a", "b"])` | `q.query(&QueryRequest::new(["a", "b"]))?.view` |
+//! | `q.run_query_uncached(&["a", "b"])` | `q.query(&QueryRequest::new(["a", "b"]).cache_policy(CachePolicy::Bypass))?.view` |
+//! | `q.run_queries_batch(&workload, &opts)` | `q.query_batch(&requests, &opts)` |
+//! | `QConfig { top_k, .. }` frozen at build | `QueryRequest::new(..).top_k(k).strategy(..).cost_budget(..)` per request |
+//!
+//! The shims answer byte-identically to the typed path (pinned by the
+//! `api_equivalence` integration test), so migration is mechanical.
 
 pub use q_align as align;
 pub use q_core as core;
@@ -31,5 +51,8 @@ pub use q_learn as learn;
 pub use q_matchers as matchers;
 pub use q_storage as storage;
 
-pub use q_core::{BatchOptions, Feedback, QConfig, QSystem};
-pub use q_storage::{Catalog, RelationSpec, SourceSpec, Value};
+pub use q_core::{
+    BatchOptions, BatchOutcome, CachePolicy, CacheStatus, Feedback, QConfig, QError, QSystem,
+    QSystemBuilder, QueryOutcome, QueryRequest, SearchStrategy,
+};
+pub use q_storage::{Catalog, RelationSpec, SourceSpec, StorageError, Value};

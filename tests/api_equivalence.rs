@@ -1,0 +1,180 @@
+//! Pins the API redesign to PR 2's determinism guarantees: every query
+//! answered through the typed `QueryRequest` path must be byte-identical to
+//! the deprecated `run_query_cached` / `run_query_uncached` /
+//! `run_queries_batch` answers across the GBCO workload, and the per-request
+//! overrides must change answers *without* rebuilding the system.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use q_core::{
+    BatchOptions, CachePolicy, CacheStatus, QConfig, QSystem, QueryRequest, RankedView,
+    SearchStrategy,
+};
+use q_datasets::{
+    declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig,
+};
+use q_matchers::{MadMatcher, MetadataMatcher};
+
+fn small() -> GbcoConfig {
+    GbcoConfig {
+        rows_per_table: 12,
+        seed: 17,
+    }
+}
+
+/// Sources incorporated through the matchers rather than the initial load,
+/// so the comparison covers a graph with matcher-proposed associations.
+const HELD_OUT: [&str; 2] = ["pathway", "gene_pathway"];
+
+fn build_system() -> QSystem {
+    let specs = gbco_source_specs(&small());
+    let initial: Vec<_> = specs
+        .iter()
+        .filter(|s| !HELD_OUT.contains(&s.name.as_str()))
+        .cloned()
+        .collect();
+    let mut catalog = q_storage::loader::load_catalog(&initial).expect("GBCO loads");
+    declare_foreign_keys(&mut catalog, &gbco_foreign_keys());
+    let mut q = QSystem::builder()
+        .catalog(catalog)
+        .config(QConfig::default())
+        .matcher(Box::new(MetadataMatcher::new()))
+        .matcher(Box::new(MadMatcher::new()))
+        .build()
+        .expect("valid configuration builds");
+    for spec in specs.iter().filter(|s| HELD_OUT.contains(&s.name.as_str())) {
+        q.register_source(spec).expect("registration succeeds");
+    }
+    q
+}
+
+fn trial_keywords() -> Vec<Vec<String>> {
+    gbco_trials().iter().map(|t| t.keywords.clone()).collect()
+}
+
+fn render(view: &RankedView) -> String {
+    format!("{view:?}")
+}
+
+#[test]
+fn typed_query_path_is_byte_identical_to_the_deprecated_shims() {
+    // Old and new paths on identically prepared systems over the full GBCO
+    // trial workload.
+    let mut old = build_system();
+    let mut new = build_system();
+
+    for keywords in trial_keywords() {
+        let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+
+        // Uncached / Bypass.
+        let old_uncached = old.run_query_uncached(&refs).expect("answers");
+        let new_bypass = new
+            .query(&QueryRequest::new(keywords.iter().cloned()).cache_policy(CachePolicy::Bypass))
+            .expect("answers");
+        assert_eq!(
+            render(&old_uncached),
+            render(&new_bypass.view),
+            "bypass diverged from run_query_uncached for {keywords:?}"
+        );
+
+        // Cached (first call computes, second hits) — bytes must agree with
+        // the old cached method on the other system.
+        let old_cached = old.run_query_cached(&refs).expect("answers");
+        let new_cached = new
+            .query(&QueryRequest::new(keywords.iter().cloned()))
+            .expect("answers");
+        assert_eq!(
+            render(&old_cached),
+            render(&new_cached.view),
+            "cached diverged from run_query_cached for {keywords:?}"
+        );
+    }
+
+    // Both caches saw exactly the same traffic shape.
+    assert_eq!(old.query_cache().len(), new.query_cache().len());
+    assert_eq!(old.query_cache().misses(), new.query_cache().misses());
+}
+
+#[test]
+fn deprecated_batch_shim_matches_query_batch_including_counters() {
+    let workload = trial_keywords();
+    let requests: Vec<QueryRequest> = workload
+        .iter()
+        .map(|kws| QueryRequest::new(kws.iter().cloned()))
+        .collect();
+
+    let mut old = build_system();
+    let old_report = old.run_queries_batch(&workload, &BatchOptions { workers: 3 });
+    let mut new = build_system();
+    let new_outcome = new.query_batch(&requests, &BatchOptions { workers: 3 });
+
+    assert_eq!(old_report.results.len(), new_outcome.outcomes.len());
+    assert_eq!(old_report.cache_hits, new_outcome.cache_hits);
+    assert_eq!(old_report.cache_misses, new_outcome.cache_misses);
+    assert_eq!(old_report.workers, new_outcome.workers);
+    for (old_slot, new_slot) in old_report.results.iter().zip(&new_outcome.outcomes) {
+        let old_view = old_slot.as_ref().expect("GBCO queries answer");
+        let new_view = &new_slot.as_ref().expect("GBCO queries answer").view;
+        assert_eq!(render(old_view), render(new_view));
+    }
+
+    // The shim funnels through the typed path, so a shim batch on the same
+    // system is now all cache hits.
+    let replay = old.run_queries_batch(&workload, &BatchOptions::default());
+    assert_eq!(replay.cache_misses, 0);
+    // ... and the typed path shares those entries byte for byte (same Arc).
+    let typed_replay = old.query_batch(&requests, &BatchOptions::default());
+    for (shim, typed) in replay.results.iter().zip(&typed_replay.outcomes) {
+        assert!(Arc::ptr_eq(
+            shim.as_ref().unwrap(),
+            &typed.as_ref().unwrap().view
+        ));
+    }
+}
+
+#[test]
+fn per_request_overrides_change_answers_on_a_live_system() {
+    let mut q = build_system();
+    // Pick the first trial query that yields at least two ranked trees.
+    let keywords = trial_keywords()
+        .into_iter()
+        .find(|kws| {
+            let request = QueryRequest::new(kws.iter().cloned());
+            q.query(&request)
+                .map(|o| o.view.queries.len() >= 2)
+                .unwrap_or(false)
+        })
+        .expect("some GBCO trial yields multiple trees");
+    let request = QueryRequest::new(keywords.iter().cloned());
+    let default = q.query(&request).expect("answers");
+
+    // top_k=1 trims the ranked list on the same (un-rebuilt) system.
+    let top1 = q.query(&request.clone().top_k(1)).expect("answers");
+    assert_eq!(top1.view.queries.len(), 1);
+    assert!(default.view.queries.len() > top1.view.queries.len());
+    assert_eq!(top1.view.queries[0], default.view.queries[0]);
+
+    // Strategy override: the exact search returns the provably cheapest
+    // tree, again without rebuilding.
+    let exact = q
+        .query(&request.clone().strategy(SearchStrategy::Exact))
+        .expect("answers");
+    assert_eq!(exact.view.queries.len(), 1);
+    assert!(exact.view.queries[0].cost <= default.view.queries[0].cost + 1e-9);
+
+    // Cost budget below the worst tree prunes the tail.
+    let worst = default.view.queries.last().unwrap().cost;
+    let best = default.view.queries[0].cost;
+    if worst > best + 1e-9 {
+        let budgeted = q
+            .query(&request.clone().cost_budget(best + (worst - best) / 2.0))
+            .expect("answers");
+        assert!(budgeted.view.queries.len() < default.view.queries.len());
+    }
+
+    // None of the overrides polluted the default request's cache entry.
+    let again = q.query(&request).expect("answers");
+    assert_eq!(again.cache, CacheStatus::Hit);
+    assert!(Arc::ptr_eq(&default.view, &again.view));
+}

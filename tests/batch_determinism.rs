@@ -8,7 +8,7 @@
 //! repeat is byte-identical, and batched execution returns the same bytes
 //! for every worker count.
 
-use q_core::{BatchOptions, QConfig, QSystem};
+use q_core::{BatchOptions, CachePolicy, QConfig, QSystem, QueryRequest};
 use q_datasets::{
     declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig,
 };
@@ -43,18 +43,21 @@ fn build_system() -> QSystem {
     q
 }
 
-fn workload() -> Vec<Vec<String>> {
-    gbco_trials().iter().map(|t| t.keywords.clone()).collect()
+fn workload() -> Vec<QueryRequest> {
+    gbco_trials()
+        .iter()
+        .map(|t| QueryRequest::new(t.keywords.iter().cloned()))
+        .collect()
 }
 
 /// Serve the trial workload through the batch API and render every ranked
 /// view to its canonical byte representation.
 fn batch_transcript(q: &mut QSystem, workers: usize) -> String {
-    let report = q.run_queries_batch(&workload(), &BatchOptions { workers });
-    report
-        .results
+    let batch = q.query_batch(&workload(), &BatchOptions { workers });
+    batch
+        .outcomes
         .iter()
-        .map(|r| format!("{:?}\n", **r.as_ref().expect("GBCO queries answer")))
+        .map(|r| format!("{:?}\n", *r.as_ref().expect("GBCO queries answer").view))
         .collect()
 }
 
@@ -71,12 +74,12 @@ fn gbco_pipeline_twice_in_process_and_once_through_the_cache_is_byte_identical()
         "two in-process pipeline runs diverged (hash-order regression?)"
     );
 
-    // Sequential uncached serving must agree with the batch too.
+    // Sequential cache-bypassing serving must agree with the batch too.
     let uncached: String = workload()
         .iter()
-        .map(|kws| {
-            let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
-            format!("{:?}\n", first.run_query_uncached(&refs).unwrap())
+        .map(|request| {
+            let bypass = request.clone().cache_policy(CachePolicy::Bypass);
+            format!("{:?}\n", *first.query(&bypass).unwrap().view)
         })
         .collect();
     assert_eq!(transcript_1, uncached, "batch diverged from sequential");

@@ -3,7 +3,10 @@
 //! and the top-level convenience re-exports must be enough to stand up a
 //! working `QSystem` without naming any `q_*` crate directly.
 
-use q_integration::{Catalog, Feedback, QConfig, QSystem, RelationSpec, SourceSpec, Value};
+use q_integration::{
+    CachePolicy, CacheStatus, Catalog, Feedback, QConfig, QSystem, QueryRequest, RelationSpec,
+    SourceSpec, Value,
+};
 
 /// A two-source catalog, built purely through façade re-exports.
 fn tiny_catalog() -> Catalog {
@@ -44,6 +47,46 @@ fn facade_reexports_support_the_full_pipeline() {
     q.feedback(view_id, Feedback::Correct { answer: 0 })
         .unwrap();
     assert!(q.view(view_id).is_some());
+}
+
+#[test]
+fn facade_exposes_the_typed_query_api() {
+    // Builder, request, outcome and error types must all be reachable from
+    // the façade without naming a `q_*` crate.
+    let mut q = QSystem::builder()
+        .catalog(tiny_catalog())
+        .config(QConfig::default())
+        .matcher(Box::new(q_integration::matchers::MetadataMatcher::new()))
+        .build()
+        .expect("builder works through the façade");
+
+    let request = QueryRequest::new(["insulin", "secretion"]);
+    let miss = q.query(&request).expect("query answers");
+    assert_eq!(miss.cache, CacheStatus::Miss);
+    assert!(miss.view.answer_count() > 0);
+    let hit = q.query(&request).expect("query answers");
+    assert_eq!(hit.cache, CacheStatus::Hit);
+
+    let batch = q.query_batch(
+        &[request.clone().cache_policy(CachePolicy::Bypass)],
+        &q_integration::BatchOptions::default(),
+    );
+    assert_eq!(batch.outcomes.len(), 1);
+    assert_eq!(
+        batch.outcomes[0].as_ref().unwrap().cache,
+        CacheStatus::Bypassed
+    );
+
+    // The unified error chain is visible through the façade.
+    let err = q
+        .query(&QueryRequest::new(["insulin"]).top_k(0))
+        .expect_err("invalid request rejected");
+    assert!(matches!(err, q_integration::QError::InvalidRequest { .. }));
+    let err: Box<dyn std::error::Error> = Box::new(q_integration::QError::SourceLoad {
+        source_name: "go".into(),
+        source: q_integration::StorageError::DuplicateSource("go".into()),
+    });
+    assert!(err.source().is_some(), "storage cause is chained");
 }
 
 #[test]

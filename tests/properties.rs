@@ -123,7 +123,10 @@ proptest! {
         terminals.sort();
         terminals.dedup();
 
-        let trees = approx_top_k(&graph, &terminals, &SteinerConfig { k: 5, max_roots: 0 });
+        let trees = approx_top_k(&graph, &terminals, &SteinerConfig {
+                k: 5,
+                ..SteinerConfig::default()
+            });
         prop_assert!(!trees.is_empty(), "ring graph is connected, a tree must exist");
         for w in trees.windows(2) {
             prop_assert!(w[0].cost <= w[1].cost + 1e-9);
@@ -160,7 +163,10 @@ proptest! {
         terminals.sort();
         terminals.dedup();
 
-        let trees = approx_top_k(&graph, &terminals, &SteinerConfig { k: 3, max_roots: 0 });
+        let trees = approx_top_k(&graph, &terminals, &SteinerConfig {
+                k: 3,
+                ..SteinerConfig::default()
+            });
         prop_assert!(!trees.is_empty());
         let exact = exact_minimum_steiner(&graph, &terminals).expect("trees are connected");
         prop_assert!((trees[0].cost - exact.cost).abs() < 1e-9,
