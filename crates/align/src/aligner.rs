@@ -237,11 +237,7 @@ impl PreferentialAligner {
             .filter(|r| r.source != new_source)
             .map(|r| (r.id, prior(r.id)))
             .collect();
-        rels.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        rels.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         rels.truncate(self.limit);
         rels.into_iter().map(|(r, _)| r).collect()
     }

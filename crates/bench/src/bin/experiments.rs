@@ -1,15 +1,17 @@
 //! Command-line experiment runner: regenerates every table and figure of the
 //! paper's evaluation section, plus the post-paper throughput experiment.
 //!
-//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|all]`
+//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|search|search-smoke|all]`
 //!
 //! `throughput` (and its reduced CI variant `throughput-smoke`) additionally
-//! writes `BENCH_throughput.json` to the current directory.
+//! writes `BENCH_throughput.json` to the current directory; `search` /
+//! `search-smoke` write `BENCH_search.json`.
 
 use q_bench::{
     run_aligner_experiment, run_learning_experiment, run_matcher_quality, run_scaling_experiment,
-    run_throughput_experiment, AlignerExperimentConfig, LearningConfig, MatcherQualityConfig,
-    ScalingExperimentConfig, ThroughputConfig,
+    run_search_latency_experiment, run_throughput_experiment, AlignerExperimentConfig,
+    LearningConfig, MatcherQualityConfig, ScalingExperimentConfig, SearchLatencyConfig,
+    ThroughputConfig,
 };
 
 fn main() {
@@ -25,21 +27,64 @@ fn main() {
         "table2" => learning(&["table2"]),
         "throughput" => throughput(&ThroughputConfig::default()),
         "throughput-smoke" => throughput(&ThroughputConfig::smoke()),
+        "search" => search(&SearchLatencyConfig::default()),
+        "search-smoke" => search(&SearchLatencyConfig::smoke()),
         "all" => {
             fig6_7(true, true);
             fig8();
             table1();
             learning(&["fig10", "fig11", "fig12", "table2"]);
             throughput(&ThroughputConfig::default());
+            search(&SearchLatencyConfig::default());
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "expected one of: fig6 fig7 fig8 table1 fig10 fig11 fig12 table2 \
-                 throughput throughput-smoke all"
+                 throughput throughput-smoke search search-smoke all"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn search(config: &SearchLatencyConfig) {
+    let result = run_search_latency_experiment(config);
+    println!("== Search latency: cold miss vs warm hit vs post-feedback revalidation ==");
+    println!(
+        "workload: {} distinct GBCO queries per pass",
+        result.queries
+    );
+    println!("pass                         p50_ms      p99_ms");
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    println!(
+        "cold (all misses)        {:>10.3}  {:>10.3}",
+        ms(result.cold.p50),
+        ms(result.cold.p99)
+    );
+    println!(
+        "warm (all hits)          {:>10.3}  {:>10.3}",
+        ms(result.warm.p50),
+        ms(result.warm.p99)
+    );
+    println!(
+        "post-feedback            {:>10.3}  {:>10.3}",
+        ms(result.post_feedback.p50),
+        ms(result.post_feedback.p99)
+    );
+    println!(
+        "post-feedback mix: {} revalidated, {} recomputed ({} features re-priced)",
+        result.revalidated, result.post_misses, result.repriced_features
+    );
+    println!("deterministic across runs: {}", result.deterministic);
+    let json = result.to_json(config);
+    let path = "BENCH_search.json";
+    std::fs::write(path, &json).expect("write BENCH_search.json");
+    println!("wrote {path}");
+    println!();
+    if !result.deterministic {
+        eprintln!("FATAL: search-latency passes diverged between runs");
+        std::process::exit(1);
     }
 }
 

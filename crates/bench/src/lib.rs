@@ -10,6 +10,7 @@ pub mod aligners;
 pub mod learning;
 pub mod matchers;
 pub mod scaling;
+pub mod search_latency;
 pub mod throughput;
 
 pub use aligners::{
@@ -20,4 +21,7 @@ pub use matchers::{
     run_matcher_quality, MatcherQualityConfig, MatcherQualityResult, MatcherQualityRow,
 };
 pub use scaling::{run_scaling_experiment, ScalingExperimentConfig, ScalingPoint, ScalingResult};
+pub use search_latency::{
+    run_search_latency_experiment, LatencyStats, SearchLatencyConfig, SearchLatencyResult,
+};
 pub use throughput::{run_throughput_experiment, ThroughputConfig, ThroughputResult};

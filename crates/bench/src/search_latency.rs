@@ -1,0 +1,296 @@
+//! Per-query search latency over the GBCO workload across the three cache
+//! regimes the serving loop cycles through: cold misses, warm hits, and the
+//! post-feedback state after a MIRA re-pricing bumps the weight epoch.
+//!
+//! This is the experiment behind `BENCH_search.json`. The interesting column
+//! is the third one: before epoch-delta revalidation, a feedback interaction
+//! cold-started the whole cache and every post-feedback query paid full miss
+//! latency; now entries whose ranking survives the new weights are re-priced
+//! in place, so the post-feedback pass should sit close to warm-hit latency,
+//! not cold-miss latency. The CI smoke step runs the reduced configuration
+//! and fails when the JSON is absent, malformed, or nondeterministic.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use q_core::{CacheStatus, Feedback, QConfig, QSystem, QueryRequest};
+use q_datasets::{gbco_catalog, gbco_trials, GbcoConfig};
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchLatencyConfig {
+    /// GBCO generator configuration.
+    pub gbco: GbcoConfig,
+}
+
+impl SearchLatencyConfig {
+    /// Reduced configuration for the CI smoke run.
+    pub fn smoke() -> Self {
+        SearchLatencyConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 15,
+                seed: 17,
+            },
+        }
+    }
+}
+
+/// Latency distribution of one serving pass.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median per-query latency.
+    pub p50: Duration,
+    /// 99th-percentile per-query latency (the maximum on small workloads).
+    pub p99: Duration,
+}
+
+impl LatencyStats {
+    fn of(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort();
+        // Nearest-rank percentile: ⌈q/100 · n⌉-th smallest sample, so p99
+        // over a small workload really is the maximum.
+        let pick = |q: usize| samples[(samples.len() * q).div_ceil(100) - 1];
+        LatencyStats {
+            p50: pick(50),
+            p99: pick(99),
+        }
+    }
+}
+
+/// Measured result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchLatencyResult {
+    /// Queries per pass (the 16 distinct GBCO trials).
+    pub queries: usize,
+    /// Fresh-system pass: every query is a cache miss.
+    pub cold: LatencyStats,
+    /// Immediate repeat: every query is a cache hit.
+    pub warm: LatencyStats,
+    /// Repeat after a MIRA feedback interaction bumped the weight epoch.
+    pub post_feedback: LatencyStats,
+    /// Post-feedback queries served from revalidated entries.
+    pub revalidated: usize,
+    /// Post-feedback queries that had to recompute (ranking disturbed by the
+    /// re-pricing).
+    pub post_misses: usize,
+    /// Features whose weight the feedback interaction changed (the weight
+    /// delta the cache revalidated against).
+    pub repriced_features: usize,
+    /// Two independent runs produced byte-identical post-feedback answers.
+    pub deterministic: bool,
+}
+
+struct Pass {
+    stats: LatencyStats,
+    revalidated: usize,
+    misses: usize,
+    rendered: Vec<String>,
+}
+
+/// One serving pass over the workload, timing each query end to end.
+fn pass(q: &mut QSystem, workload: &[Vec<String>]) -> Pass {
+    let mut samples = Vec::with_capacity(workload.len());
+    let mut revalidated = 0;
+    let mut misses = 0;
+    let mut rendered = Vec::with_capacity(workload.len());
+    for keywords in workload {
+        let request = QueryRequest::new(keywords.iter().cloned());
+        let start = Instant::now();
+        let outcome = q.query(&request).expect("query answers");
+        samples.push(start.elapsed());
+        match outcome.cache {
+            CacheStatus::Revalidated => revalidated += 1,
+            CacheStatus::Miss => misses += 1,
+            _ => {}
+        }
+        rendered.push(format!("{:?}", *outcome.view));
+    }
+    Pass {
+        stats: LatencyStats::of(samples),
+        revalidated,
+        misses,
+        rendered,
+    }
+}
+
+/// Apply one deterministic MIRA re-pricing: feedback on the first trial
+/// whose persistent view ranks at least one answer. Returns the number of
+/// re-priced features.
+fn apply_feedback(q: &mut QSystem, workload: &[Vec<String>]) -> usize {
+    for keywords in workload {
+        let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+        let view_id = q.create_view(&refs).expect("view creation");
+        let view = q.view(view_id).expect("view exists");
+        if !view.queries.is_empty() && !view.answers.is_empty() {
+            let outcome = q
+                .feedback(view_id, Feedback::Correct { answer: 0 })
+                .expect("feedback applies");
+            return outcome.repriced_features;
+        }
+    }
+    // No trial produced a rankable view (degenerate configuration): fall
+    // back to an explicit uniform re-pricing so the epoch still moves.
+    let default = q.graph().feature_space().get("default").expect("default");
+    let mut w = q.graph().weights().clone();
+    w.set(default, w.get(default) + 1e-6);
+    q.graph_mut().set_weights(w);
+    1
+}
+
+fn run_once(config: &SearchLatencyConfig) -> (Pass, Pass, Pass, usize) {
+    let mut q = QSystem::new(gbco_catalog(&config.gbco), QConfig::default());
+    let workload: Vec<Vec<String>> = gbco_trials().iter().map(|t| t.keywords.clone()).collect();
+    let cold = pass(&mut q, &workload);
+    let warm = pass(&mut q, &workload);
+    let repriced = apply_feedback(&mut q, &workload);
+    let post = pass(&mut q, &workload);
+    (cold, warm, post, repriced)
+}
+
+/// Run the search-latency experiment.
+pub fn run_search_latency_experiment(config: &SearchLatencyConfig) -> SearchLatencyResult {
+    let (cold, warm, post, repriced) = run_once(config);
+    // Determinism: a second fresh run must produce byte-identical answers in
+    // every pass, including the post-feedback revalidation decisions.
+    let (cold2, warm2, post2, _) = run_once(config);
+    let deterministic = cold.rendered == cold2.rendered
+        && warm.rendered == warm2.rendered
+        && post.rendered == post2.rendered
+        && post.revalidated == post2.revalidated;
+    SearchLatencyResult {
+        queries: cold.rendered.len(),
+        cold: cold.stats,
+        warm: warm.stats,
+        post_feedback: post.stats,
+        revalidated: post.revalidated,
+        post_misses: post.misses,
+        repriced_features: repriced,
+        deterministic,
+    }
+}
+
+impl SearchLatencyResult {
+    /// Serialise to the `BENCH_search.json` schema (hand-rolled: the
+    /// vendored serde shim has no JSON backend). Keys are stable — the CI
+    /// smoke step asserts their presence.
+    pub fn to_json(&self, config: &SearchLatencyConfig) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"search_latency\",\n",
+                "  \"workload\": \"gbco_trials\",\n",
+                "  \"gbco_rows_per_table\": {},\n",
+                "  \"gbco_seed\": {},\n",
+                "  \"queries\": {},\n",
+                "  \"cold_p50_ms\": {:.3},\n",
+                "  \"cold_p99_ms\": {:.3},\n",
+                "  \"warm_p50_ms\": {:.3},\n",
+                "  \"warm_p99_ms\": {:.3},\n",
+                "  \"post_feedback_p50_ms\": {:.3},\n",
+                "  \"post_feedback_p99_ms\": {:.3},\n",
+                "  \"revalidated\": {},\n",
+                "  \"post_misses\": {},\n",
+                "  \"repriced_features\": {},\n",
+                "  \"deterministic\": {}\n",
+                "}}\n"
+            ),
+            config.gbco.rows_per_table,
+            config.gbco.seed,
+            self.queries,
+            ms(self.cold.p50),
+            ms(self.cold.p99),
+            ms(self.warm.p50),
+            ms(self.warm.p99),
+            ms(self.post_feedback.p50),
+            ms(self.post_feedback.p99),
+            self.revalidated,
+            self.post_misses,
+            self.repriced_features,
+            self.deterministic,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_configuration_is_deterministic_and_revalidates() {
+        let result = run_search_latency_experiment(&SearchLatencyConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 12,
+                seed: 17,
+            },
+        });
+        assert_eq!(result.queries, 16);
+        assert!(result.deterministic, "passes diverged between runs");
+        assert_eq!(
+            result.revalidated + result.post_misses,
+            result.queries,
+            "every post-feedback query is either revalidated or recomputed \
+             (the epoch moved, so plain hits are impossible)"
+        );
+        assert!(
+            result.revalidated > 0,
+            "the cache must survive the feedback epoch bump for some queries"
+        );
+        assert!(result.repriced_features > 0);
+    }
+
+    #[test]
+    fn json_has_the_contracted_keys() {
+        let config = SearchLatencyConfig::smoke();
+        let result = SearchLatencyResult {
+            queries: 16,
+            cold: LatencyStats {
+                p50: Duration::from_millis(4),
+                p99: Duration::from_millis(9),
+            },
+            warm: LatencyStats {
+                p50: Duration::from_micros(2),
+                p99: Duration::from_micros(5),
+            },
+            post_feedback: LatencyStats {
+                p50: Duration::from_micros(3),
+                p99: Duration::from_millis(5),
+            },
+            revalidated: 14,
+            post_misses: 2,
+            repriced_features: 7,
+            deterministic: true,
+        };
+        let json = result.to_json(&config);
+        for key in [
+            "\"experiment\"",
+            "\"queries\"",
+            "\"cold_p50_ms\"",
+            "\"cold_p99_ms\"",
+            "\"warm_p50_ms\"",
+            "\"warm_p99_ms\"",
+            "\"post_feedback_p50_ms\"",
+            "\"post_feedback_p99_ms\"",
+            "\"revalidated\"",
+            "\"post_misses\"",
+            "\"repriced_features\"",
+            "\"deterministic\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn latency_stats_pick_percentiles_from_sorted_samples() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let stats = LatencyStats::of(samples);
+        assert_eq!(stats.p50, Duration::from_millis(50));
+        assert_eq!(stats.p99, Duration::from_millis(99));
+        assert_eq!(LatencyStats::of(Vec::new()), LatencyStats::default());
+    }
+}

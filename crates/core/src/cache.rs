@@ -1,4 +1,4 @@
-//! Weight-epoch-keyed answer cache.
+//! Weight-epoch-keyed answer cache with epoch-delta revalidation.
 //!
 //! Every answer a Q view serves is a pure function of (the keyword query,
 //! the per-request serving parameters, the search graph's topology, the
@@ -6,20 +6,46 @@
 //! monotone counter — its *weight epoch*, bumped by every MIRA re-pricing
 //! and every topology change (see
 //! [`SearchGraph::weight_epoch`](q_graph::SearchGraph::weight_epoch)). The
-//! cache therefore keys entries on `(`[`QueryKey`]`, epoch)` — the key
-//! packing the normalized keywords together with the request's
-//! parameter fingerprint: feedback bumps the epoch, which invalidates
-//! exactly the entries priced under the old weights, and nothing else ever
-//! needs invalidating.
+//! cache keys entries on [`QueryKey`] — normalized keywords plus the
+//! request's parameter fingerprint — and tracks the epoch its entries were
+//! priced under.
 //!
-//! Since all live entries share the current epoch, the key stores only the
-//! keywords + parameters and the whole map is cleared when the epoch moves —
-//! the cache-coherence rule is "stale epoch ⇒ empty cache", which is
-//! trivially audit-able and cheap.
+//! # Epoch-delta revalidation
+//!
+//! A moved epoch used to mean "empty the cache". That rule is sound but
+//! wasteful for the feedback loop: a MIRA re-pricing adjusts a handful of
+//! feature weights, and most cached answers either do not touch them or
+//! keep their ranking under the new prices. [`QueryCache::sync_epoch`]
+//! therefore distinguishes what actually changed:
+//!
+//! * **Topology grew** (the graph gained edges): new join paths can create
+//!   answers no re-costing of old trees predicts — the cache is dropped
+//!   wholesale, exactly like the seed rule.
+//! * **Topology identical** (the bump was a re-pricing: a weight update,
+//!   or a matcher opinion merged into an existing edge's features): every
+//!   cached entry's trees are *re-costed* in O(edges) from its stored
+//!   [`RevalidationModel`] — no query graph is rebuilt, no search runs.
+//!   An entry survives when its ranked order is unchanged under the new
+//!   costs (and every tree still fits the request's cost budget); its view
+//!   is re-priced in place — kept verbatim if every cost came back
+//!   identical — and later hits report
+//!   [`CacheStatus::Revalidated`](crate::CacheStatus). Entries whose
+//!   ranking is disturbed are dropped — a re-ranked view may differ from a
+//!   fresh search, so only order-preserving deltas are safe to serve.
+//!
+//! Revalidation is a *ranking-preserving* heuristic, not a proof: a
+//! re-pricing could in principle promote a join tree the cached search
+//! never generated. The trade is deliberate — MIRA's margin updates are
+//! local, the workloads replay the same views over and over, and a dropped
+//! entry only costs one recomputation — and it is pinned by the
+//! `revalidation` integration tests, which compare revalidated entries
+//! against fresh recomputes after real feedback.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+use q_graph::{EdgeId, FeatureVector, SearchGraph};
 
 use crate::answer::RankedView;
 use crate::request::QueryParamsKey;
@@ -63,19 +89,113 @@ impl QueryKey {
     }
 }
 
+/// One summand of a cached tree's cost under arbitrary weights.
+///
+/// Terms are kept in the tree's sorted-edge order so the re-priced sum is
+/// bit-identical to what a fresh
+/// [`SteinerTree::from_edges`](q_graph::SteinerTree) accumulation would
+/// produce — cached and recomputed costs must compare equal, not merely
+/// close.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostTerm {
+    /// A search-graph edge: the graph stays authoritative for its features
+    /// (an edge can gain matcher-bin features after the answer was cached).
+    Base(EdgeId),
+    /// A query-local keyword/value edge: its features exist only while the
+    /// query graph lives, so the cache keeps the copy needed to re-price it
+    /// (empty for the fixed-zero value-attachment edges).
+    Local(FeatureVector),
+}
+
+/// Cost model of one cached ranked query: enough to re-price its tree in
+/// O(edges) without rebuilding the query graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TreeCostModel {
+    terms: Vec<CostTerm>,
+}
+
+impl TreeCostModel {
+    /// Model from cost terms in sorted-edge order.
+    pub fn new(terms: Vec<CostTerm>) -> Self {
+        TreeCostModel { terms }
+    }
+
+    /// The tree's cost under the graph's current weights.
+    pub fn cost(&self, graph: &SearchGraph) -> f64 {
+        let weights = graph.weights();
+        let mut cost = 0.0;
+        for term in &self.terms {
+            cost += match term {
+                CostTerm::Base(e) => graph.edge_cost(*e),
+                CostTerm::Local(fv) => fv.dot(weights),
+            };
+        }
+        cost
+    }
+}
+
+/// Everything the cache needs to re-price one entry on an epoch delta:
+/// per-ranked-query cost models plus the serving constraints the answer was
+/// computed under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RevalidationModel {
+    /// One cost model per ranked query of the view, in rank order.
+    pub trees: Vec<TreeCostModel>,
+    /// Effective cost budget of the request (`f64::INFINITY` when none):
+    /// a re-priced tree exceeding it would have been dropped by a fresh
+    /// search, so the entry cannot be kept.
+    pub budget: f64,
+    /// False for answers whose strategy cannot be revalidated by re-costing
+    /// (e.g. an exact-minimum search: new weights may crown a different
+    /// provably-minimum tree). Such entries are dropped on any re-pricing.
+    pub revalidatable: bool,
+}
+
+impl Default for RevalidationModel {
+    fn default() -> Self {
+        RevalidationModel {
+            trees: Vec::new(),
+            budget: f64::INFINITY,
+            revalidatable: true,
+        }
+    }
+}
+
+/// A successful cache lookup: the view plus whether it survived at least
+/// one epoch-delta revalidation since it was computed (serving layers
+/// report that as [`CacheStatus::Revalidated`](crate::CacheStatus)).
+#[derive(Debug, Clone)]
+pub struct CacheLookup {
+    /// The cached (possibly re-priced) view.
+    pub view: Arc<RankedView>,
+    /// True when the entry was carried across a weight-epoch change.
+    pub revalidated: bool,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    view: Arc<RankedView>,
+    model: RevalidationModel,
+    revalidated: bool,
+}
+
 /// Answer cache for the query path. See the module docs for the coherence
 /// rule; capacity-bounded with FIFO eviction (the workloads Q serves repeat
 /// whole query sets, where FIFO and LRU behave identically and FIFO needs no
-/// bookkeeping on hits).
+/// bookkeeping on hits). Entries kept by revalidation retain their original
+/// insertion order — surviving an epoch delta does not make an entry young.
 #[derive(Debug, Clone)]
 pub struct QueryCache {
     epoch: u64,
-    entries: HashMap<QueryKey, Arc<RankedView>>,
+    entries: HashMap<QueryKey, CacheEntry>,
     insertion_order: VecDeque<QueryKey>,
     capacity: usize,
     hits: u64,
     misses: u64,
     invalidations: u64,
+    revalidations: u64,
+    /// Graph edge count at the last sync; a difference means topology grew.
+    synced_edge_count: usize,
 }
 
 /// Default maximum number of cached views.
@@ -101,26 +221,112 @@ impl QueryCache {
             hits: 0,
             misses: 0,
             invalidations: 0,
+            revalidations: 0,
+            synced_edge_count: 0,
         }
     }
 
-    /// Align the cache with the graph's current weight epoch, dropping every
-    /// entry priced under an older one. Callers do this before any lookup.
-    pub fn sync_epoch(&mut self, current: u64) {
-        if self.epoch != current {
+    /// Align the cache with the graph's current weight epoch. Callers do
+    /// this before any lookup.
+    ///
+    /// On an epoch delta: topology growth drops every entry (new edges can
+    /// create answers no re-cost predicts); a pure re-pricing re-costs each
+    /// cached tree from its [`RevalidationModel`] and keeps entries whose
+    /// ranked order survives under the new weights (see the module docs).
+    pub fn sync_epoch(&mut self, current: u64, graph: &SearchGraph) {
+        if self.epoch == current {
+            return;
+        }
+        self.epoch = current;
+        if graph.edge_count() != self.synced_edge_count {
             self.invalidations += self.entries.len() as u64;
             self.entries.clear();
             self.insertion_order.clear();
-            self.epoch = current;
+        } else {
+            // Same topology ⇒ the bump was a re-pricing of some form. The
+            // weight vector alone cannot prove which costs moved — merging
+            // another matcher's opinion into an existing association edge
+            // changes that *edge's* feature vector without necessarily
+            // touching any weight — so every entry is re-costed; the cost
+            // models read base-edge features from the graph, which picks
+            // up both weight and feature changes. An entry whose costs all
+            // come back identical is kept verbatim (same allocation).
+            let mut dropped = 0u64;
+            let mut kept = 0u64;
+            self.entries.retain(|_, entry| {
+                if Self::revalidate(entry, graph) {
+                    kept += 1;
+                    true
+                } else {
+                    dropped += 1;
+                    false
+                }
+            });
+            self.invalidations += dropped;
+            self.revalidations += kept;
+            if dropped > 0 {
+                // Kept entries stay in their original FIFO positions.
+                self.insertion_order
+                    .retain(|k| self.entries.contains_key(k));
+            }
         }
+        self.synced_edge_count = graph.edge_count();
+    }
+
+    /// Re-price one entry under the graph's current weights; true when it
+    /// may stay cached (its view is updated in place).
+    fn revalidate(entry: &mut CacheEntry, graph: &SearchGraph) -> bool {
+        let model = &entry.model;
+        if !model.revalidatable || model.trees.len() != entry.view.queries.len() {
+            return false;
+        }
+        let new_costs: Vec<f64> = model.trees.iter().map(|m| m.cost(graph)).collect();
+        // The ranking must be unchanged and every tree must still fit the
+        // request's budget — otherwise a fresh search would rank or filter
+        // differently. Adjacent costs must stay strictly increasing; a
+        // *newly created* tie is a disturbance (a fresh search may generate
+        // the tied trees in the other order and its stable sort would keep
+        // them swapped), so equal new costs are only acceptable where the
+        // cached costs were already equal.
+        let order_preserved = new_costs
+            .windows(2)
+            .zip(entry.view.queries.windows(2))
+            .all(|(n, q)| n[0] < n[1] || (n[0] == n[1] && q[0].cost == q[1].cost));
+        let within_budget = new_costs.iter().all(|c| *c <= model.budget + 1e-9);
+        if !order_preserved || !within_budget {
+            return false;
+        }
+        let unchanged = new_costs
+            .iter()
+            .zip(&entry.view.queries)
+            .all(|(n, q)| n.to_bits() == q.cost.to_bits());
+        if !unchanged {
+            // Re-price the view: query costs, their trees' costs, and the
+            // per-answer cost echoes. Ranked order is untouched, so answers
+            // stay sorted (they are grouped by query in rank order).
+            let mut view = (*entry.view).clone();
+            for (q, c) in view.queries.iter_mut().zip(&new_costs) {
+                q.cost = *c;
+                q.tree.cost = *c;
+            }
+            for a in &mut view.answers {
+                a.cost = new_costs[a.query_index];
+            }
+            entry.view = Arc::new(view);
+        }
+        entry.revalidated = true;
+        true
     }
 
     /// Look up a query key, counting the hit or miss.
-    pub fn get(&mut self, key: &QueryKey) -> Option<Arc<RankedView>> {
+    pub fn get(&mut self, key: &QueryKey) -> Option<CacheLookup> {
         match self.entries.get(key) {
-            Some(view) => {
+            Some(entry) => {
                 self.hits += 1;
-                Some(Arc::clone(view))
+                Some(CacheLookup {
+                    view: Arc::clone(&entry.view),
+                    revalidated: entry.revalidated,
+                })
             }
             None => {
                 self.misses += 1;
@@ -129,11 +335,17 @@ impl QueryCache {
         }
     }
 
-    /// Insert a computed view under a key, evicting the oldest entry when
-    /// full.
-    pub fn insert(&mut self, key: QueryKey, view: Arc<RankedView>) {
+    /// Insert a computed view under a key together with the cost models a
+    /// later epoch-delta revalidation needs, evicting the oldest entry when
+    /// full. Overwriting an existing key keeps its FIFO position.
+    pub fn insert(&mut self, key: QueryKey, view: Arc<RankedView>, model: RevalidationModel) {
+        let entry = CacheEntry {
+            view,
+            model,
+            revalidated: false,
+        };
         if let Some(slot) = self.entries.get_mut(&key) {
-            *slot = view;
+            *slot = entry;
             return;
         }
         while self.entries.len() >= self.capacity {
@@ -143,10 +355,10 @@ impl QueryCache {
             self.entries.remove(&oldest);
         }
         self.insertion_order.push_back(key.clone());
-        self.entries.insert(key, view);
+        self.entries.insert(key, entry);
     }
 
-    /// Epoch the live entries were computed under.
+    /// Epoch the live entries were last synced under.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -176,15 +388,24 @@ impl QueryCache {
         self.misses
     }
 
-    /// Entries dropped by epoch invalidation (not capacity eviction).
+    /// Entries dropped at an epoch sync (not capacity eviction): topology
+    /// growth, a disturbed ranking, or a blown budget.
     pub fn invalidations(&self) -> u64 {
         self.invalidations
+    }
+
+    /// Entries re-priced and kept across an epoch delta.
+    pub fn revalidations(&self) -> u64 {
+        self.revalidations
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::answer::RankedQuery;
+    use q_graph::SteinerTree;
+    use q_storage::ConjunctiveQuery;
 
     fn view(tag: &str) -> Arc<RankedView> {
         Arc::new(RankedView {
@@ -195,6 +416,53 @@ mod tests {
 
     fn key(keywords: &[&str]) -> QueryKey {
         QueryKey::from_keywords(keywords)
+    }
+
+    /// A tiny search graph with one association edge whose cost the tests
+    /// can steer through the weight vector.
+    fn graph() -> (SearchGraph, q_graph::EdgeId) {
+        use q_storage::{RelationSpec, SourceSpec};
+        let mut cat = q_storage::Catalog::new();
+        SourceSpec::new("a")
+            .relation(RelationSpec::new("r1", &["x"]))
+            .load_into(&mut cat)
+            .unwrap();
+        SourceSpec::new("b")
+            .relation(RelationSpec::new("r2", &["y"]))
+            .load_into(&mut cat)
+            .unwrap();
+        let mut g = SearchGraph::from_catalog(&cat);
+        let x = cat.resolve_qualified("r1.x").unwrap();
+        let y = cat.resolve_qualified("r2.y").unwrap();
+        let e = g.add_association(x, y, "mad", 0.9);
+        (g, e)
+    }
+
+    /// A single-query view whose tree consists of the given base edge.
+    fn priced_view(
+        graph: &SearchGraph,
+        edge: q_graph::EdgeId,
+    ) -> (Arc<RankedView>, RevalidationModel) {
+        let cost = graph.edge_cost(edge);
+        let view = Arc::new(RankedView {
+            keywords: vec!["q".into()],
+            queries: vec![RankedQuery {
+                tree: SteinerTree {
+                    edges: vec![edge],
+                    nodes: vec![],
+                    cost,
+                },
+                query: ConjunctiveQuery::new(),
+                cost,
+            }],
+            ..RankedView::default()
+        });
+        let model = RevalidationModel {
+            trees: vec![TreeCostModel::new(vec![CostTerm::Base(edge)])],
+            budget: f64::INFINITY,
+            revalidatable: true,
+        };
+        (view, model)
     }
 
     #[test]
@@ -223,47 +491,230 @@ mod tests {
         };
         assert_ne!(plain, tuned);
         let mut cache = QueryCache::default();
-        cache.insert(plain.clone(), view("plain"));
-        cache.insert(tuned.clone(), view("tuned"));
-        assert_eq!(cache.get(&plain).unwrap().keywords, vec!["plain"]);
-        assert_eq!(cache.get(&tuned).unwrap().keywords, vec!["tuned"]);
+        cache.insert(plain.clone(), view("plain"), RevalidationModel::default());
+        cache.insert(tuned.clone(), view("tuned"), RevalidationModel::default());
+        assert_eq!(cache.get(&plain).unwrap().view.keywords, vec!["plain"]);
+        assert_eq!(cache.get(&tuned).unwrap().view.keywords, vec!["tuned"]);
     }
 
     #[test]
     fn hit_after_insert_miss_before() {
+        let (g, _) = graph();
         let mut cache = QueryCache::default();
-        cache.sync_epoch(3);
+        cache.sync_epoch(g.weight_epoch(), &g);
         let key = key(&["plasma membrane"]);
         assert!(cache.get(&key).is_none());
-        cache.insert(key.clone(), view("v"));
+        cache.insert(key.clone(), view("v"), RevalidationModel::default());
         let got = cache.get(&key).expect("cached");
-        assert_eq!(got.keywords, vec!["v"]);
+        assert_eq!(got.view.keywords, vec!["v"]);
+        assert!(!got.revalidated, "no epoch delta crossed yet");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
     }
 
     #[test]
-    fn epoch_move_invalidates_everything() {
+    fn topology_growth_still_invalidates_everything() {
+        let (mut g, _) = graph();
         let mut cache = QueryCache::default();
-        cache.sync_epoch(1);
-        cache.insert(key(&["a"]), view("a"));
-        cache.insert(key(&["b"]), view("b"));
-        cache.sync_epoch(2);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        cache.insert(key(&["a"]), view("a"), RevalidationModel::default());
+        cache.insert(key(&["b"]), view("b"), RevalidationModel::default());
+        // A new association edge is a topology change: re-costing cached
+        // trees cannot account for answers the new edge enables.
+        let x = g
+            .association_edges()
+            .next()
+            .map(|(_, a, _)| a)
+            .expect("association exists");
+        g.add_association(x, q_storage::AttributeId(2), "manual", 0.5);
+        cache.sync_epoch(g.weight_epoch(), &g);
         assert!(cache.is_empty());
         assert_eq!(cache.invalidations(), 2);
-        assert_eq!(cache.epoch(), 2);
-        // Same epoch: nothing dropped.
-        cache.insert(key(&["c"]), view("c"));
-        cache.sync_epoch(2);
+        assert_eq!(cache.revalidations(), 0);
+    }
+
+    #[test]
+    fn order_preserving_repricing_keeps_and_reprices_entries() {
+        let (mut g, e) = graph();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, model) = priced_view(&g, e);
+        let old_cost = v.queries[0].cost;
+        cache.insert(key(&["q"]), Arc::clone(&v), model);
+
+        // Uniform re-pricing: bump the shared default weight.
+        let mut w = g.weights().clone();
+        let default = g.feature_space().get("default").unwrap();
+        w.set(default, w.get(default) + 0.25);
+        g.set_weights(w);
+
+        cache.sync_epoch(g.weight_epoch(), &g);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.revalidations(), 1);
+        assert_eq!(cache.invalidations(), 0);
+        let hit = cache.get(&key(&["q"])).expect("kept");
+        assert!(hit.revalidated);
+        let new_cost = hit.view.queries[0].cost;
+        assert!(new_cost > old_cost, "entry was not re-priced");
+        assert_eq!(new_cost.to_bits(), g.edge_cost(e).to_bits());
+        assert_eq!(hit.view.queries[0].tree.cost.to_bits(), new_cost.to_bits());
+    }
+
+    #[test]
+    fn ranking_disturbance_drops_the_entry() {
+        let (mut g, e) = graph();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        // Two-query view: a cheap base-edge tree ranked above a fixed-cost
+        // local tree. Raising the base edge above the local cost disturbs
+        // the ranking.
+        let base_cost = g.edge_cost(e);
+        let local_cost = base_cost + 0.5;
+        let local_fv = {
+            let mut fv = FeatureVector::empty();
+            fv.add(g.feature_space().get("keyword_base").unwrap(), 1.0);
+            fv
+        };
+        let local_model_cost = local_fv.dot(g.weights());
+        let view = Arc::new(RankedView {
+            keywords: vec!["q".into()],
+            queries: vec![
+                RankedQuery {
+                    tree: SteinerTree {
+                        edges: vec![e],
+                        nodes: vec![],
+                        cost: base_cost,
+                    },
+                    query: ConjunctiveQuery::new(),
+                    cost: base_cost,
+                },
+                RankedQuery {
+                    tree: SteinerTree {
+                        edges: vec![],
+                        nodes: vec![],
+                        cost: local_cost,
+                    },
+                    query: ConjunctiveQuery::new(),
+                    cost: local_model_cost,
+                },
+            ],
+            ..RankedView::default()
+        });
+        let model = RevalidationModel {
+            trees: vec![
+                TreeCostModel::new(vec![CostTerm::Base(e)]),
+                TreeCostModel::new(vec![CostTerm::Local(local_fv)]),
+            ],
+            budget: f64::INFINITY,
+            revalidatable: true,
+        };
+        cache.insert(key(&["q"]), view, model);
+
+        // Price the association edge above the keyword edge: rank flips.
+        let mut w = g.weights().clone();
+        let default = g.feature_space().get("default").unwrap();
+        w.set(default, w.get(default) + 10.0);
+        g.set_weights(w);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        assert!(cache.is_empty(), "disturbed ranking must drop the entry");
+        assert_eq!(cache.invalidations(), 1);
+    }
+
+    #[test]
+    fn blown_budget_drops_the_entry() {
+        let (mut g, e) = graph();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, mut model) = priced_view(&g, e);
+        model.budget = g.edge_cost(e) + 0.1;
+        cache.insert(key(&["q"]), v, model);
+        let mut w = g.weights().clone();
+        let default = g.feature_space().get("default").unwrap();
+        w.set(default, w.get(default) + 1.0);
+        g.set_weights(w);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        assert!(cache.is_empty(), "over-budget tree cannot stay cached");
+    }
+
+    #[test]
+    fn non_revalidatable_entries_drop_on_any_repricing() {
+        let (mut g, e) = graph();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, mut model) = priced_view(&g, e);
+        model.revalidatable = false;
+        cache.insert(key(&["q"]), v, model);
+        let mut w = g.weights().clone();
+        let default = g.feature_space().get("default").unwrap();
+        w.set(default, w.get(default) + 0.01);
+        g.set_weights(w);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn identical_weights_epoch_bump_keeps_entries_verbatim() {
+        let (mut g, e) = graph();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, model) = priced_view(&g, e);
+        cache.insert(key(&["q"]), Arc::clone(&v), model);
+        // Re-setting the same weights bumps the epoch without changing any
+        // cost: the re-cost confirms every price, so the entry survives
+        // with its original allocation.
+        let w = g.weights().clone();
+        g.set_weights(w);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidations(), 0);
+        assert_eq!(cache.revalidations(), 1);
+        let hit = cache.get(&key(&["q"])).unwrap();
+        assert!(Arc::ptr_eq(&hit.view, &v), "view must be kept verbatim");
+    }
+
+    #[test]
+    fn merged_matcher_opinion_reprices_cached_entries() {
+        // Merging another matcher's opinion into an *existing* association
+        // edge changes that edge's feature vector (and so its cost) without
+        // growing the topology — and, when the bin feature is already
+        // interned, without changing any weight. The re-cost must still see
+        // the new price: detection cannot rely on the weight vector alone.
+        let (mut g, e) = graph();
+        // Pre-intern the low-confidence metadata bin on a *different* edge
+        // so the later merge changes no weight.
+        let x = q_storage::AttributeId(0);
+        let z = q_storage::AttributeId(3);
+        g.add_association(x, z, "metadata", 0.1);
+        let (_, a, b) = g.association_edges().next().unwrap();
+
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, model) = priced_view(&g, e);
+        let old_cost = v.queries[0].cost;
+        cache.insert(key(&["q"]), v, model);
+
+        // The merge bumps the epoch, keeps edge_count, keeps all weights.
+        let edges_before = g.edge_count();
+        g.add_association(a, b, "metadata", 0.1);
+        assert_eq!(g.edge_count(), edges_before, "merge must not add edges");
+        assert_ne!(g.edge_cost(e).to_bits(), old_cost.to_bits());
+
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let hit = cache.get(&key(&["q"])).expect("order-preserving merge");
+        assert!(hit.revalidated);
+        assert_eq!(
+            hit.view.queries[0].cost.to_bits(),
+            g.edge_cost(e).to_bits(),
+            "cached entry must serve the merged price, not the stale one"
+        );
     }
 
     #[test]
     fn capacity_evicts_oldest_first() {
         let mut cache = QueryCache::with_capacity(2);
-        cache.insert(key(&["a"]), view("a"));
-        cache.insert(key(&["b"]), view("b"));
-        cache.insert(key(&["c"]), view("c"));
+        cache.insert(key(&["a"]), view("a"), RevalidationModel::default());
+        cache.insert(key(&["b"]), view("b"), RevalidationModel::default());
+        cache.insert(key(&["c"]), view("c"), RevalidationModel::default());
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&key(&["a"])).is_none());
         assert!(cache.get(&key(&["b"])).is_some());
@@ -271,14 +722,40 @@ mod tests {
     }
 
     #[test]
+    fn revalidation_kept_entries_retain_their_insertion_order() {
+        let (mut g, e) = graph();
+        let mut cache = QueryCache::with_capacity(2);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        // `old` inserted first, then `young`; both survive a re-pricing.
+        let (v1, m1) = priced_view(&g, e);
+        let (v2, m2) = priced_view(&g, e);
+        cache.insert(key(&["old"]), v1, m1);
+        cache.insert(key(&["young"]), v2, m2);
+        let mut w = g.weights().clone();
+        let default = g.feature_space().get("default").unwrap();
+        w.set(default, w.get(default) + 0.25);
+        g.set_weights(w);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.revalidations(), 2);
+        // Revalidation must not refresh `old`'s FIFO position: the next
+        // insert over capacity evicts `old`, not `young`.
+        let (v3, m3) = priced_view(&g, e);
+        cache.insert(key(&["newest"]), v3, m3);
+        assert!(cache.get(&key(&["old"])).is_none(), "old must evict first");
+        assert!(cache.get(&key(&["young"])).is_some());
+        assert!(cache.get(&key(&["newest"])).is_some());
+    }
+
+    #[test]
     fn zero_capacity_is_clamped_to_one_instead_of_degrading() {
         let mut cache = QueryCache::with_capacity(0);
         assert_eq!(cache.capacity(), 1);
         // The just-inserted entry is still retrievable.
-        cache.insert(key(&["a"]), view("a"));
+        cache.insert(key(&["a"]), view("a"), RevalidationModel::default());
         assert!(cache.get(&key(&["a"])).is_some());
         // A second insert evicts the first, never panics.
-        cache.insert(key(&["b"]), view("b"));
+        cache.insert(key(&["b"]), view("b"), RevalidationModel::default());
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&key(&["a"])).is_none());
         assert!(cache.get(&key(&["b"])).is_some());

@@ -83,8 +83,7 @@ pub fn predicted_from_alignments(
     for (_, mut list) in per_attr {
         list.sort_by(|a, b| {
             b.confidence
-                .partial_cmp(&a.confidence)
-                .unwrap()
+                .total_cmp(&a.confidence)
                 .then(a.existing_attribute.cmp(&b.existing_attribute))
         });
         for a in list.into_iter().take(top_y) {
@@ -128,7 +127,7 @@ pub fn predicted_from_graph(
     }
     let mut predicted = HashSet::new();
     for (_, mut edges) in per_attr {
-        edges.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+        edges.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
         for (_, pair) in edges.into_iter().take(top_y) {
             predicted.insert(pair);
         }
@@ -158,7 +157,7 @@ pub fn pr_curve_from_graph(
         .association_edges()
         .map(|(e, _, _)| graph.edge_cost(e))
         .collect();
-    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    costs.sort_by(|a, b| a.total_cmp(b));
     costs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     costs
         .into_iter()
@@ -181,7 +180,7 @@ pub fn pr_curve_from_alignments(
     top_y: usize,
 ) -> Vec<PrPoint> {
     let mut confidences: Vec<f64> = alignments.iter().map(|a| a.confidence).collect();
-    confidences.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    confidences.sort_by(|a, b| b.total_cmp(a));
     confidences.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     confidences
         .into_iter()

@@ -48,6 +48,11 @@ pub struct FeedbackOutcome {
     /// How much the shared default weight was raised to keep all edge costs
     /// positive (0 when no adjustment was needed).
     pub default_weight_bump: f64,
+    /// Size of the weight delta this re-pricing produced: the number of
+    /// features whose weight changed (MIRA update plus positivity repair).
+    /// The answer cache revalidates against exactly this delta instead of
+    /// cold-starting — `0` means no cached answer's price moved at all.
+    pub repriced_features: usize,
 }
 
 #[cfg(test)]

@@ -35,7 +35,10 @@ pub mod translate;
 
 pub use answer::{Answer, RankedQuery, RankedView, ViewId};
 pub use builder::QSystemBuilder;
-pub use cache::{normalize_keywords, QueryCache, QueryKey};
+pub use cache::{
+    normalize_keywords, CacheLookup, CostTerm, QueryCache, QueryKey, RevalidationModel,
+    TreeCostModel,
+};
 pub use config::{AlignmentStrategy, QConfig};
 pub use error::QError;
 pub use evaluation::{

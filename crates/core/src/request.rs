@@ -198,6 +198,14 @@ pub enum CacheStatus {
     /// Computed fresh, overwriting the cached entry
     /// ([`CachePolicy::Refresh`]).
     Refreshed,
+    /// Served from the cache after the entry survived at least one
+    /// weight-epoch change: its trees were re-costed under the new weights
+    /// and their ranking held, so the answer was re-priced in place instead
+    /// of being recomputed (see
+    /// [`QueryCache::sync_epoch`](crate::QueryCache::sync_epoch)). The
+    /// feedback loop sees these instead of cold misses after a MIRA
+    /// re-pricing.
+    Revalidated,
 }
 
 /// A ranked view plus the provenance of how it was served.

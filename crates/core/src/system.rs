@@ -27,7 +27,9 @@ use q_matchers::{AttributeAlignment, SchemaMatcher};
 use q_storage::{AttributeId, Catalog, SourceId, SourceSpec, ValueIndex};
 
 use crate::answer::{RankedQuery, RankedView, ViewId};
-use crate::cache::{normalize_keywords, QueryCache, QueryKey};
+use crate::cache::{
+    normalize_keywords, CostTerm, QueryCache, QueryKey, RevalidationModel, TreeCostModel,
+};
 use crate::config::{AlignmentStrategy, QConfig};
 use crate::error::QError;
 use crate::feedback::{Feedback, FeedbackOutcome};
@@ -116,6 +118,11 @@ pub struct QSystem {
     views: Vec<RankedView>,
     mira: Mira,
     cache: QueryCache,
+    /// Steiner scratch reused across sequential cache misses (batch workers
+    /// carry their own, one per thread) — the generation-stamped buffers
+    /// make starting the next search O(1), so they must not be rebuilt per
+    /// query.
+    scratch: SteinerScratch,
 }
 
 impl QSystem {
@@ -136,6 +143,7 @@ impl QSystem {
             views: Vec::new(),
             mira: Mira::new(),
             cache: QueryCache::default(),
+            scratch: SteinerScratch::default(),
         }
     }
 
@@ -194,7 +202,7 @@ impl QSystem {
     /// created (it simply has no queries yet); it will populate as new
     /// sources and alignments arrive.
     pub fn create_view(&mut self, keywords: &[&str]) -> Result<ViewId, QError> {
-        let view = self.compute_view(keywords)?;
+        let view = self.compute_view_reusing_scratch(keywords)?;
         self.views.push(view);
         Ok(self.views.len() - 1)
     }
@@ -209,7 +217,7 @@ impl QSystem {
             .keywords
             .clone();
         let keyword_refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
-        let view = self.compute_view(&keyword_refs)?;
+        let view = self.compute_view_reusing_scratch(&keyword_refs)?;
         self.views[id] = view;
         Ok(())
     }
@@ -224,6 +232,25 @@ impl QSystem {
         ids
     }
 
+    /// [`QSystem::compute_view`] through the shared scratch — the feedback
+    /// loop refreshes every persistent view per interaction, which must not
+    /// rebuild the search buffers per view.
+    fn compute_view_reusing_scratch(&mut self, keywords: &[&str]) -> Result<RankedView, QError> {
+        answer_keywords(
+            &self.catalog,
+            &self.graph,
+            &self.keyword_index,
+            &self.config,
+            keywords,
+            ServeParams::defaults(&self.config),
+            false,
+            &mut self.scratch,
+        )
+        .map(|(view, _, _)| view)
+    }
+
+    /// Config-default answer over fresh scratch, for the `&self` callers
+    /// (the deprecated uncached shim).
     fn compute_view(&self, keywords: &[&str]) -> Result<RankedView, QError> {
         answer_keywords(
             &self.catalog,
@@ -232,9 +259,10 @@ impl QSystem {
             &self.config,
             keywords,
             ServeParams::defaults(&self.config),
+            false,
             &mut SteinerScratch::default(),
         )
-        .map(|(view, _)| view)
+        .map(|(view, _, _)| view)
     }
 
     // ------------------------------------------------------------------
@@ -261,7 +289,7 @@ impl QSystem {
         // Bypass requests never touch the cache, so they skip key
         // construction entirely — this is the hot sequential baseline.
         let key = (request.cache() != CachePolicy::Bypass).then(|| {
-            self.cache.sync_epoch(epoch);
+            self.cache.sync_epoch(epoch, &self.graph);
             QueryKey {
                 keywords: normalize_keywords(&refs),
                 params: request.params_key(),
@@ -269,10 +297,14 @@ impl QSystem {
         });
         if request.cache() == CachePolicy::Cached {
             let key = key.as_ref().expect("cached policy builds a key");
-            if let Some(view) = self.cache.get(key) {
+            if let Some(hit) = self.cache.get(key) {
                 return Ok(QueryOutcome {
-                    view,
-                    cache: CacheStatus::Hit,
+                    view: hit.view,
+                    cache: if hit.revalidated {
+                        CacheStatus::Revalidated
+                    } else {
+                        CacheStatus::Hit
+                    },
                     weight_epoch: epoch,
                     steiner: None,
                     wall_time: Duration::ZERO,
@@ -281,26 +313,33 @@ impl QSystem {
         }
 
         let start = Instant::now();
-        let (view, stats) = answer_keywords(
+        let (view, stats, model) = answer_keywords(
             &self.catalog,
             &self.graph,
             &self.keyword_index,
             &self.config,
             &refs,
             params,
-            &mut SteinerScratch::default(),
+            request.cache() != CachePolicy::Bypass,
+            &mut self.scratch,
         )?;
         let wall_time = start.elapsed();
         let view = Arc::new(view);
         let cache = match request.cache() {
             CachePolicy::Cached => {
-                self.cache
-                    .insert(key.expect("cached policy builds a key"), Arc::clone(&view));
+                self.cache.insert(
+                    key.expect("cached policy builds a key"),
+                    Arc::clone(&view),
+                    model.expect("cached policy builds a model"),
+                );
                 CacheStatus::Miss
             }
             CachePolicy::Refresh => {
-                self.cache
-                    .insert(key.expect("refresh policy builds a key"), Arc::clone(&view));
+                self.cache.insert(
+                    key.expect("refresh policy builds a key"),
+                    Arc::clone(&view),
+                    model.expect("refresh policy builds a model"),
+                );
                 CacheStatus::Refreshed
             }
             CachePolicy::Bypass => CacheStatus::Bypassed,
@@ -330,7 +369,7 @@ impl QSystem {
         options: &BatchOptions,
     ) -> BatchOutcome {
         let epoch = self.graph.weight_epoch();
-        self.cache.sync_epoch(epoch);
+        self.cache.sync_epoch(epoch, &self.graph);
 
         // Resolve each request against the cache; collect the distinct
         // computations (first occurrence wins, duplicates share it).
@@ -364,10 +403,14 @@ impl QSystem {
                 continue;
             }
             if request.cache() == CachePolicy::Cached {
-                if let Some(view) = self.cache.get(&key) {
+                if let Some(hit) = self.cache.get(&key) {
                     outcomes[i] = Some(Ok(QueryOutcome {
-                        view,
-                        cache: CacheStatus::Hit,
+                        view: hit.view,
+                        cache: if hit.revalidated {
+                            CacheStatus::Revalidated
+                        } else {
+                            CacheStatus::Hit
+                        },
                         weight_epoch: epoch,
                         steiner: None,
                         wall_time: Duration::ZERO,
@@ -395,7 +438,7 @@ impl QSystem {
         let graph = &self.graph;
         let keyword_index = &self.keyword_index;
         let config = &self.config;
-        type Computed = Result<(RankedView, SteinerStats), QError>;
+        type Computed = Result<(RankedView, SteinerStats, Option<RevalidationModel>), QError>;
         let mut computed: Vec<Option<(Computed, Duration)>> = vec![None; miss_requester.len()];
         if !miss_requester.is_empty() {
             std::thread::scope(|s| {
@@ -403,6 +446,7 @@ impl QSystem {
                 for w in 0..workers {
                     let miss_requester = &miss_requester;
                     let miss_params = &miss_params;
+                    let miss_cache_it = &miss_cache_it;
                     let requests = &requests;
                     handles.push(s.spawn(move || {
                         let mut scratch = SteinerScratch::default();
@@ -420,6 +464,7 @@ impl QSystem {
                                 config,
                                 &refs,
                                 miss_params[i],
+                                miss_cache_it[i],
                                 &mut scratch,
                             );
                             out.push((i, (result, start.elapsed())));
@@ -437,17 +482,26 @@ impl QSystem {
         }
 
         // Cache the fresh views and resolve every slot in request order.
-        type Shared = (Result<(Arc<RankedView>, SteinerStats), QError>, Duration);
+        type Shared = (
+            Result<(Arc<RankedView>, SteinerStats, Option<RevalidationModel>), QError>,
+            Duration,
+        );
         let computed: Vec<Shared> = computed
             .into_iter()
             .map(|slot| {
                 let (result, elapsed) = slot.expect("every miss computed");
-                (result.map(|(view, stats)| (Arc::new(view), stats)), elapsed)
+                (
+                    result.map(|(view, stats, model)| (Arc::new(view), stats, model)),
+                    elapsed,
+                )
             })
             .collect();
         for (m, (result, _)) in computed.iter().enumerate() {
-            if let (Ok((view, _)), true) = (result, miss_cache_it[m]) {
-                self.cache.insert(miss_keys[m].clone(), Arc::clone(view));
+            // A model exists exactly when some requester wants the result
+            // cached (`miss_cache_it` was passed as `build_model`).
+            if let (Ok((view, _, Some(model))), true) = (result, miss_cache_it[m]) {
+                self.cache
+                    .insert(miss_keys[m].clone(), Arc::clone(view), model.clone());
             }
         }
         let outcomes = outcomes
@@ -458,7 +512,7 @@ impl QSystem {
                 None => {
                     let m = miss_of[i].expect("slot is hit, error or miss");
                     let (result, elapsed) = &computed[m];
-                    result.clone().map(|(view, stats)| {
+                    result.clone().map(|(view, stats, _)| {
                         if miss_requester[m] == i {
                             // The requester that triggered the computation.
                             let cache = match requests[i].cache() {
@@ -811,10 +865,15 @@ impl QSystem {
         let constraints = constraints_from_candidates(&target_tree, &candidates, |e| {
             query_graph.edge_features(e).clone()
         });
-        let mut weights = self.graph.weights().clone();
+        let weights_before = self.graph.weights().clone();
+        let mut weights = weights_before.clone();
         let summary = self.mira.update(&mut weights, &constraints);
         self.graph.set_weights(weights);
         let bump = enforce_positive_costs(&mut self.graph, self.config.min_edge_cost);
+        // Surface the weight delta of this re-pricing (MIRA step plus
+        // positivity repair): the answer cache revalidates cached trees
+        // against the new prices instead of cold-starting.
+        let repriced_features = self.graph.weights().changed_features(&weights_before).len();
 
         self.refresh_all_views();
         Ok(FeedbackOutcome {
@@ -823,6 +882,7 @@ impl QSystem {
             initially_violated: summary.initially_violated,
             remaining_violations: summary.remaining_violations,
             default_weight_bump: bump,
+            repriced_features,
         })
     }
 }
@@ -871,6 +931,14 @@ impl ServeParams {
 /// scratch buffers), translate trees to conjunctive queries and materialise
 /// the ranked view. Pure in its inputs — the batch path calls this from
 /// worker threads holding only shared references.
+///
+/// When `build_model` is set (the answer is destined for the cache), it also
+/// returns the [`RevalidationModel`] the cache needs to re-price the answer
+/// on a later weight-epoch delta: per-tree cost terms (base edges by id —
+/// the graph stays authoritative for their features — and copies of the
+/// query-local edge features, which die with the query graph), the effective
+/// cost budget, and whether the strategy is revalidatable at all.
+#[allow(clippy::too_many_arguments)]
 fn answer_keywords(
     catalog: &Catalog,
     graph: &SearchGraph,
@@ -878,8 +946,9 @@ fn answer_keywords(
     config: &QConfig,
     keywords: &[&str],
     params: ServeParams,
+    build_model: bool,
     scratch: &mut SteinerScratch,
-) -> Result<(RankedView, SteinerStats), QError> {
+) -> Result<(RankedView, SteinerStats, Option<RevalidationModel>), QError> {
     let query_graph = QueryGraph::build(graph, keyword_index, keywords, &config.match_config);
     let terminals = query_graph.terminals();
     let (trees, stats) = match params.strategy {
@@ -920,7 +989,41 @@ fn answer_keywords(
             });
         }
     }
-    queries.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    queries.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    // Cost models in final rank order: term order mirrors the sorted edge
+    // list so a re-priced sum is bit-identical to this computation's. Only
+    // built when the answer will enter the cache — the bypass path (the hot
+    // sequential baseline) would throw the feature-vector clones away.
+    let model = build_model.then(|| {
+        let models: Vec<TreeCostModel> = queries
+            .iter()
+            .map(|rq| {
+                let terms = rq
+                    .tree
+                    .edges
+                    .iter()
+                    .map(|e| {
+                        if e.index() < graph.edge_count() {
+                            CostTerm::Base(*e)
+                        } else {
+                            let edge = query_graph.edge(*e);
+                            if edge.kind.is_fixed_zero() {
+                                CostTerm::Local(q_graph::FeatureVector::empty())
+                            } else {
+                                CostTerm::Local(edge.features.clone())
+                            }
+                        }
+                    })
+                    .collect();
+                TreeCostModel::new(terms)
+            })
+            .collect();
+        RevalidationModel {
+            trees: models,
+            budget: params.max_cost,
+            revalidatable: matches!(params.strategy, SearchStrategy::Approx { .. }),
+        }
+    });
     let (columns, column_sources, answers) = materialize_view(
         catalog,
         graph,
@@ -941,6 +1044,7 @@ fn answer_keywords(
             answers,
         },
         stats,
+        model,
     ))
 }
 

@@ -200,6 +200,16 @@ pub fn materialize_view(
     let mut column_sources: Vec<AttributeId> = Vec::new();
     let mut answers: Vec<Answer> = Vec::new();
 
+    // Ranked queries normally arrive in increasing cost order, which makes
+    // the final sort below a stable no-op: the kept answers are exactly the
+    // first `max_answers` pushed. While that monotonicity holds, a query
+    // whose rows could only land past the cap can skip execution entirely
+    // (its column contributions are still recorded — they shape the unified
+    // schema). A caller passing unsorted queries gets the untruncated
+    // behaviour back.
+    let mut monotone = true;
+    let mut prev_cost = f64::NEG_INFINITY;
+
     for (query_index, ranked) in queries.iter().enumerate() {
         let select_attrs: Vec<AttributeId> =
             ranked.query.select.iter().map(|s| s.attribute).collect();
@@ -245,8 +255,22 @@ pub fn materialize_view(
             }
         }
 
-        // Execute and align rows into the unified schema.
-        let result = exec::execute(catalog, &ranked.query)?;
+        // Execute and align rows into the unified schema. Under monotone
+        // costs only the first `max_answers - answers.len()` rows can
+        // survive the cap (stable sort keeps earlier-pushed rows on ties),
+        // so the executor is told to stop projecting there.
+        monotone = monotone && ranked.cost >= prev_cost;
+        prev_cost = ranked.cost.max(prev_cost);
+        let quota = if monotone {
+            let remaining = max_answers.saturating_sub(answers.len());
+            if remaining == 0 {
+                continue;
+            }
+            Some(remaining)
+        } else {
+            None
+        };
+        let result = exec::execute_limited(catalog, &ranked.query, quota)?;
         for row in result.rows {
             let mut values: Vec<Option<q_storage::Value>> = vec![None; columns.len()];
             for (i, v) in row.into_iter().enumerate() {
@@ -266,7 +290,7 @@ pub fn materialize_view(
 
     // Union branches are already in increasing cost order; enforce it anyway
     // and bound the materialised size.
-    answers.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    answers.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     answers.truncate(max_answers);
     // Normalise row widths (columns added by later queries).
     let width = columns.len();

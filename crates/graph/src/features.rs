@@ -237,6 +237,19 @@ impl WeightVector {
             self.weights.push(space.default_weight(id));
         }
     }
+
+    /// The *weight delta* between two pricings: every feature whose weight
+    /// differs, with implicit zero padding for the shorter vector. This is
+    /// what a MIRA re-pricing surfaces to the serving layer — cached answers
+    /// touching none of these features are provably unaffected by the
+    /// update.
+    pub fn changed_features(&self, before: &WeightVector) -> Vec<FeatureId> {
+        let longest = self.weights.len().max(before.weights.len());
+        (0..longest)
+            .map(|i| FeatureId(i as u32))
+            .filter(|id| self.get(*id) != before.get(*id))
+            .collect()
+    }
 }
 
 #[cfg(test)]

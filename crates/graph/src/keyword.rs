@@ -75,6 +75,11 @@ pub struct KeywordIndex {
     trigram_postings: HashMap<String, Vec<usize>>,
     /// token -> inverse document frequency
     idf: HashMap<String, f64>,
+    /// Per-document idf-weighted squared token norm, precomputed in
+    /// `finalize` so scoring a candidate does not re-walk its tokens
+    /// against the idf table (`matches` runs once per keyword per query
+    /// miss, over every posting-list candidate).
+    doc_norm_sq: Vec<f64>,
 }
 
 impl KeywordIndex {
@@ -188,11 +193,29 @@ impl KeywordIndex {
         candidates.sort_unstable();
         candidates.dedup();
 
+        // The query-side norm and normalised text are per-call invariants:
+        // hoisted out of the per-candidate scoring loop.
+        let norm_query = normalize(keyword);
+        let query_norm_sq: f64 = query_tokens
+            .iter()
+            .map(|t| {
+                let w = self.idf.get(t).copied().unwrap_or(1.0);
+                w * w
+            })
+            .sum();
+
         let mut scored: Vec<KeywordMatch> = candidates
             .into_iter()
             .map(|idx| {
                 let doc = &self.documents[idx];
-                let sim = self.similarity(&query_tokens, &query_trigrams, keyword, doc);
+                let sim = self.similarity(
+                    &query_tokens,
+                    query_norm_sq,
+                    &query_trigrams,
+                    &norm_query,
+                    idx,
+                    doc,
+                );
                 KeywordMatch {
                     target: doc.target.clone(),
                     similarity: sim,
@@ -201,7 +224,7 @@ impl KeywordIndex {
             .filter(|m| m.similarity >= config.min_similarity)
             .collect();
         // Stable sort: similarity ties keep ascending document order.
-        scored.sort_by(|a, b| b.similarity.partial_cmp(&a.similarity).unwrap());
+        scored.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
         scored.truncate(config.max_matches);
         scored
     }
@@ -209,30 +232,26 @@ impl KeywordIndex {
     fn similarity(
         &self,
         query_tokens: &[String],
+        query_norm_sq: f64,
         query_trigrams: &HashSet<String>,
-        raw_query: &str,
+        norm_query: &str,
+        doc_index: usize,
         doc: &Document,
     ) -> f64 {
-        let norm_query = normalize(raw_query);
         if norm_query == doc.text {
             return 1.0;
         }
-        // idf-weighted token cosine.
-        let doc_tokens: HashSet<&String> = doc.tokens.iter().collect();
+        // idf-weighted token cosine. Documents hold a handful of tokens, so
+        // a linear scan beats building a hash set per candidate.
         let mut dot = 0.0;
-        let mut qn = 0.0;
         for t in query_tokens {
-            let w = self.idf.get(t).copied().unwrap_or(1.0);
-            qn += w * w;
-            if doc_tokens.contains(t) {
+            if doc.tokens.contains(t) {
+                let w = self.idf.get(t).copied().unwrap_or(1.0);
                 dot += w * w;
             }
         }
-        let mut dn = 0.0;
-        for t in &doc.tokens {
-            let w = self.idf.get(t).copied().unwrap_or(1.0);
-            dn += w * w;
-        }
+        let qn = query_norm_sq;
+        let dn = self.doc_norm_sq.get(doc_index).copied().unwrap_or(0.0);
         let token_cos = if qn > 0.0 && dn > 0.0 {
             dot / (qn.sqrt() * dn.sqrt())
         } else {
@@ -247,7 +266,7 @@ impl KeywordIndex {
         };
         // Substring containment bonus (e.g. "publication" vs "pub").
         let containment = if !norm_query.is_empty()
-            && (doc.text.contains(&norm_query) || norm_query.contains(&doc.text))
+            && (doc.text.contains(norm_query) || norm_query.contains(&doc.text))
         {
             let shorter = norm_query.len().min(doc.text.len()) as f64;
             let longer = norm_query.len().max(doc.text.len()) as f64;
@@ -292,6 +311,19 @@ impl KeywordIndex {
             let df = docs.len() as f64;
             self.idf.insert(token.clone(), (1.0 + n / df).ln());
         }
+        self.doc_norm_sq = self
+            .documents
+            .iter()
+            .map(|doc| {
+                doc.tokens
+                    .iter()
+                    .map(|t| {
+                        let w = self.idf.get(t).copied().unwrap_or(1.0);
+                        w * w
+                    })
+                    .sum()
+            })
+            .collect();
     }
 }
 

@@ -17,6 +17,7 @@
 pub mod csr;
 pub mod edge;
 pub mod features;
+pub mod heap;
 pub mod keyword;
 pub mod node;
 pub mod query_graph;
@@ -28,6 +29,7 @@ pub use edge::{Edge, EdgeId, EdgeKind};
 pub use features::{
     bin_confidence, FeatureId, FeatureSpace, FeatureVector, WeightVector, CONFIDENCE_BINS,
 };
+pub use heap::IndexedHeap;
 pub use keyword::{KeywordIndex, KeywordMatch, MatchTarget};
 pub use node::{Node, NodeId};
 pub use query_graph::{KeywordNode, QueryGraph};

@@ -8,7 +8,7 @@
 //! dot product with the graph's current weight vector (Equation 1), which the
 //! learner in `q-learn` adjusts from user feedback.
 
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -407,7 +407,7 @@ impl SearchGraph {
             .iter()
             .filter(|e| !e.kind.is_fixed_zero())
             .map(|e| e.cost(&self.weights))
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     // ------------------------------------------------------------------
@@ -425,36 +425,18 @@ impl SearchGraph {
     }
 
     /// Multi-source Dijkstra distances, optionally bounded by `limit`.
+    /// Runs on the shared [`IndexedHeap`](crate::IndexedHeap) (total-order
+    /// `f64::total_cmp` keys, in-place decrease-key) like the Steiner search.
     pub fn distances_from(&self, starts: &[NodeId], limit: Option<f64>) -> HashMap<NodeId, f64> {
-        #[derive(PartialEq)]
-        struct Item(f64, NodeId);
-        impl Eq for Item {}
-        impl Ord for Item {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                other
-                    .0
-                    .partial_cmp(&self.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            }
-        }
-        impl PartialOrd for Item {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-
         let mut dist: HashMap<NodeId, f64> = HashMap::new();
-        let mut heap = BinaryHeap::new();
+        let mut heap = crate::IndexedHeap::new();
+        heap.reset(self.node_count());
         for s in starts {
             dist.insert(*s, 0.0);
-            heap.push(Item(0.0, *s));
+            heap.push(0.0, s.0);
         }
-        while let Some(Item(d, node)) = heap.pop() {
-            if let Some(best) = dist.get(&node) {
-                if d > *best + 1e-12 {
-                    continue;
-                }
-            }
+        while let Some((d, node)) = heap.pop() {
+            let node = NodeId(node);
             if let Some(l) = limit {
                 if d > l + 1e-12 {
                     continue;
@@ -470,7 +452,7 @@ impl SearchGraph {
                 let better = dist.get(&next).map(|cur| nd < *cur - 1e-12).unwrap_or(true);
                 if better {
                     dist.insert(next, nd);
-                    heap.push(Item(nd, next));
+                    heap.push(nd, next.0);
                 }
             }
         }

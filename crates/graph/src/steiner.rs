@@ -11,12 +11,28 @@
 //!   trees by unioning shortest paths from every candidate root to each
 //!   terminal, then prunes and ranks them. This is what the Q pipeline uses
 //!   at query time and what the learner uses for its K-best list.
+//!
+//! # Miss hot path layout
+//!
+//! The approximation inverts the naive root×terminal expansion: it runs one
+//! *backward* Dijkstra per keyword terminal (terminals ≪ roots) and reuses
+//! those `m` shortest-path trees across **every** candidate root — a root's
+//! candidate tree is just the union of its `m` stored parent walks. The
+//! per-terminal searches run on an [`IndexedHeap`] (4-ary, in-place
+//! decrease-key, `f64::total_cmp` ordering) over generation-stamped
+//! `ShortestPaths` scratch, so starting the next search is O(1) — no
+//! `O(n)` distance-array reset, no lazy-deletion churn. Candidate trees are
+//! deduplicated allocation-free by a 128-bit fingerprint of the sorted edge
+//! list: a repeated raw union is dropped before the MST/leaf-strip pruning
+//! even runs, and distinct unions that prune to the same tree are caught by
+//! a second fingerprint afterwards.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
 use crate::edge::EdgeId;
+use crate::heap::IndexedHeap;
 use crate::node::NodeId;
 
 /// Read-only adjacency/cost view shared by [`SearchGraph`](crate::SearchGraph)
@@ -142,80 +158,127 @@ pub struct SteinerStats {
     pub trees_returned: usize,
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct HeapItem(f64, NodeId);
-impl Eq for HeapItem {}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .0
-            .partial_cmp(&self.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    }
-}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Sentinel marking "no predecessor" in the dense parent arrays.
 const NO_PARENT: EdgeId = EdgeId(u32::MAX);
 
 /// Dense single-source shortest-path state: distance and predecessor
 /// `(edge, node)` per graph node, indexed by node id.
+///
+/// Entries are generation-stamped: starting a new search is a counter bump
+/// (`begin`), not an `O(n)` re-fill of three arrays, and a slot's contents
+/// are only meaningful while its stamp matches the current generation.
 #[derive(Debug, Clone, Default)]
 struct ShortestPaths {
     dist: Vec<f64>,
     parent_edge: Vec<EdgeId>,
     parent_node: Vec<NodeId>,
+    stamp: Vec<u32>,
+    generation: u32,
 }
 
 impl ShortestPaths {
-    fn reset(&mut self, n: usize) {
-        self.dist.clear();
-        self.dist.resize(n, f64::INFINITY);
-        self.parent_edge.clear();
-        self.parent_edge.resize(n, NO_PARENT);
-        self.parent_node.clear();
-        self.parent_node.resize(n, NodeId(0));
+    /// Start a fresh search over `n` nodes. O(1) except when the buffers
+    /// grow to a larger graph than any seen before.
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent_edge.resize(n, NO_PARENT);
+            self.parent_node.resize(n, NodeId(0));
+            self.stamp.resize(n, 0);
+        }
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+
+    /// Distance of a node in the current search (∞ if unreached).
+    #[inline]
+    fn dist(&self, node: usize) -> f64 {
+        if self.stamp[node] == self.generation {
+            self.dist[node]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Predecessor edge of a node (`NO_PARENT` for the source or unreached).
+    #[inline]
+    fn parent_edge(&self, node: usize) -> EdgeId {
+        if self.stamp[node] == self.generation {
+            self.parent_edge[node]
+        } else {
+            NO_PARENT
+        }
+    }
+
+    #[inline]
+    fn parent_node(&self, node: usize) -> NodeId {
+        self.parent_node[node]
+    }
+
+    /// Record a settled or improved node.
+    #[inline]
+    fn visit(&mut self, node: usize, dist: f64, parent_edge: EdgeId, parent_node: NodeId) {
+        self.dist[node] = dist;
+        self.parent_edge[node] = parent_edge;
+        self.parent_node[node] = parent_node;
+        self.stamp[node] = self.generation;
     }
 }
 
 /// Reusable scratch buffers for [`approx_top_k`]: the per-terminal
-/// shortest-path arrays, the Dijkstra frontier and the per-root candidate
-/// edge list. One instance serves any number of searches over graphs of any
-/// size (buffers grow to the largest graph seen and are then reused) — batch
-/// workers keep one per thread via [`approx_top_k_with`].
+/// shortest-path arrays, the indexed Dijkstra frontier, the per-root
+/// candidate edge list and the two fingerprint dedup sets. One instance
+/// serves any number of searches over graphs of any size (buffers grow to
+/// the largest graph seen and are then reused) — batch workers keep one per
+/// thread via [`approx_top_k_with`].
 #[derive(Debug, Clone, Default)]
 pub struct SteinerScratch {
     paths: Vec<ShortestPaths>,
-    heap: BinaryHeap<HeapItem>,
+    heap: IndexedHeap,
     candidate_edges: Vec<EdgeId>,
+    seen_raw: HashSet<u128>,
+    seen_trees: HashSet<u128>,
 }
 
-/// Single-source Dijkstra into dense, reused buffers.
+/// 128-bit fingerprint of a sorted edge list (two independent FNV-1a lanes).
+/// Dedup keys on this instead of cloning the edge list into a
+/// `HashSet<Vec<EdgeId>>`: no allocation per candidate, and a collision
+/// needs both 64-bit lanes to collide at once.
+#[inline]
+fn edge_fingerprint(edges: &[EdgeId]) -> u128 {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+    for e in edges {
+        let x = u64::from(e.0);
+        h1 = (h1 ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+        h2 = (h2 ^ x.rotate_left(17)).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    }
+    (u128::from(h1) << 64) | u128::from(h2)
+}
+
+/// Single-source Dijkstra into dense, generation-stamped buffers on the
+/// indexed heap. With in-place decrease-key every popped entry is settled —
+/// there is no stale-entry branch in the loop.
 fn dijkstra_into<G: GraphView>(
     graph: &G,
     source: NodeId,
     paths: &mut ShortestPaths,
-    heap: &mut BinaryHeap<HeapItem>,
+    heap: &mut IndexedHeap,
 ) {
-    paths.reset(graph.node_count());
-    heap.clear();
-    paths.dist[source.index()] = 0.0;
-    heap.push(HeapItem(0.0, source));
-    while let Some(HeapItem(d, node)) = heap.pop() {
-        if d > paths.dist[node.index()] + 1e-12 {
-            continue;
-        }
-        for &(edge, next) in graph.neighbors(node) {
+    paths.begin(graph.node_count());
+    heap.reset(graph.node_count());
+    paths.visit(source.index(), 0.0, NO_PARENT, source);
+    heap.push(0.0, source.0);
+    while let Some((d, node)) = heap.pop() {
+        for &(edge, next) in graph.neighbors(NodeId(node)) {
             let nd = d + graph.edge_cost(edge).max(0.0);
-            if nd < paths.dist[next.index()] - 1e-12 {
-                paths.dist[next.index()] = nd;
-                paths.parent_edge[next.index()] = edge;
-                paths.parent_node[next.index()] = node;
-                heap.push(HeapItem(nd, next));
+            if nd < paths.dist(next.index()) - 1e-12 {
+                paths.visit(next.index(), nd, edge, NodeId(node));
+                heap.push(nd, next.0);
             }
         }
     }
@@ -274,7 +337,10 @@ pub fn approx_top_k_detailed<G: GraphView>(
         );
     }
 
-    // Dijkstra from every terminal, into reused dense buffers.
+    // One backward Dijkstra per terminal, into reused stamped buffers. The
+    // m resulting shortest-path trees are shared by every candidate root
+    // below — this is the terminal-inversion that keeps a miss O(m · search)
+    // instead of O(roots · search).
     while scratch.paths.len() < terminals.len() {
         scratch.paths.push(ShortestPaths::default());
     }
@@ -289,7 +355,7 @@ pub fn approx_top_k_detailed<G: GraphView>(
     'outer: for n in 0..graph.node_count() {
         let mut total = 0.0;
         for paths in per_terminal {
-            let d = paths.dist[n];
+            let d = paths.dist(n);
             if !d.is_finite() {
                 continue 'outer;
             }
@@ -297,14 +363,15 @@ pub fn approx_top_k_detailed<G: GraphView>(
         }
         roots.push((NodeId(n as u32), total));
     }
-    roots.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    roots.sort_by(|a, b| a.1.total_cmp(&b.1));
     if config.max_roots > 0 {
         roots.truncate(config.max_roots);
     }
 
     stats.roots_considered = roots.len();
 
-    let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
+    scratch.seen_raw.clear();
+    scratch.seen_trees.clear();
     let mut trees: Vec<SteinerTree> = Vec::new();
     for (root, _) in roots {
         let edges = &mut scratch.candidate_edges;
@@ -312,24 +379,30 @@ pub fn approx_top_k_detailed<G: GraphView>(
         for paths in per_terminal {
             // Walk from the root back towards the terminal.
             let mut cur = root;
-            while paths.parent_edge[cur.index()] != NO_PARENT {
-                edges.push(paths.parent_edge[cur.index()]);
-                cur = paths.parent_node[cur.index()];
+            while paths.parent_edge(cur.index()) != NO_PARENT {
+                edges.push(paths.parent_edge(cur.index()));
+                cur = paths.parent_node(cur.index());
             }
         }
-        edges.sort();
+        edges.sort_unstable();
         edges.dedup();
-        let pruned = prune_to_tree(graph, edges, terminals);
-        let tree = SteinerTree::from_edges(graph, pruned, terminals);
         stats.candidates_generated += 1;
-        let key = tree.edges.clone();
-        if seen.insert(key) {
-            trees.push(tree);
-        } else {
+        // Roots whose path union was already produced yield the same pruned
+        // tree (pruning is a pure function of the edge set): drop them
+        // before paying for the MST + leaf-strip.
+        if !scratch.seen_raw.insert(edge_fingerprint(edges)) {
             stats.duplicates_pruned += 1;
+            continue;
         }
+        let pruned = prune_to_tree(graph, edges, terminals);
+        // Distinct unions can still prune to the same tree.
+        if !scratch.seen_trees.insert(edge_fingerprint(&pruned)) {
+            stats.duplicates_pruned += 1;
+            continue;
+        }
+        trees.push(SteinerTree::from_edges(graph, pruned, terminals));
     }
-    trees.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    trees.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     if config.max_cost.is_finite() {
         let before = trees.len();
         trees.retain(|t| t.cost <= config.max_cost + 1e-9);
@@ -367,8 +440,7 @@ fn prune_to_tree<G: GraphView>(graph: &G, edges: &[EdgeId], terminals: &[NodeId]
     by_cost.sort_by(|a, b| {
         graph
             .edge_cost(*a)
-            .partial_cmp(&graph.edge_cost(*b))
-            .unwrap()
+            .total_cmp(&graph.edge_cost(*b))
             .then(a.cmp(b))
     });
     let mut uf: Vec<u32> = (0..local_nodes.len() as u32).collect();
@@ -481,6 +553,7 @@ pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> O
         None,
     }
 
+    let mut heap = IndexedHeap::new();
     let mut dp = vec![vec![INF; n]; full + 1];
     let mut choice = vec![vec![Choice::None; n]; full + 1];
 
@@ -508,23 +581,22 @@ pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> O
             }
             sub = (sub - 1) & mask;
         }
-        // Propagate step: Dijkstra relaxation within this subset level.
-        let mut heap = BinaryHeap::new();
+        // Propagate step: Dijkstra relaxation within this subset level, on
+        // the same indexed heap the serving search uses.
+        heap.reset(n);
         for (v, &d) in dp[mask].iter().enumerate() {
             if d < INF {
-                heap.push(HeapItem(d, NodeId(v as u32)));
+                heap.push(d, v as u32);
             }
         }
-        while let Some(HeapItem(d, node)) = heap.pop() {
-            if d > dp[mask][node.index()] + 1e-12 {
-                continue;
-            }
+        while let Some((d, node)) = heap.pop() {
+            let node = NodeId(node);
             for &(edge, next) in graph.neighbors(node) {
                 let nd = d + graph.edge_cost(edge).max(0.0);
                 if nd < dp[mask][next.index()] - 1e-12 {
                     dp[mask][next.index()] = nd;
                     choice[mask][next.index()] = Choice::Extend { from: node, edge };
-                    heap.push(HeapItem(nd, next));
+                    heap.push(nd, next.0);
                 }
             }
         }
@@ -533,7 +605,7 @@ pub fn exact_minimum_steiner<G: GraphView>(graph: &G, terminals: &[NodeId]) -> O
     // Best meeting node for the full terminal set.
     let (best_v, best_cost) = (0..n)
         .map(|v| (v, dp[full][v]))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        .min_by(|a, b| a.1.total_cmp(&b.1))?;
     if !best_cost.is_finite() {
         return None;
     }

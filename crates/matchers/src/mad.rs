@@ -72,6 +72,49 @@ impl Default for MadConfig {
 /// hash-order-dependent summation made those cutoffs flip between runs.
 type LabelVec = BTreeMap<u32, f64>;
 
+/// CSR-style packed adjacency of the column–value graph: one flat
+/// `(neighbour, weight)` array indexed by prefix-sum offsets. Built once in
+/// [`MadMatcher::propagate`] and reused across every propagation iteration
+/// (and the random-walk probability pass), instead of chasing a
+/// `Vec<Vec<…>>` pointer per node per iteration.
+struct PackedAdjacency {
+    offsets: Vec<u32>,
+    targets: Vec<(u32, f64)>,
+}
+
+impl PackedAdjacency {
+    /// Pack nested neighbour lists, preserving per-node neighbour order.
+    fn pack(adjacency: &[Vec<(usize, f64)>]) -> Self {
+        let mut offsets = Vec::with_capacity(adjacency.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for list in adjacency {
+            total += list.len() as u32;
+            offsets.push(total);
+        }
+        let mut targets = Vec::with_capacity(total as usize);
+        for list in adjacency {
+            targets.extend(list.iter().map(|(n, w)| (*n as u32, *w)));
+        }
+        PackedAdjacency { offsets, targets }
+    }
+
+    #[inline]
+    fn neighbors(&self, v: usize) -> &[(u32, f64)] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Weighted degree of a node (Σ W_vu).
+    #[inline]
+    fn degree(&self, v: usize) -> f64 {
+        self.neighbors(v).iter().map(|(_, w)| w).sum()
+    }
+
+    fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
 /// Outcome of one MAD propagation run.
 #[derive(Debug, Clone)]
 pub struct MadResult {
@@ -231,7 +274,11 @@ impl MadMatcher {
                 edge_count += 1;
             }
         }
-        let n = adjacency.len();
+        // Pack the neighbour lists once; every pass below (probabilities,
+        // normalisation constants, all propagation iterations) reads the
+        // flat arrays.
+        let adjacency = PackedAdjacency::pack(&adjacency);
+        let n = adjacency.node_count();
 
         // ---------------- Random-walk probabilities ----------------
         // Entropy heuristic from Talukdar & Crammer (2009).
@@ -239,12 +286,13 @@ impl MadMatcher {
         let mut p_inj = vec![0.0f64; n];
         let mut p_abnd = vec![0.0f64; n];
         for v in 0..n {
-            let degree: f64 = adjacency[v].iter().map(|(_, w)| w).sum();
+            let degree: f64 = adjacency.degree(v);
             if degree <= 0.0 {
                 p_abnd[v] = 1.0;
                 continue;
             }
-            let entropy: f64 = adjacency[v]
+            let entropy: f64 = adjacency
+                .neighbors(v)
                 .iter()
                 .map(|(_, w)| {
                     let p = w / degree;
@@ -276,7 +324,7 @@ impl MadMatcher {
         // Normalisation constant M_vv of Algorithm 1, line 2.
         let m_vv: Vec<f64> = (0..n)
             .map(|v| {
-                let degree: f64 = adjacency[v].iter().map(|(_, w)| w).sum();
+                let degree: f64 = adjacency.degree(v);
                 self.config.mu1 * p_inj[v] + self.config.mu2 * p_cont[v] * degree + self.config.mu3
             })
             .collect();
@@ -322,7 +370,7 @@ impl MadMatcher {
                 .filter(|(label, _)| **label != dummy_label && **label != v as u32)
                 .map(|(label, score)| (attr_nodes[*label as usize], *score))
                 .collect();
-            scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             distributions.insert(*attr, scores);
         }
 
@@ -335,11 +383,12 @@ impl MadMatcher {
         }
     }
 
-    /// One Jacobi iteration of Algorithm 1, optionally parallelised.
+    /// One Jacobi iteration of Algorithm 1, optionally parallelised. Reads
+    /// the packed adjacency built once per `propagate` call.
     #[allow(clippy::too_many_arguments)]
     fn iteration(
         &self,
-        adjacency: &[Vec<(usize, f64)>],
+        adjacency: &PackedAdjacency,
         current: &[LabelVec],
         injected: &[LabelVec],
         p_cont: &[f64],
@@ -349,17 +398,18 @@ impl MadMatcher {
         dummy_label: u32,
         threads: usize,
     ) -> Vec<LabelVec> {
-        let n = adjacency.len();
+        let n = adjacency.node_count();
         let cfg = self.config;
         let update_node = |v: usize| -> LabelVec {
             // D_v = Σ_u (p_cont_v W_vu + p_cont_u W_uv) L_u
             let mut d: LabelVec = LabelVec::new();
-            for (u, w) in &adjacency[v] {
-                let coeff = p_cont[v] * w + p_cont[*u] * w;
+            for (u, w) in adjacency.neighbors(v) {
+                let u = *u as usize;
+                let coeff = p_cont[v] * w + p_cont[u] * w;
                 if coeff == 0.0 {
                     continue;
                 }
-                for (label, score) in &current[*u] {
+                for (label, score) in &current[u] {
                     *d.entry(*label).or_insert(0.0) += coeff * score;
                 }
             }
@@ -379,7 +429,7 @@ impl MadMatcher {
             // Bound the number of labels kept per node.
             if cfg.max_labels_per_node > 0 && out.len() > cfg.max_labels_per_node {
                 let mut entries: Vec<(u32, f64)> = out.into_iter().collect();
-                entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 entries.truncate(cfg.max_labels_per_node);
                 out = entries.into_iter().collect();
             }

@@ -83,7 +83,7 @@ pub fn keep_top_y_per_attribute(
     alignments.sort_by(|a, b| {
         a.new_attribute
             .cmp(&b.new_attribute)
-            .then(b.confidence.partial_cmp(&a.confidence).unwrap())
+            .then(b.confidence.total_cmp(&a.confidence))
             // Deterministic tie-break so equal-confidence candidates don't
             // make the top-Y cutoff depend on input order.
             .then(a.existing_attribute.cmp(&b.existing_attribute))

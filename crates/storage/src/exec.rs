@@ -131,6 +131,77 @@ impl ResultSet {
 /// Intermediate binding of one tuple index per already-joined atom.
 type Binding = Vec<usize>;
 
+/// Normalised text of every tuple of one atom's relation for one attribute,
+/// computed once per `execute` call. Join probes and selection scans index
+/// this instead of re-running `Value::normalized` (two allocations per call)
+/// on every binding — the probe side of a hash join visits each attribute
+/// once *per intermediate binding*, which on cross-product-heavy plans is
+/// orders of magnitude more often than once per stored tuple.
+struct NormColumn {
+    atom: usize,
+    attribute: AttributeId,
+    values: Vec<Option<String>>,
+}
+
+/// Per-query cache of normalised columns (tiny: one entry per distinct
+/// `(atom, attribute)` referenced by a join or selection).
+struct NormColumns(Vec<NormColumn>);
+
+impl NormColumns {
+    fn build(catalog: &Catalog, query: &ConjunctiveQuery) -> Self {
+        let mut cols: Vec<NormColumn> = Vec::new();
+        let mut add = |r: &AttrRef| {
+            if cols
+                .iter()
+                .any(|c| c.atom == r.atom && c.attribute == r.attribute)
+            {
+                return;
+            }
+            let Some(rel) = catalog.relation(query.atoms[r.atom].relation) else {
+                return;
+            };
+            let Some(attr) = catalog.attribute(r.attribute) else {
+                return;
+            };
+            let values = rel
+                .tuples
+                .iter()
+                .map(|t| t.get(attr.position).and_then(Value::normalized))
+                .collect();
+            cols.push(NormColumn {
+                atom: r.atom,
+                attribute: r.attribute,
+                values,
+            });
+        };
+        for j in &query.joins {
+            add(&j.left);
+            add(&j.right);
+        }
+        for s in &query.selections {
+            add(&s.target);
+        }
+        NormColumns(cols)
+    }
+
+    /// The column registered for a reference. Resolve once per loop — the
+    /// lookup is a linear scan of the (tiny) column list, which must not
+    /// run per binding inside the join loops.
+    fn column(&self, r: &AttrRef) -> Option<&NormColumn> {
+        self.0
+            .iter()
+            .find(|c| c.atom == r.atom && c.attribute == r.attribute)
+    }
+}
+
+impl NormColumn {
+    /// Normalised value of one tuple.
+    #[inline]
+    fn value(&self, tuple: usize) -> Option<&str> {
+        self.values[tuple].as_deref()
+    }
+}
+
 /// Evaluate a conjunctive query against a catalog.
 ///
 /// Atoms are joined left-to-right; each step uses a hash join on whichever
@@ -138,10 +209,26 @@ type Binding = Vec<usize>;
 /// back to a cross product when no predicate connects them (this happens for
 /// degenerate single-keyword queries only).
 pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet, StorageError> {
+    execute_limited(catalog, query, None)
+}
+
+/// [`execute`] producing at most `limit` rows.
+///
+/// The result is exactly `execute(..).rows.truncate(limit)` — binding
+/// enumeration order is deterministic, so the prefix is well-defined — but
+/// the projection stops cloning values once the limit is reached. The view
+/// materialiser uses this to avoid paying for thousands of rows that its
+/// answer cap would immediately throw away.
+pub fn execute_limited(
+    catalog: &Catalog,
+    query: &ConjunctiveQuery,
+    limit: Option<usize>,
+) -> Result<ResultSet, StorageError> {
     if query.atoms.is_empty() {
         return Err(StorageError::InvalidQuery("query has no atoms".into()));
     }
     validate(catalog, query)?;
+    let norm = NormColumns::build(catalog, query);
 
     // Per-atom candidate tuple indices after applying that atom's selections.
     let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(query.atoms.len());
@@ -149,17 +236,18 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
         let rel = catalog
             .relation(atom.relation)
             .ok_or_else(|| StorageError::UnknownRelation(atom.relation.to_string()))?;
-        let sels: Vec<&Selection> = query
+        // Selections with their columns resolved once, outside the scan.
+        let sels: Vec<(&Selection, Option<&NormColumn>)> = query
             .selections
             .iter()
             .filter(|s| s.target.atom == atom_idx)
+            .map(|s| (s, norm.column(&s.target)))
             .collect();
         let mut keep = Vec::new();
-        for (tidx, tuple) in rel.tuples.iter().enumerate() {
-            let ok = sels.iter().all(|sel| {
-                let attr = catalog.attribute(sel.target.attribute);
-                let Some(attr) = attr else { return false };
-                match tuple.get(attr.position).and_then(Value::normalized) {
+        for tidx in 0..rel.tuples.len() {
+            let ok = sels
+                .iter()
+                .all(|(sel, col)| match col.and_then(|c| c.value(tidx)) {
                     Some(v) => {
                         if sel.exact {
                             v == sel.term
@@ -168,8 +256,7 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
                         }
                     }
                     None => false,
-                }
-            });
+                });
             if ok {
                 keep.push(tidx);
             }
@@ -195,7 +282,6 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
             })
             .collect();
 
-        let rel = catalog.relation(query.atoms[atom_idx].relation).unwrap();
         let mut next: Vec<Binding> = Vec::new();
 
         if preds.is_empty() {
@@ -209,15 +295,22 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
             }
         } else {
             // Hash the new atom's candidate tuples on the join key composed
-            // of all predicates' right-hand attributes.
-            let mut hashed: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+            // of all predicates' right-hand attributes. Keys borrow from the
+            // per-query normalised columns — no string is allocated on
+            // either side of the join — and the columns themselves are
+            // resolved once per join step, not once per binding.
+            let build_cols: Vec<Option<&NormColumn>> =
+                preds.iter().map(|(_, right)| norm.column(right)).collect();
+            let probe_cols: Vec<(usize, Option<&NormColumn>)> = preds
+                .iter()
+                .map(|(left, _)| (left.atom, norm.column(left)))
+                .collect();
+            let mut hashed: HashMap<Vec<&str>, Vec<usize>> = HashMap::new();
             for t in atom_candidates {
-                let tuple = &rel.tuples[*t];
                 let mut key = Vec::with_capacity(preds.len());
                 let mut valid = true;
-                for (_, right) in &preds {
-                    let attr = catalog.attribute(right.attribute).unwrap();
-                    match tuple.get(attr.position).and_then(Value::normalized) {
+                for col in &build_cols {
+                    match col.and_then(|c| c.value(*t)) {
                         Some(v) => key.push(v),
                         None => {
                             valid = false;
@@ -229,15 +322,14 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
                     hashed.entry(key).or_default().push(*t);
                 }
             }
+            // Probe with a reused buffer (`Vec<&str>: Borrow<[&str]>`).
+            let mut probe: Vec<&str> = Vec::with_capacity(preds.len());
             for b in &bindings {
-                let mut key = Vec::with_capacity(preds.len());
+                probe.clear();
                 let mut valid = true;
-                for (left, _) in &preds {
-                    let left_attr = catalog.attribute(left.attribute).unwrap();
-                    let left_rel = catalog.relation(query.atoms[left.atom].relation).unwrap();
-                    let tuple = &left_rel.tuples[b[left.atom]];
-                    match tuple.get(left_attr.position).and_then(Value::normalized) {
-                        Some(v) => key.push(v),
+                for (left_atom, col) in &probe_cols {
+                    match col.and_then(|c| c.value(b[*left_atom])) {
+                        Some(v) => probe.push(v),
                         None => {
                             valid = false;
                             break;
@@ -247,7 +339,7 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
                 if !valid {
                     continue;
                 }
-                if let Some(matches) = hashed.get(&key) {
+                if let Some(matches) = hashed.get(probe.as_slice()) {
                     for t in matches {
                         let mut nb = b.clone();
                         nb.push(*t);
@@ -262,7 +354,10 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
         }
     }
 
-    // Project the select list.
+    // Project the select list (at most `limit` rows).
+    if let Some(limit) = limit {
+        bindings.truncate(limit);
+    }
     let columns: Vec<AttributeId> = query.select.iter().map(|s| s.attribute).collect();
     let mut rows = Vec::with_capacity(bindings.len());
     for b in &bindings {

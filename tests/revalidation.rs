@@ -1,0 +1,196 @@
+//! Pins the epoch-delta cache revalidation: after a MIRA re-pricing, cached
+//! answers whose ranking survives the new weights are re-priced in place and
+//! served as [`CacheStatus::Revalidated`] — and every revalidated view must
+//! be byte-identical to a fresh recompute under the new weights. Topology
+//! growth still cold-starts the cache, exactly like the seed rule.
+
+use std::sync::Arc;
+
+use q_core::{BatchOptions, CachePolicy, CacheStatus, Feedback, QConfig, QSystem, QueryRequest};
+use q_storage::{loader, RelationSpec, SourceSpec};
+
+fn base_specs() -> Vec<SourceSpec> {
+    vec![
+        SourceSpec::new("go").relation(
+            RelationSpec::new("go_term", &["acc", "name"])
+                .row(["GO:1", "plasma membrane"])
+                .row(["GO:2", "kinase activity"])
+                .row(["GO:3", "insulin secretion"]),
+        ),
+        SourceSpec::new("interpro")
+            .relation(
+                RelationSpec::new("interpro2go", &["go_id", "entry_ac"])
+                    .row(["GO:1", "IPR01"])
+                    .row(["GO:2", "IPR02"])
+                    .row(["GO:3", "IPR03"]),
+            )
+            .relation(
+                RelationSpec::new("entry", &["entry_ac", "name"])
+                    .row(["IPR01", "Kringle domain"])
+                    .row(["IPR02", "Cytokine receptor"])
+                    .row(["IPR03", "Insulin family"]),
+            )
+            .foreign_key("interpro2go.entry_ac", "entry.entry_ac"),
+    ]
+}
+
+/// A system with one good and one bad association, so the feedback view has
+/// alternative trees for MIRA to separate.
+fn system() -> QSystem {
+    let catalog = loader::load_catalog(&base_specs()).expect("catalog loads");
+    let mut q = QSystem::new(catalog, QConfig::default());
+    let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+    let go_id = q.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+    let entry_name = q.catalog().resolve_qualified("entry.name").unwrap();
+    let term_name = q.catalog().resolve_qualified("go_term.name").unwrap();
+    q.add_manual_association(acc, go_id, 0.9);
+    q.graph_mut()
+        .add_association(term_name, entry_name, "metadata", 0.9);
+    q
+}
+
+const UNTOUCHED: [&str; 2] = ["kinase activity", "insulin secretion"];
+
+#[test]
+fn feedback_repricing_revalidates_untouched_entries() {
+    let mut q = system();
+    let target = ["plasma membrane", "entry"];
+
+    // Warm the cache: the feedback target, two unrelated queries, and one
+    // join query sharing the re-priced association edges.
+    let disturbed = ["insulin secretion", "entry"];
+    let before = q.query(&QueryRequest::new(target)).unwrap();
+    q.query(&QueryRequest::new(disturbed)).unwrap();
+    for kw in UNTOUCHED {
+        assert_eq!(
+            q.query(&QueryRequest::new([kw])).unwrap().cache,
+            CacheStatus::Miss
+        );
+    }
+    assert_eq!(q.query_cache().len(), 4);
+
+    // MIRA re-pricing through a persistent view over the target keywords.
+    let view_id = q.create_view(&target).unwrap();
+    let outcome = q
+        .feedback(view_id, Feedback::Correct { answer: 0 })
+        .unwrap();
+    assert!(
+        outcome.repriced_features > 0,
+        "the re-pricing hook must surface a non-empty weight delta"
+    );
+
+    // The cache was not cold-started: entries untouched by the delta's
+    // ranking disturbance survive, re-priced in place.
+    for kw in UNTOUCHED {
+        let reval = q.query(&QueryRequest::new([kw])).unwrap();
+        assert_eq!(reval.cache, CacheStatus::Revalidated, "{kw}");
+        assert!(reval.weight_epoch > before.weight_epoch);
+        // The revalidated answer must equal a fresh recompute byte for byte
+        // (costs included — they were re-priced, not merely kept).
+        let fresh = q
+            .query(&QueryRequest::new([kw]).cache_policy(CachePolicy::Bypass))
+            .unwrap();
+        assert_eq!(*reval.view, *fresh.view, "{kw}");
+    }
+    assert!(q.query_cache().revalidations() >= 2);
+
+    // The target's own ranking was disturbed by the update: recomputed, and
+    // the recompute matches the refreshed persistent view.
+    let after = q.query(&QueryRequest::new(target)).unwrap();
+    assert!(matches!(
+        after.cache,
+        CacheStatus::Miss | CacheStatus::Revalidated
+    ));
+    assert_eq!(*after.view, *q.view(view_id).unwrap());
+    assert!(!Arc::ptr_eq(&before.view, &after.view));
+
+    // Whatever the cache decided for the co-disturbed join query — keep or
+    // drop — what it serves must equal a fresh recompute.
+    let served = q.query(&QueryRequest::new(disturbed)).unwrap();
+    let fresh = q
+        .query(&QueryRequest::new(disturbed).cache_policy(CachePolicy::Bypass))
+        .unwrap();
+    assert_eq!(*served.view, *fresh.view);
+}
+
+#[test]
+fn revalidated_entries_serve_batches_without_recomputation() {
+    let mut q = system();
+    let requests: Vec<QueryRequest> = UNTOUCHED
+        .iter()
+        .map(|kw| QueryRequest::new([*kw]))
+        .collect();
+    let cold = q.query_batch(&requests, &BatchOptions::default());
+    assert_eq!(cold.cache_misses, 2);
+
+    let view_id = q.create_view(&["plasma membrane", "entry"]).unwrap();
+    q.feedback(view_id, Feedback::Correct { answer: 0 })
+        .unwrap();
+
+    // The whole batch is served from revalidated entries: zero misses.
+    let warm = q.query_batch(&requests, &BatchOptions::default());
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm.cache_hits, 2);
+    for outcome in &warm.outcomes {
+        assert_eq!(outcome.as_ref().unwrap().cache, CacheStatus::Revalidated);
+    }
+}
+
+#[test]
+fn repricing_updates_revalidated_costs() {
+    let mut q = system();
+    let keywords = ["insulin secretion", "entry"];
+    let before = q.query(&QueryRequest::new(keywords)).unwrap();
+    let costs_before: Vec<f64> = before.view.queries.iter().map(|rq| rq.cost).collect();
+    assert!(costs_before.len() >= 2, "need real join trees to re-price");
+
+    // A small uniform re-pricing (the shape of a positivity repair): every
+    // learnable edge gains ε per default-feature occurrence, far below any
+    // ranking gap, so every cached entry's order provably survives.
+    let default = q.graph().feature_space().get("default").unwrap();
+    let mut w = q.graph().weights().clone();
+    w.set(default, w.get(default) + 1e-6);
+    q.graph_mut().set_weights(w);
+
+    let reval = q.query(&QueryRequest::new(keywords)).unwrap();
+    assert_eq!(reval.cache, CacheStatus::Revalidated);
+    let costs_after: Vec<f64> = reval.view.queries.iter().map(|rq| rq.cost).collect();
+    assert_ne!(
+        costs_before, costs_after,
+        "entry must be re-priced, not stale"
+    );
+    // Answer-level cost echoes follow the query costs.
+    for a in &reval.view.answers {
+        assert_eq!(a.cost.to_bits(), costs_after[a.query_index].to_bits());
+    }
+    // Ranking preserved by construction.
+    for w in costs_after.windows(2) {
+        assert!(w[0] <= w[1]);
+    }
+    // And the re-priced entry is byte-identical to a fresh recompute under
+    // the new weights.
+    let fresh = q
+        .query(&QueryRequest::new(keywords).cache_policy(CachePolicy::Bypass))
+        .unwrap();
+    assert_eq!(*reval.view, *fresh.view);
+}
+
+#[test]
+fn topology_growth_still_cold_starts_the_cache() {
+    let mut q = system();
+    for kw in UNTOUCHED {
+        q.query(&QueryRequest::new([kw])).unwrap();
+    }
+    assert_eq!(q.query_cache().len(), 2);
+
+    // A new association edge is topology growth: revalidation cannot model
+    // answers the new edge enables, so everything drops.
+    let acc = q.catalog().resolve_qualified("go_term.acc").unwrap();
+    let entry_ac = q.catalog().resolve_qualified("entry.entry_ac").unwrap();
+    q.add_manual_association(acc, entry_ac, 0.4);
+
+    let again = q.query(&QueryRequest::new([UNTOUCHED[0]])).unwrap();
+    assert_eq!(again.cache, CacheStatus::Miss);
+    assert!(q.query_cache().invalidations() >= 2);
+    assert_eq!(q.query_cache().revalidations(), 0);
+}

@@ -1,0 +1,369 @@
+//! Pins the per-terminal search rewrite to the seed algorithm: the indexed
+//! 4-ary heap, the generation-stamped scratch and the fingerprint dedup are
+//! pure engineering — on random graphs the rewritten `approx_top_k` must
+//! return byte-identical trees and ranks to a verbatim copy of the seed
+//! implementation (lazy-deletion `BinaryHeap` Dijkstra, `O(n)` scratch
+//! resets, `HashSet<Vec<EdgeId>>` dedup) kept below as the reference.
+//!
+//! Edge costs are perturbed per-edge by an irrational multiple so no two
+//! distinct paths tie: on exact cost ties the two implementations may pick
+//! different (equally valid) shortest-path parents, which is a tie-break
+//! freedom, not an equivalence bug.
+
+use std::collections::{BinaryHeap, HashSet};
+
+use proptest::prelude::*;
+
+use q_graph::steiner::GraphView;
+use q_graph::{approx_top_k, Csr, EdgeId, NodeId, SteinerConfig, SteinerTree};
+
+// ---------------------------------------------------------------------------
+// Random graph harness.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+    csr: Csr,
+}
+
+impl RandomGraph {
+    fn new(n: usize, edges: Vec<(u32, u32, f64)>) -> Self {
+        let csr = Csr::build(
+            n,
+            edges
+                .iter()
+                .enumerate()
+                .map(|(i, (a, b, _))| (EdgeId(i as u32), NodeId(*a), NodeId(*b))),
+        );
+        RandomGraph { n, edges, csr }
+    }
+}
+
+impl GraphView for RandomGraph {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn neighbors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.neighbors(node)
+    }
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let (a, b, _) = self.edges[edge.index()];
+        (NodeId(a), NodeId(b))
+    }
+    fn edge_cost(&self, edge: EdgeId) -> f64 {
+        self.edges[edge.index()].2
+    }
+}
+
+/// Ring + random chords, every edge cost nudged by an irrational multiple of
+/// its index so distinct paths never sum to exactly the same cost.
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    (
+        4usize..12,
+        proptest::collection::vec((0u32..12, 0u32..12, 0.1f64..3.0), 0..16),
+    )
+        .prop_map(|(n, chords)| {
+            let mut edges: Vec<(u32, u32, f64)> = (0..n as u32)
+                .map(|i| (i, (i + 1) % n as u32, 1.0))
+                .collect();
+            for (a, b, w) in chords {
+                let (a, b) = (a % n as u32, b % n as u32);
+                if a != b {
+                    edges.push((a, b, w));
+                }
+            }
+            for (i, e) in edges.iter_mut().enumerate() {
+                e.2 += (i + 1) as f64 * std::f64::consts::PI * 1e-5;
+            }
+            RandomGraph::new(n, edges)
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Verbatim seed implementation (PR 3 state of `approx_top_k`), kept as the
+// behavioural reference.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct HeapItem(f64, NodeId);
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+const NO_PARENT: EdgeId = EdgeId(u32::MAX);
+
+struct SeedPaths {
+    dist: Vec<f64>,
+    parent_edge: Vec<EdgeId>,
+    parent_node: Vec<NodeId>,
+}
+
+fn seed_dijkstra<G: GraphView>(graph: &G, source: NodeId) -> SeedPaths {
+    let n = graph.node_count();
+    let mut paths = SeedPaths {
+        dist: vec![f64::INFINITY; n],
+        parent_edge: vec![NO_PARENT; n],
+        parent_node: vec![NodeId(0); n],
+    };
+    let mut heap = BinaryHeap::new();
+    paths.dist[source.index()] = 0.0;
+    heap.push(HeapItem(0.0, source));
+    while let Some(HeapItem(d, node)) = heap.pop() {
+        if d > paths.dist[node.index()] + 1e-12 {
+            continue;
+        }
+        for &(edge, next) in graph.neighbors(node) {
+            let nd = d + graph.edge_cost(edge).max(0.0);
+            if nd < paths.dist[next.index()] - 1e-12 {
+                paths.dist[next.index()] = nd;
+                paths.parent_edge[next.index()] = edge;
+                paths.parent_node[next.index()] = node;
+                heap.push(HeapItem(nd, next));
+            }
+        }
+    }
+    paths
+}
+
+fn seed_from_edges<G: GraphView>(
+    graph: &G,
+    edges: Vec<EdgeId>,
+    terminals: &[NodeId],
+) -> SteinerTree {
+    let mut nodes: Vec<NodeId> = terminals.to_vec();
+    let mut cost = 0.0;
+    for e in &edges {
+        let (a, b) = graph.edge_endpoints(*e);
+        nodes.push(a);
+        nodes.push(b);
+        cost += graph.edge_cost(*e);
+    }
+    nodes.sort();
+    nodes.dedup();
+    SteinerTree { edges, nodes, cost }
+}
+
+fn seed_prune<G: GraphView>(graph: &G, edges: &[EdgeId], terminals: &[NodeId]) -> Vec<EdgeId> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let mut local_nodes: Vec<NodeId> = Vec::with_capacity(edges.len() * 2);
+    for e in edges {
+        let (a, b) = graph.edge_endpoints(*e);
+        local_nodes.push(a);
+        local_nodes.push(b);
+    }
+    local_nodes.sort();
+    local_nodes.dedup();
+    let local = |n: NodeId| local_nodes.binary_search(&n).expect("touched node");
+
+    let mut by_cost: Vec<EdgeId> = edges.to_vec();
+    by_cost.sort_by(|a, b| {
+        graph
+            .edge_cost(*a)
+            .partial_cmp(&graph.edge_cost(*b))
+            .unwrap()
+            .then(a.cmp(b))
+    });
+    let mut uf: Vec<u32> = (0..local_nodes.len() as u32).collect();
+    fn find(uf: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while uf[root as usize] != root {
+            root = uf[root as usize];
+        }
+        let mut cur = x;
+        while uf[cur as usize] != root {
+            let next = uf[cur as usize];
+            uf[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut mst: Vec<EdgeId> = Vec::with_capacity(local_nodes.len());
+    for e in by_cost {
+        let (a, b) = graph.edge_endpoints(e);
+        let ra = find(&mut uf, local(a) as u32);
+        let rb = find(&mut uf, local(b) as u32);
+        if ra != rb {
+            uf[ra as usize] = rb;
+            mst.push(e);
+        }
+    }
+
+    let mut is_terminal = vec![false; local_nodes.len()];
+    for t in terminals {
+        if let Ok(i) = local_nodes.binary_search(t) {
+            is_terminal[i] = true;
+        }
+    }
+    let mut alive = vec![true; mst.len()];
+    let mut degree = vec![0u32; local_nodes.len()];
+    loop {
+        degree.iter_mut().for_each(|d| *d = 0);
+        for (i, e) in mst.iter().enumerate() {
+            if alive[i] {
+                let (a, b) = graph.edge_endpoints(*e);
+                degree[local(a)] += 1;
+                degree[local(b)] += 1;
+            }
+        }
+        let mut removed_any = false;
+        for (i, e) in mst.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let (a, b) = graph.edge_endpoints(*e);
+            let (la, lb) = (local(a), local(b));
+            if (degree[la] == 1 && !is_terminal[la]) || (degree[lb] == 1 && !is_terminal[lb]) {
+                alive[i] = false;
+                removed_any = true;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    let mut kept: Vec<EdgeId> = mst
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(e, keep)| keep.then_some(e))
+        .collect();
+    kept.sort();
+    kept
+}
+
+/// The seed `approx_top_k`: per-root candidate unions over fresh per-terminal
+/// Dijkstras, `HashSet<Vec<EdgeId>>` dedup after pruning, `partial_cmp`
+/// sorts.
+fn seed_approx_top_k<G: GraphView>(
+    graph: &G,
+    terminals: &[NodeId],
+    config: &SteinerConfig,
+) -> Vec<SteinerTree> {
+    if terminals.is_empty() || config.k == 0 {
+        return Vec::new();
+    }
+    if terminals.len() == 1 {
+        return vec![SteinerTree {
+            edges: Vec::new(),
+            nodes: vec![terminals[0]],
+            cost: 0.0,
+        }];
+    }
+    let per_terminal: Vec<SeedPaths> = terminals.iter().map(|t| seed_dijkstra(graph, *t)).collect();
+
+    let mut roots: Vec<(NodeId, f64)> = Vec::new();
+    'outer: for n in 0..graph.node_count() {
+        let mut total = 0.0;
+        for paths in &per_terminal {
+            let d = paths.dist[n];
+            if !d.is_finite() {
+                continue 'outer;
+            }
+            total += d;
+        }
+        roots.push((NodeId(n as u32), total));
+    }
+    roots.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    if config.max_roots > 0 {
+        roots.truncate(config.max_roots);
+    }
+
+    let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
+    let mut trees: Vec<SteinerTree> = Vec::new();
+    for (root, _) in roots {
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for paths in &per_terminal {
+            let mut cur = root;
+            while paths.parent_edge[cur.index()] != NO_PARENT {
+                edges.push(paths.parent_edge[cur.index()]);
+                cur = paths.parent_node[cur.index()];
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        let pruned = seed_prune(graph, &edges, terminals);
+        let tree = seed_from_edges(graph, pruned, terminals);
+        if seen.insert(tree.edges.clone()) {
+            trees.push(tree);
+        }
+    }
+    trees.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    if config.max_cost.is_finite() {
+        trees.retain(|t| t.cost <= config.max_cost + 1e-9);
+    }
+    trees.truncate(config.k);
+    trees
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence properties.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The rewritten search returns byte-identical trees and ranks to the
+    /// seed algorithm: same edge sets, same node sets, bit-equal costs, same
+    /// order.
+    #[test]
+    fn rewrite_matches_seed_algorithm(
+        graph in random_graph(),
+        t1 in 0u32..12,
+        t2 in 0u32..12,
+        t3 in 0u32..12,
+        k in 1usize..8,
+    ) {
+        let n = graph.node_count() as u32;
+        let mut terminals: Vec<NodeId> = [t1 % n, t2 % n, t3 % n]
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        terminals.sort();
+        terminals.dedup();
+        let config = SteinerConfig { k, ..SteinerConfig::default() };
+
+        let new = approx_top_k(&graph, &terminals, &config);
+        let seed = seed_approx_top_k(&graph, &terminals, &config);
+        prop_assert_eq!(new.len(), seed.len());
+        for (a, b) in new.iter().zip(&seed) {
+            prop_assert_eq!(&a.edges, &b.edges);
+            prop_assert_eq!(&a.nodes, &b.nodes);
+            prop_assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "costs must be bit-identical");
+        }
+    }
+
+    /// Equivalence also holds under a root bound and a cost budget (the
+    /// serving path's per-request overrides).
+    #[test]
+    fn rewrite_matches_seed_under_bounds(
+        graph in random_graph(),
+        t1 in 0u32..12,
+        t2 in 0u32..12,
+        max_roots in 1usize..6,
+        budget in 0.5f64..6.0,
+    ) {
+        let n = graph.node_count() as u32;
+        let mut terminals: Vec<NodeId> = [t1 % n, t2 % n].into_iter().map(NodeId).collect();
+        terminals.sort();
+        terminals.dedup();
+        let config = SteinerConfig { k: 5, max_roots, max_cost: budget };
+
+        let new = approx_top_k(&graph, &terminals, &config);
+        let seed = seed_approx_top_k(&graph, &terminals, &config);
+        prop_assert_eq!(new, seed);
+    }
+}
