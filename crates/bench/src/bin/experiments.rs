@@ -1,17 +1,18 @@
 //! Command-line experiment runner: regenerates every table and figure of the
 //! paper's evaluation section, plus the post-paper throughput experiment.
 //!
-//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|search|search-smoke|all]`
+//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|search|search-smoke|ingest|ingest-smoke|all]`
 //!
 //! `throughput` (and its reduced CI variant `throughput-smoke`) additionally
 //! writes `BENCH_throughput.json` to the current directory; `search` /
-//! `search-smoke` write `BENCH_search.json`.
+//! `search-smoke` write `BENCH_search.json`; `ingest` / `ingest-smoke`
+//! write `BENCH_ingest.json`.
 
 use q_bench::{
-    run_aligner_experiment, run_learning_experiment, run_matcher_quality, run_scaling_experiment,
-    run_search_latency_experiment, run_throughput_experiment, AlignerExperimentConfig,
-    LearningConfig, MatcherQualityConfig, ScalingExperimentConfig, SearchLatencyConfig,
-    ThroughputConfig,
+    run_aligner_experiment, run_learning_experiment, run_live_ingest_experiment,
+    run_matcher_quality, run_scaling_experiment, run_search_latency_experiment,
+    run_throughput_experiment, AlignerExperimentConfig, LearningConfig, LiveIngestConfig,
+    MatcherQualityConfig, ScalingExperimentConfig, SearchLatencyConfig, ThroughputConfig,
 };
 
 fn main() {
@@ -29,6 +30,8 @@ fn main() {
         "throughput-smoke" => throughput(&ThroughputConfig::smoke()),
         "search" => search(&SearchLatencyConfig::default()),
         "search-smoke" => search(&SearchLatencyConfig::smoke()),
+        "ingest" => ingest(&LiveIngestConfig::default()),
+        "ingest-smoke" => ingest(&LiveIngestConfig::smoke()),
         "all" => {
             fig6_7(true, true);
             fig8();
@@ -36,15 +39,52 @@ fn main() {
             learning(&["fig10", "fig11", "fig12", "table2"]);
             throughput(&ThroughputConfig::default());
             search(&SearchLatencyConfig::default());
+            ingest(&LiveIngestConfig::default());
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "expected one of: fig6 fig7 fig8 table1 fig10 fig11 fig12 table2 \
-                 throughput throughput-smoke search search-smoke all"
+                 throughput throughput-smoke search search-smoke ingest ingest-smoke all"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn ingest(config: &LiveIngestConfig) {
+    let result = run_live_ingest_experiment(config);
+    println!("== Live ingestion: reads sustained while sources stream in ==");
+    println!(
+        "{} readers; {} sources at boot, {} streamed ({} snapshots published)",
+        result.readers, result.initial_sources, result.streamed_sources, result.snapshots_published
+    );
+    println!("window                           qps");
+    println!("idle (readers only)       {:>10.1}", result.idle_qps);
+    println!(
+        "live ingestion            {:>10.1}   ({:.2}x idle)",
+        result.sustained_qps, result.sustained_ratio
+    );
+    println!(
+        "stop-the-world baseline   {:>10.1}   (live is {:.2}x)",
+        result.stop_world_qps, result.live_vs_stop_world
+    );
+    println!(
+        "cache across publishes: {} kept by the survival rule, {} dropped",
+        result.cache_kept, result.cache_dropped
+    );
+    println!(
+        "replayed {} sampled concurrent answers against their snapshots: deterministic = {}",
+        result.replayed_observations, result.deterministic
+    );
+    let json = result.to_json(config);
+    let path = "BENCH_ingest.json";
+    std::fs::write(path, &json).expect("write BENCH_ingest.json");
+    println!("wrote {path}");
+    println!();
+    if !result.deterministic {
+        eprintln!("FATAL: a concurrent answer diverged from its snapshot's sequential answer");
+        std::process::exit(1);
     }
 }
 

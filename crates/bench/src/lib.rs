@@ -8,6 +8,7 @@
 
 pub mod aligners;
 pub mod learning;
+pub mod live_ingest;
 pub mod matchers;
 pub mod scaling;
 pub mod search_latency;
@@ -17,6 +18,7 @@ pub use aligners::{
     run_aligner_experiment, AlignerExperimentConfig, AlignerExperimentResult, StrategyMeasurement,
 };
 pub use learning::{run_learning_experiment, LearningConfig, LearningResult};
+pub use live_ingest::{run_live_ingest_experiment, LiveIngestConfig, LiveIngestResult};
 pub use matchers::{
     run_matcher_quality, MatcherQualityConfig, MatcherQualityResult, MatcherQualityRow,
 };

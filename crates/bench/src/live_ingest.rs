@@ -1,0 +1,449 @@
+//! Live-ingestion serving throughput: queries per second sustained *while*
+//! GBCO sources stream into the system, versus an idle baseline and versus
+//! a stop-the-world lock-coupled server.
+//!
+//! This is the experiment behind `BENCH_ingest.json`. Three measured
+//! windows, all with the same reader shape (N threads issuing
+//! cache-bypassing trial queries, i.e. pure compute against the current
+//! serving state):
+//!
+//! 1. **idle** — readers only, nothing changes: the reference throughput.
+//! 2. **live ingest** — the same readers while a writer incorporates the
+//!    held-back sources one by one through
+//!    [`LiveServer::ingest_source`](q_core::LiveServer): readers keep
+//!    serving from their snapshots and never block on the writer, so
+//!    throughput should degrade only by the CPU share the writer takes.
+//! 3. **stop-the-world** — the seed architecture: one `RwLock<QSystem>`,
+//!    readers take the read lock per query, `register_source` takes the
+//!    write lock for the whole incorporation. Readers stall for every
+//!    ingestion.
+//!
+//! Every reader samples its first few live-window outcomes as
+//! `(snapshot id, query, answer bytes)`; after the run each sample is
+//! replayed against the named published snapshot's sequential answer —
+//! `deterministic` in the JSON means every concurrent observation was
+//! byte-identical to its snapshot's answer (the same
+//! linearizability-by-replay claim the `live_ingest` stress test pins).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use q_core::{CachePolicy, GraphSnapshot, LiveServer, QConfig, QSystem, QueryRequest};
+use q_datasets::{gbco_source_specs_with_fks, gbco_trials, GbcoConfig};
+use q_matchers::MetadataMatcher;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveIngestConfig {
+    /// GBCO generator configuration.
+    pub gbco: GbcoConfig,
+    /// Sources loaded before serving starts; the rest stream in live.
+    pub initial_sources: usize,
+    /// Reader threads.
+    pub readers: usize,
+    /// Length of the idle measurement window.
+    pub idle_millis: u64,
+    /// Live-window outcomes each reader samples for the replay check.
+    pub replay_sample: usize,
+}
+
+impl Default for LiveIngestConfig {
+    fn default() -> Self {
+        LiveIngestConfig {
+            gbco: GbcoConfig::default(),
+            initial_sources: 10,
+            readers: 8,
+            idle_millis: 400,
+            replay_sample: 16,
+        }
+    }
+}
+
+impl LiveIngestConfig {
+    /// Reduced configuration for the CI smoke run.
+    pub fn smoke() -> Self {
+        LiveIngestConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 15,
+                seed: 17,
+            },
+            initial_sources: 10,
+            readers: 8,
+            idle_millis: 120,
+            replay_sample: 8,
+        }
+    }
+}
+
+/// Measured result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveIngestResult {
+    /// Reader threads used in every window.
+    pub readers: usize,
+    /// Sources the server booted with.
+    pub initial_sources: usize,
+    /// Sources streamed in during the live window.
+    pub streamed_sources: usize,
+    /// Snapshots the live window published (one per streamed source).
+    pub snapshots_published: usize,
+    /// Reader throughput with no writer activity.
+    pub idle_qps: f64,
+    /// Reader throughput while sources streamed in live.
+    pub sustained_qps: f64,
+    /// `sustained_qps / idle_qps` — the no-stop-the-world headline.
+    pub sustained_ratio: f64,
+    /// Reader throughput under the lock-coupled baseline's ingestion.
+    pub stop_world_qps: f64,
+    /// `sustained_qps / stop_world_qps`.
+    pub live_vs_stop_world: f64,
+    /// Queries answered inside the live ingestion window.
+    pub queries_during_ingest: usize,
+    /// Wall time of the live ingestion window.
+    pub ingest_wall: Duration,
+    /// Wall time of the stop-the-world ingestion window.
+    pub stop_world_wall: Duration,
+    /// Cache entries carried across live publishes by the survival rule.
+    pub cache_kept: u64,
+    /// Cache entries dropped by live publishes.
+    pub cache_dropped: u64,
+    /// Sampled concurrent observations replayed byte-identical against
+    /// their published snapshots' sequential answers.
+    pub replayed_observations: usize,
+    /// True when every sampled observation replayed byte-identical.
+    pub deterministic: bool,
+}
+
+fn qps(queries: usize, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        queries as f64 / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Run the live-ingestion throughput experiment.
+pub fn run_live_ingest_experiment(config: &LiveIngestConfig) -> LiveIngestResult {
+    let specs = gbco_source_specs_with_fks(&config.gbco);
+    let initial = config.initial_sources.clamp(1, specs.len() - 1);
+    let readers = config.readers.max(1);
+    let requests: Vec<QueryRequest> = gbco_trials()
+        .iter()
+        .map(|t| QueryRequest::new(t.keywords.iter().cloned()).cache_policy(CachePolicy::Bypass))
+        .collect();
+
+    let catalog = q_storage::loader::load_catalog(&specs[..initial]).expect("GBCO loads");
+    let mut server = LiveServer::new(catalog, QConfig::default());
+    server.add_matcher(Box::new(MetadataMatcher::new()));
+    let server = &server;
+
+    // -- Window 1: idle ---------------------------------------------------
+    let idle_window = Duration::from_millis(config.idle_millis.max(10));
+    let answered = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let idle_wall = {
+        let (answered, stop) = (&answered, &stop);
+        let requests = &requests;
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for r in 0..readers {
+                s.spawn(move || {
+                    let mut i = r;
+                    while !stop.load(Ordering::Acquire) {
+                        server
+                            .query(&requests[i % requests.len()])
+                            .expect("GBCO queries answer");
+                        answered.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+            std::thread::sleep(idle_window);
+            stop.store(true, Ordering::Release);
+        });
+        start.elapsed()
+    };
+    let idle_qps = qps(answered.load(Ordering::Relaxed), idle_wall);
+
+    // Warm one cached entry per trial query so the publishes below exercise
+    // the cache survival rule (the measured readers bypass the cache — pure
+    // compute — so without this pass the kept/dropped counters would be
+    // vacuous).
+    for request in gbco_trials()
+        .iter()
+        .map(|t| QueryRequest::new(t.keywords.iter().cloned()))
+    {
+        server.query(&request).expect("GBCO queries answer");
+    }
+
+    // -- Window 2: live ingestion -----------------------------------------
+    let answered = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let observations: Mutex<Vec<(u64, usize, String)>> = Mutex::new(Vec::new());
+    let mut published: Vec<Arc<GraphSnapshot>> = vec![server.snapshot()];
+    let mut cache_kept = 0u64;
+    let mut cache_dropped = 0u64;
+    let mut ingest_wall = Duration::ZERO;
+    let mut queries_during_ingest = 0usize;
+    {
+        let (answered, stop) = (&answered, &stop);
+        let (requests, observations) = (&requests, &observations);
+        let sample = config.replay_sample;
+        std::thread::scope(|s| {
+            for r in 0..readers {
+                s.spawn(move || {
+                    let mut i = r;
+                    let mut local: Vec<(u64, usize, String)> = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        let idx = i % requests.len();
+                        let outcome = server.query(&requests[idx]).expect("GBCO queries answer");
+                        if local.len() < sample {
+                            local.push((
+                                outcome.snapshot.expect("live serving stamps snapshots"),
+                                idx,
+                                format!("{:?}", outcome.view),
+                            ));
+                        }
+                        answered.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                    observations.lock().unwrap().extend(local);
+                });
+            }
+            // Count only queries answered inside the timed window: readers
+            // spin up (and drain) outside it, so the counter is sampled at
+            // the same instants the clock starts and stops.
+            let window_start = answered.load(Ordering::Relaxed);
+            let start = Instant::now();
+            for spec in &specs[initial..] {
+                let report = server.ingest_source(spec).expect("GBCO source ingests");
+                cache_kept += report.cache_kept;
+                cache_dropped += report.cache_dropped;
+                published.push(report.snapshot);
+            }
+            ingest_wall = start.elapsed();
+            queries_during_ingest = answered.load(Ordering::Relaxed) - window_start;
+            stop.store(true, Ordering::Release);
+        });
+    }
+    let sustained_qps = qps(queries_during_ingest, ingest_wall);
+
+    // Replay every sampled observation against its snapshot.
+    let observations = observations.into_inner().unwrap();
+    let deterministic = !observations.is_empty()
+        && observations.iter().all(|(snapshot, idx, bytes)| {
+            let Some(snap) = published.iter().find(|s| s.id() == *snapshot) else {
+                return false;
+            };
+            match snap.answer(server.config(), &requests[*idx]) {
+                Ok(reference) => format!("{reference:?}") == *bytes,
+                Err(_) => false,
+            }
+        });
+
+    // -- Window 3: stop-the-world baseline --------------------------------
+    let catalog = q_storage::loader::load_catalog(&specs[..initial]).expect("GBCO loads");
+    let mut seed_system = QSystem::new(catalog, QConfig::default());
+    seed_system.add_matcher(Box::new(MetadataMatcher::new()));
+    let locked = RwLock::new(seed_system);
+    let answered = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let mut stop_world_wall = Duration::ZERO;
+    let mut stop_world_queries = 0usize;
+    {
+        let (answered, stop, locked) = (&answered, &stop, &locked);
+        let trials = gbco_trials();
+        let trials = &trials;
+        std::thread::scope(|s| {
+            for r in 0..readers {
+                s.spawn(move || {
+                    let mut i = r;
+                    while !stop.load(Ordering::Acquire) {
+                        let keywords: Vec<&str> = trials[i % trials.len()]
+                            .keywords
+                            .iter()
+                            .map(String::as_str)
+                            .collect();
+                        #[allow(deprecated)]
+                        locked
+                            .read()
+                            .expect("reader lock")
+                            .run_query_uncached(&keywords)
+                            .expect("GBCO queries answer");
+                        answered.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+            let window_start = answered.load(Ordering::Relaxed);
+            let start = Instant::now();
+            for spec in &specs[initial..] {
+                locked
+                    .write()
+                    .expect("writer lock")
+                    .register_source(spec)
+                    .expect("GBCO source registers");
+            }
+            stop_world_wall = start.elapsed();
+            stop_world_queries = answered.load(Ordering::Relaxed) - window_start;
+            stop.store(true, Ordering::Release);
+        });
+    }
+    let stop_world_qps = qps(stop_world_queries, stop_world_wall);
+
+    LiveIngestResult {
+        readers,
+        initial_sources: initial,
+        streamed_sources: specs.len() - initial,
+        snapshots_published: published.len() - 1,
+        idle_qps,
+        sustained_qps,
+        sustained_ratio: if idle_qps > 0.0 {
+            sustained_qps / idle_qps
+        } else {
+            f64::INFINITY
+        },
+        stop_world_qps,
+        live_vs_stop_world: if stop_world_qps > 0.0 {
+            sustained_qps / stop_world_qps
+        } else {
+            f64::INFINITY
+        },
+        queries_during_ingest,
+        ingest_wall,
+        stop_world_wall,
+        cache_kept,
+        cache_dropped,
+        replayed_observations: observations.len(),
+        deterministic,
+    }
+}
+
+impl LiveIngestResult {
+    /// Serialise to the `BENCH_ingest.json` schema (hand-rolled: the
+    /// vendored serde shim has no JSON backend). Keys are stable — the CI
+    /// smoke step asserts their presence.
+    pub fn to_json(&self, config: &LiveIngestConfig) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"live_ingest\",\n",
+                "  \"workload\": \"gbco_trials\",\n",
+                "  \"gbco_rows_per_table\": {},\n",
+                "  \"gbco_seed\": {},\n",
+                "  \"readers\": {},\n",
+                "  \"initial_sources\": {},\n",
+                "  \"streamed_sources\": {},\n",
+                "  \"snapshots_published\": {},\n",
+                "  \"idle_qps\": {:.3},\n",
+                "  \"sustained_qps\": {:.3},\n",
+                "  \"sustained_ratio\": {:.3},\n",
+                "  \"stop_world_qps\": {:.3},\n",
+                "  \"live_vs_stop_world\": {:.3},\n",
+                "  \"queries_during_ingest\": {},\n",
+                "  \"ingest_wall_ms\": {:.3},\n",
+                "  \"stop_world_wall_ms\": {:.3},\n",
+                "  \"cache_kept\": {},\n",
+                "  \"cache_dropped\": {},\n",
+                "  \"replayed_observations\": {},\n",
+                "  \"deterministic\": {}\n",
+                "}}\n"
+            ),
+            config.gbco.rows_per_table,
+            config.gbco.seed,
+            self.readers,
+            self.initial_sources,
+            self.streamed_sources,
+            self.snapshots_published,
+            self.idle_qps,
+            self.sustained_qps,
+            self.sustained_ratio,
+            self.stop_world_qps,
+            self.live_vs_stop_world,
+            self.queries_during_ingest,
+            ms(self.ingest_wall),
+            ms(self.stop_world_wall),
+            self.cache_kept,
+            self.cache_dropped,
+            self.replayed_observations,
+            self.deterministic,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_deterministic_and_publishes_per_source() {
+        let config = LiveIngestConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 10,
+                seed: 17,
+            },
+            initial_sources: 15,
+            readers: 2,
+            idle_millis: 30,
+            replay_sample: 4,
+        };
+        let result = run_live_ingest_experiment(&config);
+        assert_eq!(result.streamed_sources, 3);
+        assert_eq!(result.snapshots_published, 3);
+        assert!(result.deterministic, "sampled observations diverged");
+        assert!(result.replayed_observations > 0);
+        assert!(result.queries_during_ingest > 0, "reads were stopped");
+        assert!(result.idle_qps > 0.0);
+        assert!(result.sustained_qps > 0.0);
+    }
+
+    #[test]
+    fn json_has_the_contracted_keys() {
+        let config = LiveIngestConfig::smoke();
+        let result = LiveIngestResult {
+            readers: 4,
+            initial_sources: 10,
+            streamed_sources: 8,
+            snapshots_published: 8,
+            idle_qps: 100.0,
+            sustained_qps: 80.0,
+            sustained_ratio: 0.8,
+            stop_world_qps: 20.0,
+            live_vs_stop_world: 4.0,
+            queries_during_ingest: 160,
+            ingest_wall: Duration::from_millis(2000),
+            stop_world_wall: Duration::from_millis(2500),
+            cache_kept: 3,
+            cache_dropped: 13,
+            replayed_observations: 64,
+            deterministic: true,
+        };
+        let json = result.to_json(&config);
+        for key in [
+            "\"experiment\"",
+            "\"readers\"",
+            "\"initial_sources\"",
+            "\"streamed_sources\"",
+            "\"snapshots_published\"",
+            "\"idle_qps\"",
+            "\"sustained_qps\"",
+            "\"sustained_ratio\"",
+            "\"stop_world_qps\"",
+            "\"live_vs_stop_world\"",
+            "\"queries_during_ingest\"",
+            "\"ingest_wall_ms\"",
+            "\"stop_world_wall_ms\"",
+            "\"cache_kept\"",
+            "\"cache_dropped\"",
+            "\"replayed_observations\"",
+            "\"deterministic\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -37,7 +37,7 @@ use crate::system::QSystem;
 pub struct QSystemBuilder {
     catalog: Catalog,
     config: QConfig,
-    matchers: Vec<Box<dyn SchemaMatcher>>,
+    matchers: Vec<Box<dyn SchemaMatcher + Send + Sync>>,
     sources: Vec<SourceSpec>,
     cache_capacity: usize,
 }
@@ -78,7 +78,7 @@ impl QSystemBuilder {
 
     /// Register a schema matcher. Matchers are consulted in registration
     /// order when new sources arrive. May be called repeatedly.
-    pub fn matcher(mut self, matcher: Box<dyn SchemaMatcher>) -> Self {
+    pub fn matcher(mut self, matcher: Box<dyn SchemaMatcher + Send + Sync>) -> Self {
         self.matchers.push(matcher);
         self
     }

@@ -45,14 +45,16 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use q_graph::{EdgeId, FeatureVector, SearchGraph};
+use q_graph::keyword::MatchConfig;
+use q_graph::{EdgeId, FeatureVector, KeywordIndex, SearchGraph};
+use q_storage::{Catalog, RelationId};
 
 use crate::answer::RankedView;
 use crate::request::QueryParamsKey;
 
 /// Normalise a keyword query into the keyword half of its cache key:
 /// per-keyword trim + lowercase (exactly what
-/// [`KeywordIndex`](q_graph::KeywordIndex) does to a keyword before
+/// [`KeywordIndex`] does to a keyword before
 /// matching), order and arity preserved. Order determines view column order
 /// and every keyword — even a blank one — becomes a Steiner terminal (a
 /// blank keyword matches nothing, leaving its terminal unreachable and the
@@ -149,6 +151,11 @@ pub struct RevalidationModel {
     /// (e.g. an exact-minimum search: new weights may crown a different
     /// provably-minimum tree). Such entries are dropped on any re-pricing.
     pub revalidatable: bool,
+    /// Effective `top_k` the answer was computed under. The ingestion
+    /// survival rule needs it to know whether the ranked list is *full*:
+    /// a full list is only disturbed by a new tree cheaper than its worst
+    /// entry, while a partial list accepts any tree within budget.
+    pub top_k: usize,
 }
 
 impl Default for RevalidationModel {
@@ -157,6 +164,9 @@ impl Default for RevalidationModel {
             trees: Vec::new(),
             budget: f64::INFINITY,
             revalidatable: true,
+            // "Never provably full": the conservative default for models
+            // built outside the serving path (tests, manual inserts).
+            top_k: usize::MAX,
         }
     }
 }
@@ -170,6 +180,11 @@ pub struct CacheLookup {
     pub view: Arc<RankedView>,
     /// True when the entry was carried across a weight-epoch change.
     pub revalidated: bool,
+    /// Epoch (in live serving: published snapshot id) the entry was computed
+    /// under. An entry kept by a survival rule keeps reporting the snapshot
+    /// that actually priced it — serving layers surface this as "answered
+    /// from snapshot N" provenance.
+    pub snapshot: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -177,6 +192,36 @@ struct CacheEntry {
     view: Arc<RankedView>,
     model: RevalidationModel,
     revalidated: bool,
+    /// Epoch/snapshot the entry's answer was computed under; survival rules
+    /// never advance it.
+    snapshot: u64,
+}
+
+/// What one live ingestion changed, summarised for the cache survival rule
+/// of [`QueryCache::sync_ingestion`]. Built by the live serving layer from
+/// the difference between the outgoing and incoming snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestionDelta<'a> {
+    /// The *new* snapshot's catalog (the survival rule resolves new
+    /// documents' owning relations against it).
+    pub catalog: &'a Catalog,
+    /// The new snapshot's keyword index.
+    pub keyword_index: &'a KeywordIndex,
+    /// The match configuration queries are served with.
+    pub match_config: &'a MatchConfig,
+    /// Relations the ingestion added (the new source's relations; empty for
+    /// a pure association publish).
+    pub new_relations: &'a [RelationId],
+    /// Smallest current cost over the ingestion's *bridge* edges — new edges
+    /// with at least one endpoint in the pre-existing graph. Any join tree
+    /// the ingestion enables for an old query must contain one, so this is a
+    /// lower bound on the cost of any new competing tree.
+    /// [`f64::INFINITY`] when the ingestion added no bridge (the new source
+    /// is unreachable from the old graph).
+    pub bridge_floor: f64,
+    /// Edge count of the new snapshot's graph (keeps the topology-growth
+    /// detector of later [`QueryCache::sync_epoch`] calls aligned).
+    pub edge_count: usize,
 }
 
 /// Answer cache for the query path. See the module docs for the coherence
@@ -271,6 +316,137 @@ impl QueryCache {
             }
         }
         self.synced_edge_count = graph.edge_count();
+        self.enforce_capacity();
+    }
+
+    /// Align the cache with a re-pricing *publish* of the live-ingestion
+    /// engine (a matcher opinion merged into an existing edge: same
+    /// topology, new prices).
+    ///
+    /// Unlike [`QueryCache::sync_epoch`], entries are **not** re-priced in
+    /// place: live cache hits report the snapshot that priced them, and the
+    /// engine's contract is that the served bytes equal that snapshot's
+    /// sequential answer *exactly*. An entry therefore survives only when
+    /// every re-costed tree comes back bit-identical under the new prices —
+    /// its bytes are then simultaneously the old snapshot's answer and
+    /// unaffected by the re-pricing — and anything whose costs moved drops
+    /// and recomputes against the new snapshot. Returns `(kept, dropped)`.
+    pub fn sync_repricing_publish(&mut self, epoch: u64, graph: &SearchGraph) -> (u64, u64) {
+        self.epoch = epoch;
+        let mut kept = 0u64;
+        let mut dropped = 0u64;
+        self.entries.retain(|_, entry| {
+            let model = &entry.model;
+            let unchanged = model.revalidatable
+                && model.trees.len() == entry.view.queries.len()
+                && model
+                    .trees
+                    .iter()
+                    .zip(&entry.view.queries)
+                    .all(|(m, q)| m.cost(graph).to_bits() == q.cost.to_bits());
+            if unchanged {
+                entry.revalidated = true;
+                kept += 1;
+                true
+            } else {
+                dropped += 1;
+                false
+            }
+        });
+        self.invalidations += dropped;
+        self.revalidations += kept;
+        if dropped > 0 {
+            self.insertion_order
+                .retain(|k| self.entries.contains_key(k));
+        }
+        self.synced_edge_count = graph.edge_count();
+        self.enforce_capacity();
+        (kept, dropped)
+    }
+
+    /// Align the cache with a freshly published live-ingestion snapshot.
+    ///
+    /// Ingesting a source grows the topology, which under
+    /// [`QueryCache::sync_epoch`] would drop everything (the seed rule).
+    /// Live ingestion knows *what* grew, so entries survive when the new
+    /// source provably cannot place a tree into their ranked list:
+    ///
+    /// 1. none of the entry's keywords match any document of the new
+    ///    source's relations (no new Steiner terminals can appear), and
+    /// 2. every join tree the new source enables costs at least
+    ///    [`IngestionDelta::bridge_floor`] — any such tree must cross a
+    ///    bridge edge — and that floor is strictly above the entry's
+    ///    displacement threshold: the worst ranked cost when the list is
+    ///    full, the request's cost budget when it is not.
+    ///
+    /// Surviving entries keep serving their original snapshot's answer
+    /// byte-for-byte (their [`CacheLookup::snapshot`] does not advance) and
+    /// report [`CacheStatus::Revalidated`](crate::CacheStatus) on hits.
+    /// Everything else falls back to the seed drop rule. Returns
+    /// `(kept, dropped)`.
+    pub fn sync_ingestion(&mut self, epoch: u64, delta: &IngestionDelta) -> (u64, u64) {
+        self.epoch = epoch;
+        let mut kept = 0u64;
+        let mut dropped = 0u64;
+        self.entries.retain(|key, entry| {
+            if Self::survives_ingestion(key, entry, delta) {
+                entry.revalidated = true;
+                kept += 1;
+                true
+            } else {
+                dropped += 1;
+                false
+            }
+        });
+        self.invalidations += dropped;
+        self.revalidations += kept;
+        if dropped > 0 {
+            self.insertion_order
+                .retain(|k| self.entries.contains_key(k));
+        }
+        self.synced_edge_count = delta.edge_count;
+        self.enforce_capacity();
+        (kept, dropped)
+    }
+
+    /// The ingestion survival rule for one entry (see
+    /// [`QueryCache::sync_ingestion`]).
+    fn survives_ingestion(key: &QueryKey, entry: &CacheEntry, delta: &IngestionDelta) -> bool {
+        let model = &entry.model;
+        if !model.revalidatable || model.trees.len() != entry.view.queries.len() {
+            return false;
+        }
+        // A keyword matching the new source's documents adds match edges —
+        // and possibly terminals — to a fresh query graph: no cost argument
+        // covers that, so the entry drops.
+        if key.keywords.iter().any(|kw| {
+            delta.keyword_index.keyword_matches_in(
+                kw,
+                delta.catalog,
+                delta.new_relations,
+                delta.match_config,
+            )
+        }) {
+            return false;
+        }
+        // Displacement threshold: what a new tree would have to beat. A full
+        // ranked list is guarded by its worst cost; a partial list accepts
+        // anything within the request's budget.
+        let threshold = if entry.view.queries.len() >= model.top_k {
+            entry
+                .view
+                .queries
+                .last()
+                .map(|q| q.cost)
+                .unwrap_or(model.budget)
+        } else {
+            model.budget
+        };
+        // Every tree the new source enables contains a bridge edge, so it
+        // costs at least the floor (edge costs are kept positive by the
+        // learner). Strictly above: a tie could reorder a fresh search's
+        // stable sort.
+        delta.bridge_floor > threshold
     }
 
     /// Re-price one entry under the graph's current weights; true when it
@@ -326,6 +502,7 @@ impl QueryCache {
                 Some(CacheLookup {
                     view: Arc::clone(&entry.view),
                     revalidated: entry.revalidated,
+                    snapshot: entry.snapshot,
                 })
             }
             None => {
@@ -337,25 +514,39 @@ impl QueryCache {
 
     /// Insert a computed view under a key together with the cost models a
     /// later epoch-delta revalidation needs, evicting the oldest entry when
-    /// full. Overwriting an existing key keeps its FIFO position.
+    /// full. Overwriting an existing key keeps its FIFO position. The entry
+    /// is stamped with the cache's current epoch (in live serving: the
+    /// snapshot id it was computed against).
     pub fn insert(&mut self, key: QueryKey, view: Arc<RankedView>, model: RevalidationModel) {
         let entry = CacheEntry {
             view,
             model,
             revalidated: false,
+            snapshot: self.epoch,
         };
         if let Some(slot) = self.entries.get_mut(&key) {
             *slot = entry;
             return;
         }
-        while self.entries.len() >= self.capacity {
+        self.insertion_order.push_back(key.clone());
+        self.entries.insert(key, entry);
+        self.enforce_capacity();
+    }
+
+    /// The single place the FIFO capacity bound is enforced: every mutation
+    /// (insert, epoch sync, ingestion sync) funnels through here, so the
+    /// map can never be observed over capacity — previously the check lived
+    /// only on the insert path, and a sync that kept entries had no bound of
+    /// its own.
+    fn enforce_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
             let Some(oldest) = self.insertion_order.pop_front() else {
                 break;
             };
             self.entries.remove(&oldest);
         }
-        self.insertion_order.push_back(key.clone());
-        self.entries.insert(key, entry);
+        debug_assert!(self.entries.len() <= self.capacity);
+        debug_assert!(self.insertion_order.len() == self.entries.len());
     }
 
     /// Epoch the live entries were last synced under.
@@ -461,6 +652,7 @@ mod tests {
             trees: vec![TreeCostModel::new(vec![CostTerm::Base(edge)])],
             budget: f64::INFINITY,
             revalidatable: true,
+            ..RevalidationModel::default()
         };
         (view, model)
     }
@@ -607,6 +799,7 @@ mod tests {
             ],
             budget: f64::INFINITY,
             revalidatable: true,
+            ..RevalidationModel::default()
         };
         cache.insert(key(&["q"]), view, model);
 
@@ -707,6 +900,225 @@ mod tests {
             g.edge_cost(e).to_bits(),
             "cached entry must serve the merged price, not the stale one"
         );
+    }
+
+    /// Fixture for the ingestion survival tests: two old single-attribute
+    /// sources joined by one association edge, whose cost the cached view's
+    /// single tree carries. Returns the catalog, graph and that edge.
+    fn ingestion_fixture() -> (q_storage::Catalog, SearchGraph, q_graph::EdgeId) {
+        use q_storage::{RelationSpec, SourceSpec};
+        let mut cat = q_storage::Catalog::new();
+        SourceSpec::new("a")
+            .relation(RelationSpec::new("r1", &["x"]))
+            .load_into(&mut cat)
+            .unwrap();
+        SourceSpec::new("b")
+            .relation(RelationSpec::new("r2", &["y"]))
+            .load_into(&mut cat)
+            .unwrap();
+        let mut g = SearchGraph::from_catalog(&cat);
+        let x = cat.resolve_qualified("r1.x").unwrap();
+        let y = cat.resolve_qualified("r2.y").unwrap();
+        let e = g.add_association(x, y, "mad", 0.9);
+        (cat, g, e)
+    }
+
+    /// Ingest source `c` (relation `r3`, disjoint vocabulary) bridged to
+    /// `r1.x` with the given matcher confidence; returns the delta inputs.
+    fn ingest_r3(
+        cat: &mut q_storage::Catalog,
+        g: &mut SearchGraph,
+        confidence: f64,
+    ) -> (q_graph::KeywordIndex, q_storage::RelationId, f64) {
+        use q_storage::{RelationSpec, SourceSpec};
+        SourceSpec::new("c")
+            .relation(RelationSpec::new("r3", &["z"]))
+            .load_into(cat)
+            .unwrap();
+        let source = cat.source_by_name("c").unwrap().id;
+        g.add_source(cat, source);
+        let x = cat.resolve_qualified("r1.x").unwrap();
+        let z = cat.resolve_qualified("r3.z").unwrap();
+        let bridge = g.add_association(x, z, "mad", confidence);
+        let idx = q_graph::KeywordIndex::build(cat);
+        let r3 = cat.relation_by_name("r3").unwrap().id;
+        let floor = g.edge_cost(bridge);
+        (idx, r3, floor)
+    }
+
+    #[test]
+    fn ingestion_sync_keeps_entries_the_new_source_cannot_displace() {
+        let (mut cat, mut g, e) = ingestion_fixture();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let snap0 = cache.epoch();
+        let (v, mut model) = priced_view(&g, e);
+        model.top_k = 1; // the ranked list is full
+        let entry_cost = v.queries[0].cost;
+        cache.insert(key(&["q"]), v, model);
+
+        // A low-confidence bridge prices every new join path above the
+        // cached tree: the entry provably keeps its top-k.
+        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.05);
+        assert!(floor > entry_cost, "fixture: bridge must cost more");
+        let delta = IngestionDelta {
+            catalog: &cat,
+            keyword_index: &idx,
+            match_config: &MatchConfig::default(),
+            new_relations: &[r3],
+            bridge_floor: floor,
+            edge_count: g.edge_count(),
+        };
+        let (kept, dropped) = cache.sync_ingestion(7, &delta);
+        assert_eq!((kept, dropped), (1, 0));
+        assert_eq!(cache.epoch(), 7);
+        let hit = cache.get(&key(&["q"])).expect("entry survived");
+        assert!(hit.revalidated, "survivors report Revalidated on hits");
+        assert_eq!(
+            hit.snapshot, snap0,
+            "provenance stays at the pricing snapshot"
+        );
+        // The growth was accounted: a later weight-only epoch bump does not
+        // read as topology growth and wholesale-drop the survivors.
+        let w = g.weights().clone();
+        g.set_weights(w);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn ingestion_sync_drops_when_the_bridge_could_displace_the_top_k() {
+        let (mut cat, mut g, e) = ingestion_fixture();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, mut model) = priced_view(&g, e);
+        model.top_k = 1;
+        cache.insert(key(&["q"]), v, model);
+        // A high-confidence bridge costs the same as the cached tree: even
+        // the tie must drop (a fresh search may order tied trees apart).
+        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.9);
+        let delta = IngestionDelta {
+            catalog: &cat,
+            keyword_index: &idx,
+            match_config: &MatchConfig::default(),
+            new_relations: &[r3],
+            bridge_floor: floor,
+            edge_count: g.edge_count(),
+        };
+        let (kept, dropped) = cache.sync_ingestion(7, &delta);
+        assert_eq!((kept, dropped), (0, 1));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn ingestion_sync_drops_partial_lists_and_keyword_matches() {
+        let (mut cat, mut g, e) = ingestion_fixture();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        // Entry 1: partial ranked list (top_k 5, one tree) with no budget —
+        // any affordable new tree could extend it, so it cannot survive.
+        let (v1, mut m1) = priced_view(&g, e);
+        m1.top_k = 5;
+        cache.insert(key(&["q"]), v1, m1);
+        // Entry 2: full list but its keyword names the new relation.
+        let (v2, mut m2) = priced_view(&g, e);
+        m2.top_k = 1;
+        cache.insert(key(&["r3"]), v2, m2);
+        // Entry 3: partial list guarded by a budget below the bridge floor —
+        // new trees are provably unaffordable, so it survives.
+        let (v3, mut m3) = priced_view(&g, e);
+        m3.top_k = 5;
+        m3.budget = 1.0;
+        cache.insert(key(&["q", "also"]), v3, m3);
+
+        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.05);
+        assert!(floor > 1.0);
+        let delta = IngestionDelta {
+            catalog: &cat,
+            keyword_index: &idx,
+            match_config: &MatchConfig::default(),
+            new_relations: &[r3],
+            bridge_floor: floor,
+            edge_count: g.edge_count(),
+        };
+        let (kept, dropped) = cache.sync_ingestion(9, &delta);
+        assert_eq!((kept, dropped), (1, 2));
+        assert!(cache.get(&key(&["q"])).is_none(), "partial, unbounded");
+        assert!(cache.get(&key(&["r3"])).is_none(), "keyword matches source");
+        assert!(cache.get(&key(&["q", "also"])).is_some(), "budget-guarded");
+    }
+
+    #[test]
+    fn non_revalidatable_entries_never_survive_ingestion() {
+        let (mut cat, mut g, e) = ingestion_fixture();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, mut model) = priced_view(&g, e);
+        model.top_k = 1;
+        model.revalidatable = false;
+        cache.insert(key(&["q"]), v, model);
+        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.05);
+        let delta = IngestionDelta {
+            catalog: &cat,
+            keyword_index: &idx,
+            match_config: &MatchConfig::default(),
+            new_relations: &[r3],
+            bridge_floor: floor,
+            edge_count: g.edge_count(),
+        };
+        let (kept, dropped) = cache.sync_ingestion(3, &delta);
+        assert_eq!((kept, dropped), (0, 1));
+    }
+
+    #[test]
+    fn lookups_carry_the_snapshot_that_priced_the_entry() {
+        let (cat, g, e) = ingestion_fixture();
+        let _ = cat;
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, model) = priced_view(&g, e);
+        cache.insert(key(&["q"]), v, model);
+        let hit = cache.get(&key(&["q"])).unwrap();
+        assert_eq!(hit.snapshot, g.weight_epoch());
+        assert!(!hit.revalidated);
+    }
+
+    #[test]
+    fn capacity_invariant_holds_across_every_mutation() {
+        let (mut cat, mut g, e) = ingestion_fixture();
+        let mut cache = QueryCache::with_capacity(2);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        // Over-insert.
+        for tag in ["a", "b", "c", "d"] {
+            let (v, mut m) = priced_view(&g, e);
+            m.top_k = 1;
+            cache.insert(key(&[tag]), v, m);
+            assert!(cache.len() <= cache.capacity());
+        }
+        // Overwrite an existing key at capacity.
+        let (v, mut m) = priced_view(&g, e);
+        m.top_k = 1;
+        cache.insert(key(&["d"]), v, m);
+        assert!(cache.len() <= cache.capacity());
+        // Revalidate-keep syncs (re-pricing, then ingestion) stay bounded.
+        let mut w = g.weights().clone();
+        let default = g.feature_space().get("default").unwrap();
+        w.set(default, w.get(default) + 0.25);
+        g.set_weights(w);
+        cache.sync_epoch(g.weight_epoch(), &g);
+        assert!(cache.len() <= cache.capacity());
+        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.05);
+        let delta = IngestionDelta {
+            catalog: &cat,
+            keyword_index: &idx,
+            match_config: &MatchConfig::default(),
+            new_relations: &[r3],
+            bridge_floor: floor,
+            edge_count: g.edge_count(),
+        };
+        cache.sync_ingestion(5, &delta);
+        assert!(cache.len() <= cache.capacity());
+        assert!(!cache.is_empty(), "full budgetless lists survive via top_k");
     }
 
     #[test]

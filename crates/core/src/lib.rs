@@ -29,6 +29,7 @@ pub mod config;
 pub mod error;
 pub mod evaluation;
 pub mod feedback;
+pub mod live;
 pub mod request;
 pub mod system;
 pub mod translate;
@@ -36,8 +37,8 @@ pub mod translate;
 pub use answer::{Answer, RankedQuery, RankedView, ViewId};
 pub use builder::QSystemBuilder;
 pub use cache::{
-    normalize_keywords, CacheLookup, CostTerm, QueryCache, QueryKey, RevalidationModel,
-    TreeCostModel,
+    normalize_keywords, CacheLookup, CostTerm, IngestionDelta, QueryCache, QueryKey,
+    RevalidationModel, TreeCostModel,
 };
 pub use config::{AlignmentStrategy, QConfig};
 pub use error::QError;
@@ -46,6 +47,7 @@ pub use evaluation::{
     EdgeCostSummary, PrPoint,
 };
 pub use feedback::{Feedback, FeedbackOutcome};
+pub use live::{GraphSnapshot, IngestReport, LiveCacheStats, LiveServer};
 pub use request::{
     CachePolicy, CacheStatus, QueryOutcome, QueryParamsKey, QueryRequest, SearchStrategy,
 };

@@ -1,0 +1,711 @@
+//! Live-ingestion serving: snapshot-isolated concurrent reads while new
+//! sources are incorporated end-to-end.
+//!
+//! The paper's headline capability is *automatically incorporating new
+//! sources* into a running keyword-search integration system. A plain
+//! [`QSystem`](crate::QSystem) does incorporate sources, but through
+//! `&mut self` — registration and serving exclude each other, so every
+//! topology change is a stop-the-world event for readers. This module
+//! removes that coupling:
+//!
+//! * **[`GraphSnapshot`]** — one immutable, self-contained serving state:
+//!   catalog + search graph (packed CSR) + keyword index, stamped with a
+//!   snapshot id (the graph's weight epoch at publish). Readers answer
+//!   queries against a snapshot without any lock; answers are a pure
+//!   function of `(snapshot, request)`.
+//! * **[`LiveServer`]** — holds the current snapshot behind an
+//!   `RwLock<Arc<GraphSnapshot>>` (the lock is held only long enough to
+//!   clone the `Arc`), a shared answer cache behind a `Mutex`, and a writer
+//!   lane behind its own `Mutex`. [`LiveServer::query`] serves from the
+//!   current snapshot through `&self`; [`LiveServer::ingest_source`]
+//!   incorporates a source end-to-end — incremental catalog registration
+//!   ([`SourceSpec::load_incremental`]), delta-grown CSR
+//!   ([`q_graph::CsrDelta`] inside the graph's topology epilogue),
+//!   keyword-index append, matcher scoring of only the new columns
+//!   ([`SchemaMatcher::match_source`]) — and publishes the next snapshot
+//!   atomically. Readers in flight keep their snapshot; new readers see the
+//!   new one.
+//!
+//! # Epoch/publish protocol and the cache survival rule
+//!
+//! Publishing snapshot `N+1` syncs the shared cache *before* swapping the
+//! current snapshot pointer:
+//!
+//! 1. The writer builds the next snapshot off to the side (readers are
+//!    untouched).
+//! 2. It summarises what changed into an [`IngestionDelta`] — the new
+//!    relations and the *bridge-cost floor*, the cheapest new edge incident
+//!    to the pre-existing graph — and calls
+//!    [`QueryCache::sync_ingestion`]: entries survive when the new source
+//!    provably cannot place a tree into their ranked answers (no keyword of
+//!    theirs matches the new documents, and the floor is strictly above
+//!    their displacement threshold); everything else falls back to the seed
+//!    drop rule.
+//! 3. It swaps the snapshot pointer.
+//!
+//! A reader that computed an answer against snapshot `N` concurrently with
+//! the publish cannot pollute the cache: inserts are guarded by the cache's
+//! epoch (now `N+1`), so stale computations are served to their requester
+//! and discarded. Every served answer is therefore byte-identical to the
+//! sequential answer of *some published snapshot*, and
+//! [`QueryOutcome::snapshot`] says which — the `live_ingest` stress test
+//! replays exactly this claim against the publish log.
+
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use q_graph::{KeywordIndex, SearchGraph, SteinerScratch};
+use q_matchers::{AttributeAlignment, SchemaMatcher};
+use q_storage::{AttributeId, Catalog, RelationId, SourceId, SourceSpec};
+
+use crate::answer::RankedView;
+use crate::cache::{normalize_keywords, IngestionDelta, QueryCache, QueryKey};
+use crate::config::QConfig;
+use crate::error::QError;
+use crate::request::{CachePolicy, CacheStatus, QueryOutcome, QueryRequest};
+use crate::system::{answer_keywords, ServeParams};
+
+/// One immutable published serving state: everything a reader needs to
+/// answer a query, frozen at publish time. Cheap to share (`Arc`) and safe
+/// to read from any number of threads.
+#[derive(Debug)]
+pub struct GraphSnapshot {
+    id: u64,
+    catalog: Catalog,
+    graph: SearchGraph,
+    keyword_index: KeywordIndex,
+}
+
+impl GraphSnapshot {
+    fn build(catalog: Catalog, graph: SearchGraph, keyword_index: KeywordIndex) -> Self {
+        GraphSnapshot {
+            id: graph.weight_epoch(),
+            catalog,
+            graph,
+            keyword_index,
+        }
+    }
+
+    /// Snapshot id: the graph's weight epoch at publish time. Strictly
+    /// increasing across publishes of one [`LiveServer`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The catalog frozen into this snapshot.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The search graph frozen into this snapshot.
+    pub fn graph(&self) -> &SearchGraph {
+        &self.graph
+    }
+
+    /// The keyword index frozen into this snapshot.
+    pub fn keyword_index(&self) -> &KeywordIndex {
+        &self.keyword_index
+    }
+
+    /// The sequential reference answer of this snapshot for a request: a
+    /// pure function of `(snapshot, request)`, computed fresh with no cache
+    /// involvement. Concurrent serving is pinned against exactly this — the
+    /// stress harness replays every observed outcome through it.
+    pub fn answer(&self, config: &QConfig, request: &QueryRequest) -> Result<RankedView, QError> {
+        request.validate()?;
+        let refs: Vec<&str> = request.keywords().iter().map(String::as_str).collect();
+        answer_keywords(
+            &self.catalog,
+            &self.graph,
+            &self.keyword_index,
+            config,
+            &refs,
+            ServeParams::resolve(config, request),
+            false,
+            &mut SteinerScratch::default(),
+        )
+        .map(|(view, _, _)| view)
+    }
+}
+
+/// Report of one [`LiveServer::ingest_source`] publish.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Id assigned to the new source.
+    pub source: SourceId,
+    /// The snapshot this ingestion published (readers switch to it).
+    pub snapshot: Arc<GraphSnapshot>,
+    /// Alignments the matchers proposed for the new columns, in the order
+    /// their association edges were added.
+    pub alignments: Vec<AttributeAlignment>,
+    /// Cheapest new edge bridging the new source into the pre-existing
+    /// graph ([`f64::INFINITY`] when unbridged) — the lower bound the cache
+    /// survival rule compared against.
+    pub bridge_floor: f64,
+    /// Cached entries that survived the publish.
+    pub cache_kept: u64,
+    /// Cached entries dropped by the publish.
+    pub cache_dropped: u64,
+}
+
+/// Point-in-time counters of a [`LiveServer`]'s shared answer cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh computation.
+    pub misses: u64,
+    /// Entries dropped at publish/sync time.
+    pub invalidations: u64,
+    /// Entries carried across a publish by a survival rule.
+    pub revalidations: u64,
+    /// Live entries.
+    pub len: usize,
+}
+
+struct WriterState {
+    matchers: Vec<Box<dyn SchemaMatcher + Send>>,
+}
+
+/// Snapshot-isolated serving engine: concurrent `&self` reads from an
+/// immutable published [`GraphSnapshot`], a writer lane that incorporates
+/// new sources without stopping them. See the module docs for the protocol.
+pub struct LiveServer {
+    config: QConfig,
+    current: RwLock<Arc<GraphSnapshot>>,
+    cache: Mutex<QueryCache>,
+    writer: Mutex<WriterState>,
+}
+
+thread_local! {
+    /// Per-thread Steiner scratch: readers answer many misses in a row, and
+    /// the generation-stamped buffers make starting the next search O(1) —
+    /// they must not be rebuilt per query (mirrors the batch workers).
+    static SCRATCH: std::cell::RefCell<SteinerScratch> =
+        std::cell::RefCell::new(SteinerScratch::default());
+}
+
+impl LiveServer {
+    /// Build a live server over an initial catalog: the initial search
+    /// graph and keyword index are constructed and published as snapshot
+    /// zero's state. No matchers are registered yet.
+    pub fn new(catalog: Catalog, config: QConfig) -> Self {
+        let graph = SearchGraph::from_catalog(&catalog);
+        let keyword_index = KeywordIndex::build(&catalog);
+        let snapshot = Arc::new(GraphSnapshot::build(catalog, graph, keyword_index));
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(snapshot.graph.weight_epoch(), &snapshot.graph);
+        LiveServer {
+            config,
+            current: RwLock::new(snapshot),
+            cache: Mutex::new(cache),
+            writer: Mutex::new(WriterState {
+                matchers: Vec::new(),
+            }),
+        }
+    }
+
+    /// Register a schema matcher consulted (in registration order) when new
+    /// sources are ingested. `Send` because the writer lane may run from any
+    /// thread.
+    pub fn add_matcher(&mut self, matcher: Box<dyn SchemaMatcher + Send>) {
+        self.writer
+            .get_mut()
+            .expect("writer lock poisoned")
+            .matchers
+            .push(matcher);
+    }
+
+    /// Replace the answer cache with an empty one holding `capacity` views.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        let snapshot = self.snapshot();
+        let mut cache = QueryCache::with_capacity(capacity);
+        cache.sync_epoch(snapshot.graph.weight_epoch(), &snapshot.graph);
+        *self.cache.get_mut().expect("cache lock poisoned") = cache;
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &QConfig {
+        &self.config
+    }
+
+    /// The currently published snapshot. The internal lock is held only for
+    /// the `Arc` clone; the returned snapshot stays valid (and immutable)
+    /// however many publishes happen after.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Counters of the shared answer cache.
+    pub fn cache_stats(&self) -> LiveCacheStats {
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        LiveCacheStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            invalidations: cache.invalidations(),
+            revalidations: cache.revalidations(),
+            len: cache.len(),
+        }
+    }
+
+    /// Answer one typed request against the currently published snapshot,
+    /// through `&self` — any number of readers serve concurrently, and none
+    /// of them blocks on the writer lane.
+    ///
+    /// The returned [`QueryOutcome::snapshot`] names the snapshot the
+    /// answer is a sequential answer of: the captured one for a fresh
+    /// computation, the entry's original pricing snapshot for a cache hit
+    /// (an entry surviving a publish keeps reporting its own snapshot).
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryOutcome, QError> {
+        request.validate()?;
+        let snapshot = self.snapshot();
+        let refs: Vec<&str> = request.keywords().iter().map(String::as_str).collect();
+        let key = (request.cache() != CachePolicy::Bypass).then(|| QueryKey {
+            keywords: normalize_keywords(&refs),
+            params: request.params_key(),
+        });
+        if request.cache() == CachePolicy::Cached {
+            let key = key.as_ref().expect("cached policy builds a key");
+            let hit = self.cache.lock().expect("cache lock poisoned").get(key);
+            if let Some(hit) = hit {
+                return Ok(QueryOutcome {
+                    view: hit.view,
+                    cache: if hit.revalidated {
+                        CacheStatus::Revalidated
+                    } else {
+                        CacheStatus::Hit
+                    },
+                    weight_epoch: hit.snapshot,
+                    steiner: None,
+                    wall_time: std::time::Duration::ZERO,
+                    snapshot: Some(hit.snapshot),
+                });
+            }
+        }
+
+        let start = Instant::now();
+        let params = ServeParams::resolve(&self.config, request);
+        let build_model = request.cache() != CachePolicy::Bypass;
+        let (view, stats, model) = SCRATCH.with(|scratch| {
+            answer_keywords(
+                &snapshot.catalog,
+                &snapshot.graph,
+                &snapshot.keyword_index,
+                &self.config,
+                &refs,
+                params,
+                build_model,
+                &mut scratch.borrow_mut(),
+            )
+        })?;
+        let wall_time = start.elapsed();
+        let view = Arc::new(view);
+        let cache = match request.cache() {
+            CachePolicy::Bypass => CacheStatus::Bypassed,
+            policy => {
+                // Insert only when the computed answer still belongs to the
+                // current epoch: a publish that raced this computation has
+                // already re-validated the cache for its own snapshot, and a
+                // stale insert would undo that. The requester still gets its
+                // (snapshot-consistent) answer either way.
+                let mut cache = self.cache.lock().expect("cache lock poisoned");
+                if cache.epoch() == snapshot.id {
+                    cache.insert(
+                        key.expect("non-bypass policy builds a key"),
+                        Arc::clone(&view),
+                        model.expect("non-bypass policy builds a model"),
+                    );
+                }
+                if policy == CachePolicy::Refresh {
+                    CacheStatus::Refreshed
+                } else {
+                    CacheStatus::Miss
+                }
+            }
+        };
+        Ok(QueryOutcome {
+            view,
+            cache,
+            weight_epoch: snapshot.graph.weight_epoch(),
+            steiner: Some(stats),
+            wall_time,
+            snapshot: Some(snapshot.id),
+        })
+    }
+
+    /// Incorporate a new source end-to-end and publish the next snapshot,
+    /// without stopping reads: incremental catalog registration, search
+    /// graph growth (delta-merged CSR), keyword-index append, matcher
+    /// scoring of only the new columns, cache survival, pointer swap.
+    ///
+    /// Writers serialize on the writer lane; readers never wait on it.
+    pub fn ingest_source(&self, spec: &SourceSpec) -> Result<IngestReport, QError> {
+        let writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+
+        // Build the next snapshot off to the side.
+        let (catalog, source) =
+            spec.load_incremental(&base.catalog)
+                .map_err(|source| QError::SourceLoad {
+                    source_name: spec.name.clone(),
+                    source,
+                })?;
+        let mut graph = base.graph.clone();
+        let old_nodes = graph.node_count();
+        let old_edges = graph.edge_count();
+        graph.add_source(&catalog, source);
+        let mut keyword_index = base.keyword_index.clone();
+        let new_relations: Vec<RelationId> = catalog
+            .source(source)
+            .map(|s| s.relations.clone())
+            .unwrap_or_default();
+        for rel in &new_relations {
+            keyword_index.add_relation(&catalog, *rel);
+        }
+        let mut alignments: Vec<AttributeAlignment> = Vec::new();
+        for matcher in &writer.matchers {
+            let proposed = matcher.match_source(&catalog, source, self.config.top_y);
+            for a in &proposed {
+                graph.add_association(
+                    a.new_attribute,
+                    a.existing_attribute,
+                    matcher.name(),
+                    a.confidence,
+                );
+            }
+            alignments.extend(proposed);
+        }
+
+        // Lower bound on any join tree the ingestion enables for an old
+        // query: the cheapest new edge touching the pre-existing graph.
+        let bridge_floor = graph.edges()[old_edges..]
+            .iter()
+            .filter(|e| e.a.index() < old_nodes || e.b.index() < old_nodes)
+            .map(|e| graph.edge_cost(e.id))
+            .fold(f64::INFINITY, f64::min);
+
+        let next = Arc::new(GraphSnapshot::build(catalog, graph, keyword_index));
+        let (cache_kept, cache_dropped) = {
+            let delta = IngestionDelta {
+                catalog: &next.catalog,
+                keyword_index: &next.keyword_index,
+                match_config: &self.config.match_config,
+                new_relations: &new_relations,
+                bridge_floor,
+                edge_count: next.graph.edge_count(),
+            };
+            // Sync the cache before the pointer swap: from this moment on,
+            // stale in-flight computations fail the insert epoch guard.
+            self.cache
+                .lock()
+                .expect("cache lock poisoned")
+                .sync_ingestion(next.id, &delta)
+        };
+        *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        drop(writer);
+
+        Ok(IngestReport {
+            source,
+            snapshot: next,
+            alignments,
+            bridge_floor,
+            cache_kept,
+            cache_dropped,
+        })
+    }
+
+    /// Add a hand-coded association edge between two attributes and publish
+    /// the resulting snapshot. A brand-new edge goes through the ingestion
+    /// survival rule (it is a pure bridge publish: no new relations, floor =
+    /// the edge's cost); an update merged into an existing edge is a
+    /// re-pricing and goes through the epoch-delta revalidation rule.
+    pub fn publish_association(
+        &self,
+        a: AttributeId,
+        b: AttributeId,
+        confidence: f64,
+    ) -> Arc<GraphSnapshot> {
+        let writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+        let mut graph = base.graph.clone();
+        let old_edges = graph.edge_count();
+        let edge = graph.add_association(a, b, "manual", confidence);
+        let grew = graph.edge_count() > old_edges;
+        let bridge_floor = if grew {
+            graph.edge_cost(edge)
+        } else {
+            f64::INFINITY
+        };
+        let next = Arc::new(GraphSnapshot::build(
+            base.catalog.clone(),
+            graph,
+            base.keyword_index.clone(),
+        ));
+        {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            if grew {
+                let delta = IngestionDelta {
+                    catalog: &next.catalog,
+                    keyword_index: &next.keyword_index,
+                    match_config: &self.config.match_config,
+                    new_relations: &[],
+                    bridge_floor,
+                    edge_count: next.graph.edge_count(),
+                };
+                cache.sync_ingestion(next.id, &delta);
+            } else {
+                // Merged matcher opinion: same topology, re-priced edge.
+                // Entries whose costs the merge touched must drop — a live
+                // hit reports the snapshot that priced it, so in-place
+                // re-pricing (the QSystem sync_epoch rule) would serve
+                // bytes the named snapshot never produced.
+                cache.sync_repricing_publish(next.id, &next.graph);
+            }
+        }
+        *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        drop(writer);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SearchStrategy;
+    use q_matchers::MetadataMatcher;
+    use q_storage::RelationSpec;
+
+    fn base_specs() -> Vec<SourceSpec> {
+        vec![
+            SourceSpec::new("go").relation(
+                RelationSpec::new("go_term", &["acc", "name"])
+                    .row(["GO:1", "plasma membrane"])
+                    .row(["GO:2", "kinase activity"]),
+            ),
+            SourceSpec::new("interpro")
+                .relation(
+                    RelationSpec::new("interpro2go", &["go_id", "entry_ac"])
+                        .row(["GO:1", "IPR01"])
+                        .row(["GO:2", "IPR02"]),
+                )
+                .relation(
+                    RelationSpec::new("entry", &["entry_ac", "name"])
+                        .row(["IPR01", "Kringle domain"])
+                        .row(["IPR02", "Cytokine receptor"]),
+                )
+                .foreign_key("interpro2go.entry_ac", "entry.entry_ac"),
+        ]
+    }
+
+    fn new_pub_source() -> SourceSpec {
+        SourceSpec::new("pubdb").relation(
+            RelationSpec::new("pub", &["pub_id", "entry_ac", "title"])
+                .row(["P1", "IPR01", "Kringle structure determination"])
+                .row(["P2", "IPR02", "Cytokine signalling review"]),
+        )
+    }
+
+    fn server() -> LiveServer {
+        let catalog = q_storage::loader::load_catalog(&base_specs()).expect("catalog loads");
+        let mut server = LiveServer::new(catalog, QConfig::default());
+        server.add_matcher(Box::new(MetadataMatcher::new()));
+        server
+    }
+
+    #[test]
+    fn serves_through_shared_references_with_snapshot_provenance() {
+        let server = server();
+        let snap = server.snapshot();
+        let acc = snap.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = snap
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        let published = server.publish_association(acc, go_id, 0.95);
+        assert!(published.id() > snap.id());
+
+        let request = QueryRequest::new(["plasma membrane", "entry"]);
+        let miss = server.query(&request).unwrap();
+        assert_eq!(miss.cache, CacheStatus::Miss);
+        assert_eq!(miss.snapshot, Some(published.id()));
+        assert!(!miss.view.answers.is_empty());
+        // The outcome is byte-identical to the snapshot's sequential answer.
+        let reference = published.answer(server.config(), &request).unwrap();
+        assert_eq!(&*miss.view, &reference);
+
+        let hit = server.query(&request).unwrap();
+        assert_eq!(hit.cache, CacheStatus::Hit);
+        assert!(Arc::ptr_eq(&miss.view, &hit.view));
+        assert_eq!(hit.snapshot, Some(published.id()));
+        assert_eq!(server.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn ingest_publishes_a_new_snapshot_without_touching_old_readers() {
+        let server = server();
+        let snap0 = server.snapshot();
+        let acc = snap0.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = snap0
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        server.publish_association(acc, go_id, 0.95);
+        let before = server.snapshot();
+        let request = QueryRequest::new(["plasma membrane", "title"]);
+        let empty = server.query(&request).unwrap();
+        assert!(empty.view.answers.is_empty(), "no title column yet");
+
+        let report = server.ingest_source(&new_pub_source()).unwrap();
+        assert!(!report.alignments.is_empty(), "matcher scored new columns");
+        assert!(report.bridge_floor.is_finite(), "source is bridged");
+        assert!(report.snapshot.id() > before.id());
+        assert_eq!(server.snapshot().id(), report.snapshot.id());
+        // The new source's columns landed in the catalog/graph/index.
+        assert!(report
+            .snapshot
+            .catalog()
+            .resolve_qualified("pub.title")
+            .is_some());
+
+        // A reader holding the old snapshot still gets the old bytes.
+        let stale = before.answer(server.config(), &request).unwrap();
+        assert!(stale.answers.is_empty());
+        // New queries see the publication titles.
+        let fresh = server.query(&request).unwrap();
+        assert_eq!(fresh.snapshot, Some(report.snapshot.id()));
+        assert!(
+            fresh
+                .view
+                .answers
+                .iter()
+                .any(|a| a.values.iter().flatten().any(
+                    |v| matches!(v, q_storage::Value::Text(s) if s.contains("Kringle structure"))
+                )),
+            "answers: {:?}",
+            fresh.view.answers
+        );
+    }
+
+    #[test]
+    fn ingest_applies_the_cache_survival_rule() {
+        let server = server();
+        let snap0 = server.snapshot();
+        let acc = snap0.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = snap0
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        server.publish_association(acc, go_id, 0.95);
+        // Warm two entries: one whose keywords the new source matches (must
+        // drop) and one with keywords the new source cannot touch *and* a
+        // full ranked list (may survive if the bridge floor allows).
+        let touched = QueryRequest::new(["entry ac", "title"]);
+        let safe = QueryRequest::new(["plasma membrane"]).top_k(1);
+        server.query(&touched).unwrap();
+        let safe_before = server.query(&safe).unwrap();
+
+        let report = server.ingest_source(&new_pub_source()).unwrap();
+        assert!(report.cache_dropped >= 1, "touched entry must drop");
+        // The safe entry's fate depends on the bridge floor; whatever it
+        // was, a repeat request must still be byte-consistent with a
+        // published snapshot's sequential answer.
+        let after = server.query(&safe).unwrap();
+        let snapshot_of = after.snapshot.expect("live serving stamps snapshots");
+        if after.cache == CacheStatus::Revalidated {
+            assert_eq!(snapshot_of, safe_before.snapshot.unwrap());
+            assert!(Arc::ptr_eq(&safe_before.view, &after.view));
+        } else {
+            assert_eq!(snapshot_of, report.snapshot.id());
+            let reference = report.snapshot.answer(server.config(), &safe).unwrap();
+            assert_eq!(&*after.view, &reference);
+        }
+    }
+
+    #[test]
+    fn bypass_and_exact_strategies_serve_from_the_snapshot_too() {
+        let server = server();
+        let snap = server.snapshot();
+        let acc = snap.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = snap
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        let published = server.publish_association(acc, go_id, 0.95);
+        let request = QueryRequest::new(["plasma membrane", "entry"])
+            .cache_policy(CachePolicy::Bypass)
+            .strategy(SearchStrategy::Exact);
+        let outcome = server.query(&request).unwrap();
+        assert_eq!(outcome.cache, CacheStatus::Bypassed);
+        assert_eq!(outcome.snapshot, Some(published.id()));
+        assert_eq!(server.cache_stats().len, 0, "bypass never populates");
+        let reference = published.answer(server.config(), &request).unwrap();
+        assert_eq!(&*outcome.view, &reference);
+    }
+
+    #[test]
+    fn merge_repricing_publish_never_serves_repriced_bytes_under_an_old_snapshot() {
+        let server = server();
+        let snap = server.snapshot();
+        let acc = snap.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = snap
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        let first = server.publish_association(acc, go_id, 0.5);
+
+        // Two warm entries: one whose trees cross the association edge, one
+        // (single-keyword, single-relation) that cannot.
+        let crossing = QueryRequest::new(["plasma membrane", "entry"]);
+        let local = QueryRequest::new(["kinase activity"]);
+        let crossing_before = server.query(&crossing).unwrap();
+        let local_before = server.query(&local).unwrap();
+        assert!(!crossing_before.view.queries.is_empty());
+
+        // Re-assert the same pair at a different confidence: the opinion
+        // merges into the existing edge — same topology, new price.
+        let second = server.publish_association(acc, go_id, 0.9);
+        assert!(second.id() > first.id());
+        assert_eq!(
+            second.graph().edge_count(),
+            first.graph().edge_count(),
+            "fixture: the publish must be a merge, not a new edge"
+        );
+
+        // The touched entry dropped: recomputed against (and stamped with)
+        // the new snapshot, byte-identical to its sequential answer.
+        let crossing_after = server.query(&crossing).unwrap();
+        assert_eq!(crossing_after.cache, CacheStatus::Miss);
+        assert_eq!(crossing_after.snapshot, Some(second.id()));
+        let reference = second.answer(server.config(), &crossing).unwrap();
+        assert_eq!(&*crossing_after.view, &reference);
+        assert_ne!(
+            crossing_before.view.queries[0].cost.to_bits(),
+            crossing_after.view.queries[0].cost.to_bits(),
+            "fixture: the merge must actually re-price the crossing query"
+        );
+
+        // The untouched entry survived verbatim: same bytes, and still the
+        // provenance of the snapshot that priced it — which still replays
+        // exactly.
+        let local_after = server.query(&local).unwrap();
+        assert_eq!(local_after.cache, CacheStatus::Revalidated);
+        assert!(Arc::ptr_eq(&local_before.view, &local_after.view));
+        assert_eq!(local_after.snapshot, local_before.snapshot);
+        let old_reference = first.answer(server.config(), &local).unwrap();
+        assert_eq!(&*local_after.view, &old_reference);
+    }
+
+    #[test]
+    fn failed_ingest_publishes_nothing() {
+        let server = server();
+        let before = server.snapshot();
+        let bad = SourceSpec::new("bad")
+            .relation(RelationSpec::new("t", &["a"]))
+            .foreign_key("t.a", "missing.b");
+        let err = server.ingest_source(&bad).unwrap_err();
+        assert!(matches!(err, QError::SourceLoad { .. }));
+        let after = server.snapshot();
+        assert_eq!(before.id(), after.id());
+        assert!(after.catalog().source_by_name("bad").is_none());
+    }
+}

@@ -223,6 +223,14 @@ pub struct QueryOutcome {
     pub steiner: Option<SteinerStats>,
     /// Wall time spent computing the answer (zero for cache hits).
     pub wall_time: Duration,
+    /// Published snapshot the answer was computed against, when served by
+    /// the live-ingestion engine ([`LiveServer`](crate::LiveServer)):
+    /// "answered from snapshot N". For a cache hit this is the snapshot
+    /// that originally priced the entry — an entry surviving an ingestion
+    /// keeps reporting its own snapshot, not the latest one. `None` when
+    /// served by a plain [`QSystem`](crate::QSystem), whose answers version
+    /// by weight epoch instead.
+    pub snapshot: Option<u64>,
 }
 
 #[cfg(test)]

@@ -114,7 +114,7 @@ pub struct QSystem {
     keyword_index: KeywordIndex,
     value_index: ValueIndex,
     config: QConfig,
-    matchers: Vec<Box<dyn SchemaMatcher>>,
+    matchers: Vec<Box<dyn SchemaMatcher + Send + Sync>>,
     views: Vec<RankedView>,
     mira: Mira,
     cache: QueryCache,
@@ -149,7 +149,7 @@ impl QSystem {
 
     /// Register a schema matcher (e.g. the metadata matcher or MAD). Matchers
     /// are consulted in registration order when new sources arrive.
-    pub fn add_matcher(&mut self, matcher: Box<dyn SchemaMatcher>) {
+    pub fn add_matcher(&mut self, matcher: Box<dyn SchemaMatcher + Send + Sync>) {
         self.matchers.push(matcher);
     }
 
@@ -308,6 +308,7 @@ impl QSystem {
                     weight_epoch: epoch,
                     steiner: None,
                     wall_time: Duration::ZERO,
+                    snapshot: None,
                 });
             }
         }
@@ -350,6 +351,7 @@ impl QSystem {
             weight_epoch: epoch,
             steiner: Some(stats),
             wall_time,
+            snapshot: None,
         })
     }
 
@@ -414,6 +416,7 @@ impl QSystem {
                         weight_epoch: epoch,
                         steiner: None,
                         wall_time: Duration::ZERO,
+                        snapshot: None,
                     }));
                     cache_hits += 1;
                     continue;
@@ -526,6 +529,7 @@ impl QSystem {
                                 weight_epoch: epoch,
                                 steiner: Some(stats),
                                 wall_time: *elapsed,
+                                snapshot: None,
                             }
                         } else {
                             // In-batch duplicate: shares the computation.
@@ -535,6 +539,7 @@ impl QSystem {
                                 weight_epoch: epoch,
                                 steiner: None,
                                 wall_time: Duration::ZERO,
+                                snapshot: None,
                             }
                         }
                     })
@@ -891,7 +896,7 @@ impl QSystem {
 /// overrides with the system [`QConfig`]. Copyable so batch workers can
 /// carry one per pending computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct ServeParams {
+pub(crate) struct ServeParams {
     top_k: usize,
     strategy: SearchStrategy,
     max_cost: f64,
@@ -900,7 +905,7 @@ struct ServeParams {
 impl ServeParams {
     /// The config-default parameters (what the deprecated slice-taking
     /// methods and the persistent-view path serve with).
-    fn defaults(config: &QConfig) -> Self {
+    pub(crate) fn defaults(config: &QConfig) -> Self {
         ServeParams {
             top_k: config.top_k,
             strategy: SearchStrategy::Approx {
@@ -911,7 +916,7 @@ impl ServeParams {
     }
 
     /// Merge a request's overrides over the config defaults.
-    fn resolve(config: &QConfig, request: &QueryRequest) -> Self {
+    pub(crate) fn resolve(config: &QConfig, request: &QueryRequest) -> Self {
         let mut params = ServeParams::defaults(config);
         if let Some(top_k) = request.top_k_override() {
             params.top_k = top_k;
@@ -939,7 +944,7 @@ impl ServeParams {
 /// query-local edge features, which die with the query graph), the effective
 /// cost budget, and whether the strategy is revalidatable at all.
 #[allow(clippy::too_many_arguments)]
-fn answer_keywords(
+pub(crate) fn answer_keywords(
     catalog: &Catalog,
     graph: &SearchGraph,
     keyword_index: &KeywordIndex,
@@ -1022,6 +1027,7 @@ fn answer_keywords(
             trees: models,
             budget: params.max_cost,
             revalidatable: matches!(params.strategy, SearchStrategy::Approx { .. }),
+            top_k: params.top_k,
         }
     });
     let (columns, column_sources, answers) = materialize_view(

@@ -575,6 +575,28 @@ pub fn gbco_source_specs(config: &GbcoConfig) -> Vec<SourceSpec> {
     specs
 }
 
+/// GBCO source specs with every foreign key embedded in the *later* of its
+/// two sources (spec order), so each key resolves the moment its source
+/// loads. This is the streaming shape of the dataset: loading the specs
+/// one by one — as live ingestion does — declares exactly the same keys in
+/// exactly the same order as a batch load of the full list, which is what
+/// lets incremental and all-at-once builds converge byte-for-byte.
+pub fn gbco_source_specs_with_fks(config: &GbcoConfig) -> Vec<SourceSpec> {
+    let mut specs = gbco_source_specs(config);
+    let positions: HashMap<String, usize> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| s.relations.iter().map(move |r| (r.name.clone(), i)))
+        .collect();
+    for (from, to) in gbco_foreign_keys() {
+        let from_rel = from.split('.').next().expect("qualified name");
+        let to_rel = to.split('.').next().expect("qualified name");
+        let at = positions[from_rel].max(positions[to_rel]);
+        specs[at].foreign_keys.push((from, to));
+    }
+    specs
+}
+
 /// Load the full GBCO dataset (all 18 sources, foreign keys declared).
 pub fn gbco_catalog(config: &GbcoConfig) -> Catalog {
     let specs = gbco_source_specs(config);

@@ -26,8 +26,8 @@ pub mod scaling;
 pub mod words;
 
 pub use gbco::{
-    declare_foreign_keys, gbco_catalog, gbco_foreign_keys, gbco_source_specs, gbco_trials,
-    GbcoConfig, GbcoTrial,
+    declare_foreign_keys, gbco_catalog, gbco_foreign_keys, gbco_source_specs,
+    gbco_source_specs_with_fks, gbco_trials, GbcoConfig, GbcoTrial,
 };
 pub use gold::GoldStandard;
 pub use interpro_go::{

@@ -65,6 +65,16 @@ struct Document {
     trigrams: HashSet<String>,
 }
 
+/// Prepared query-side state for one keyword lookup — see
+/// [`KeywordIndex::query_terms`].
+struct QueryTerms {
+    tokens: Vec<String>,
+    trigrams: HashSet<String>,
+    norm: String,
+    norm_sq: f64,
+    candidates: Vec<usize>,
+}
+
 /// tf-idf / trigram index over schema elements and data values.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KeywordIndex {
@@ -119,7 +129,7 @@ impl KeywordIndex {
                 }
             }
         }
-        idx.finalize();
+        idx.finalize(catalog);
         idx
     }
 
@@ -151,7 +161,7 @@ impl KeywordIndex {
                 }
             }
         }
-        self.finalize();
+        self.finalize(catalog);
     }
 
     /// Number of indexed documents.
@@ -167,20 +177,45 @@ impl KeywordIndex {
     /// Match one keyword (which may be a multi-word phrase) against the
     /// index, returning scored matches in decreasing similarity order.
     pub fn matches(&self, keyword: &str, config: &MatchConfig) -> Vec<KeywordMatch> {
-        let query_tokens = tokenize(keyword);
-        let query_trigrams = trigrams(&normalize(keyword));
-        if query_tokens.is_empty() && query_trigrams.is_empty() {
+        let Some(terms) = self.query_terms(keyword) else {
             return Vec::new();
-        }
+        };
+        let mut scored: Vec<KeywordMatch> = terms
+            .candidates
+            .iter()
+            .map(|&idx| KeywordMatch {
+                target: self.documents[idx].target.clone(),
+                similarity: self.score(&terms, idx),
+            })
+            .filter(|m| m.similarity >= config.min_similarity)
+            .collect();
+        // Stable sort: similarity ties keep ascending document order.
+        scored.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
+        scored.truncate(config.max_matches);
+        scored
+    }
 
-        // Candidate generation: anything sharing a token or a trigram.
-        // Candidates are sorted by document index before scoring so that
-        // equal-similarity matches rank in indexing order — never in the
-        // iteration order of a per-call hash set, which would make match
-        // lists (and with them query-graph edge ids and Steiner tree edge
-        // sets between cost ties) differ from call to call.
+    /// Per-call query-side state shared by every scoring path: tokens,
+    /// trigrams, normalised text, idf-weighted squared norm, and the
+    /// candidate documents (anything sharing a token or a trigram), sorted
+    /// by document index and deduplicated — equal-similarity matches must
+    /// rank in indexing order, never in the iteration order of a per-call
+    /// hash set, which would make match lists (and with them query-graph
+    /// edge ids and Steiner tree edge sets between cost ties) differ from
+    /// call to call. `None` when the keyword normalises to nothing.
+    ///
+    /// One construction site keeps [`KeywordIndex::matches`] and the
+    /// ingestion survival probe [`KeywordIndex::keyword_matches_in`]
+    /// scoring the same candidate set — the survival rule is only sound
+    /// while the probe sees everything a fresh match call would.
+    fn query_terms(&self, keyword: &str) -> Option<QueryTerms> {
+        let tokens = tokenize(keyword);
+        let query_trigrams = trigrams(&normalize(keyword));
+        if tokens.is_empty() && query_trigrams.is_empty() {
+            return None;
+        }
         let mut candidates: Vec<usize> = Vec::new();
-        for t in &query_tokens {
+        for t in &tokens {
             if let Some(docs) = self.token_postings.get(t) {
                 candidates.extend(docs.iter().copied());
             }
@@ -192,41 +227,32 @@ impl KeywordIndex {
         }
         candidates.sort_unstable();
         candidates.dedup();
-
-        // The query-side norm and normalised text are per-call invariants:
-        // hoisted out of the per-candidate scoring loop.
-        let norm_query = normalize(keyword);
-        let query_norm_sq: f64 = query_tokens
+        let norm_sq = tokens
             .iter()
             .map(|t| {
                 let w = self.idf.get(t).copied().unwrap_or(1.0);
                 w * w
             })
             .sum();
+        Some(QueryTerms {
+            tokens,
+            trigrams: query_trigrams,
+            norm: normalize(keyword),
+            norm_sq,
+            candidates,
+        })
+    }
 
-        let mut scored: Vec<KeywordMatch> = candidates
-            .into_iter()
-            .map(|idx| {
-                let doc = &self.documents[idx];
-                let sim = self.similarity(
-                    &query_tokens,
-                    query_norm_sq,
-                    &query_trigrams,
-                    &norm_query,
-                    idx,
-                    doc,
-                );
-                KeywordMatch {
-                    target: doc.target.clone(),
-                    similarity: sim,
-                }
-            })
-            .filter(|m| m.similarity >= config.min_similarity)
-            .collect();
-        // Stable sort: similarity ties keep ascending document order.
-        scored.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
-        scored.truncate(config.max_matches);
-        scored
+    /// Similarity of one candidate document against prepared query terms.
+    fn score(&self, terms: &QueryTerms, doc_index: usize) -> f64 {
+        self.similarity(
+            &terms.tokens,
+            terms.norm_sq,
+            &terms.trigrams,
+            &terms.norm,
+            doc_index,
+            &self.documents[doc_index],
+        )
     }
 
     fn similarity(
@@ -291,7 +317,61 @@ impl KeywordIndex {
         self.documents.push(doc);
     }
 
-    fn finalize(&mut self) {
+    /// True when the keyword would match (at or above the configured
+    /// similarity floor) any indexed document belonging to one of the given
+    /// relations. The live-ingestion cache survival rule uses this to decide
+    /// whether a newly incorporated source could add keyword matches — and
+    /// with them new Steiner terminals — to a cached query.
+    pub fn keyword_matches_in(
+        &self,
+        keyword: &str,
+        catalog: &Catalog,
+        relations: &[RelationId],
+        config: &MatchConfig,
+    ) -> bool {
+        let Some(terms) = self.query_terms(keyword) else {
+            return false;
+        };
+        terms.candidates.iter().any(|&idx| {
+            let rel = match &self.documents[idx].target {
+                MatchTarget::Relation(r) => Some(*r),
+                MatchTarget::Attribute(a) => catalog.attribute(*a).map(|attr| attr.relation),
+                MatchTarget::Value { attribute, .. } => {
+                    catalog.attribute(*attribute).map(|attr| attr.relation)
+                }
+            };
+            let Some(rel) = rel else {
+                return false;
+            };
+            relations.contains(&rel) && self.score(&terms, idx) >= config.min_similarity
+        })
+    }
+
+    /// Canonical document order: schema documents (relation name, then its
+    /// attribute names in positional order) grouped by relation id, followed
+    /// by value documents grouped the same way (distinct values keeping row
+    /// order via the sort's stability). A batch [`KeywordIndex::build`]
+    /// already emits documents in exactly this order, so sorting makes
+    /// [`KeywordIndex::add_relation`] converge to the batch index — the
+    /// golden-answer ingestion test relies on incrementally grown and
+    /// from-scratch indexes being byte-identical.
+    fn canonical_key(catalog: &Catalog, target: &MatchTarget) -> (u8, u32, u32) {
+        match target {
+            MatchTarget::Relation(r) => (0, r.0, 0),
+            MatchTarget::Attribute(a) => match catalog.attribute(*a) {
+                Some(attr) => (0, attr.relation.0, attr.position as u32 + 1),
+                None => (2, a.0, 0),
+            },
+            MatchTarget::Value { attribute, .. } => match catalog.attribute(*attribute) {
+                Some(attr) => (1, attr.relation.0, attr.position as u32 + 1),
+                None => (2, attribute.0, u32::MAX),
+            },
+        }
+    }
+
+    fn finalize(&mut self, catalog: &Catalog) {
+        self.documents
+            .sort_by_cached_key(|doc| Self::canonical_key(catalog, &doc.target));
         self.token_postings.clear();
         self.trigram_postings.clear();
         self.idf.clear();
@@ -469,6 +549,63 @@ mod tests {
         assert!(matches
             .iter()
             .any(|m| m.target == MatchTarget::Relation(rel)));
+    }
+
+    #[test]
+    fn incremental_add_relation_converges_to_the_batch_index() {
+        // Grow an index one relation at a time and compare against the
+        // batch build over the final catalog: canonical document order makes
+        // them identical, so match lists (and downstream tie-breaks) cannot
+        // depend on which path built the index.
+        let mut cat = Catalog::new();
+        let incremental = {
+            let mut idx = KeywordIndex::default();
+            let s1 = cat.add_source("go").unwrap();
+            let r1 = cat.add_relation(s1, "go_term", &["acc", "name"]).unwrap();
+            cat.insert_rows(r1, vec![vec![Value::from("GO:1"), Value::from("membrane")]])
+                .unwrap();
+            idx.add_relation(&cat, r1);
+            let s2 = cat.add_source("interpro").unwrap();
+            let r2 = cat
+                .add_relation(s2, "entry", &["entry_ac", "name"])
+                .unwrap();
+            cat.insert_rows(
+                r2,
+                vec![vec![Value::from("IPR01"), Value::from("Kringle domain")]],
+            )
+            .unwrap();
+            idx.add_relation(&cat, r2);
+            idx
+        };
+        let batch = KeywordIndex::build(&cat);
+        assert_eq!(incremental.len(), batch.len());
+        for (a, b) in incremental.documents.iter().zip(&batch.documents) {
+            assert_eq!(a, b);
+        }
+        let cfg = MatchConfig::default();
+        for kw in ["name", "membrane", "entry", "kringle"] {
+            assert_eq!(incremental.matches(kw, &cfg), batch.matches(kw, &cfg));
+        }
+    }
+
+    #[test]
+    fn keyword_matches_in_scopes_matches_to_the_given_relations() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        let cfg = MatchConfig::default();
+        let go_term = cat.relation_by_name("go_term").unwrap().id;
+        let pub_rel = cat.relation_by_name("interpro_pub").unwrap().id;
+        // "plasma membrane" matches a go_term value and an interpro_pub
+        // title, but nothing when scoped to no relations.
+        assert!(idx.keyword_matches_in("plasma membrane", &cat, &[go_term], &cfg));
+        assert!(idx.keyword_matches_in("plasma membrane", &cat, &[pub_rel], &cfg));
+        assert!(!idx.keyword_matches_in("plasma membrane", &cat, &[], &cfg));
+        // "title" is an interpro_pub attribute only.
+        assert!(idx.keyword_matches_in("title", &cat, &[pub_rel], &cfg));
+        assert!(!idx.keyword_matches_in("title", &cat, &[go_term], &cfg));
+        // Garbage matches nowhere.
+        assert!(!idx.keyword_matches_in("zzzqqqxxx", &cat, &[go_term, pub_rel], &cfg));
+        assert!(!idx.keyword_matches_in("", &cat, &[go_term], &cfg));
     }
 
     #[test]

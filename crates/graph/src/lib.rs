@@ -24,7 +24,7 @@ pub mod query_graph;
 pub mod search_graph;
 pub mod steiner;
 
-pub use csr::Csr;
+pub use csr::{Csr, CsrDelta};
 pub use edge::{Edge, EdgeId, EdgeKind};
 pub use features::{
     bin_confidence, FeatureId, FeatureSpace, FeatureVector, WeightVector, CONFIDENCE_BINS,

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use q_storage::{AttributeId, Catalog, RelationId, SourceId};
 
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrDelta};
 use crate::edge::{Edge, EdgeId, EdgeKind};
 use crate::features::{bin_confidence, FeatureSpace, FeatureVector, WeightVector};
 use crate::node::{Node, NodeId};
@@ -53,9 +53,15 @@ pub struct SearchGraph {
     /// in flight (`find_edge` must see edges pushed earlier in the same
     /// `add_source` call). Public reads go through `csr`.
     adjacency: Vec<Vec<EdgeId>>,
-    /// Packed adjacency rebuilt at the end of every topology mutation; the
-    /// query hot path iterates this without allocating.
+    /// Packed adjacency republished at the end of every topology mutation;
+    /// the query hot path iterates this without allocating. Mutations repack
+    /// by merging a [`CsrDelta`] of the edges added since the last publish
+    /// over the previous index — byte-identical to a from-scratch pack, but
+    /// without re-walking the historical edge list.
     csr: Csr,
+    /// Number of leading edges already reflected in `csr`; edges beyond it
+    /// are the delta the next publish merges.
+    packed_edges: usize,
     features: FeatureSpace,
     weights: WeightVector,
     /// Monotone counter bumped whenever anything that can change an edge
@@ -529,14 +535,20 @@ impl SearchGraph {
         })
     }
 
-    /// Epilogue of every topology mutation: repack the CSR index and bump
-    /// the weight epoch (new edges change query answers just as re-pricing
-    /// does).
+    /// Epilogue of every topology mutation: publish a fresh packed CSR by
+    /// merging the delta of edges added since the last publish, and bump the
+    /// weight epoch (new edges change query answers just as re-pricing
+    /// does). Edges are append-only, so the previous index is always a
+    /// packed prefix of the current edge list and the merge is equivalent to
+    /// a from-scratch rebuild (pinned by unit and property tests).
     fn finish_topology_change(&mut self) {
-        self.csr = Csr::build(
-            self.nodes.len(),
-            self.edges.iter().map(|e| (e.id, e.a, e.b)),
-        );
+        let mut delta = CsrDelta::new(self.csr.node_count());
+        delta.grow_nodes(self.nodes.len());
+        for e in &self.edges[self.packed_edges..] {
+            delta.add_edge(e.id, e.a, e.b);
+        }
+        self.csr = delta.merge(&self.csr);
+        self.packed_edges = self.edges.len();
         self.weight_epoch += 1;
     }
 
@@ -730,6 +742,26 @@ mod tests {
                 .collect();
             assert_eq!(packed, incremental.as_slice(), "node {id}");
         }
+    }
+
+    #[test]
+    fn delta_published_csr_equals_from_scratch_pack() {
+        // Grow the graph through several separate mutations (each one a
+        // delta publish) and check the packed index equals a single
+        // from-scratch pack of the final edge list.
+        let cat = catalog();
+        let mut g = SearchGraph::new();
+        for s in cat.sources() {
+            g.add_source(&cat, s.id);
+        }
+        let a = attr(&cat, "go_term.acc");
+        let b = attr(&cat, "interpro2go.go_id");
+        let c = attr(&cat, "entry.name");
+        g.add_association(a, b, "mad", 0.9);
+        g.add_association(a, c, "metadata", 0.4);
+        let scratch = Csr::build(g.node_count(), g.edges().iter().map(|e| (e.id, e.a, e.b)));
+        assert_eq!(*g.csr(), scratch);
+        assert_eq!(g.packed_edges, g.edge_count());
     }
 
     #[test]

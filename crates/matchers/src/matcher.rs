@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use q_storage::{AttributeId, Catalog, RelationId};
+use q_storage::{AttributeId, Catalog, RelationId, SourceId};
 
 /// One proposed attribute alignment with a normalised confidence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,6 +73,39 @@ pub trait SchemaMatcher {
         }
         keep_top_y_per_attribute(all, top_y)
     }
+
+    /// Incremental scoring entry point for live source incorporation: score
+    /// only the newly registered source's columns against the existing
+    /// catalog, keeping the overall top-`top_y` alignments per new
+    /// attribute.
+    ///
+    /// Every relation of `source` is matched against every relation of every
+    /// *other* source (the new source's internal pairs are never scored —
+    /// its schema arrived whole, so internal joins come from its declared
+    /// foreign keys, not matcher guesses). Relations are visited in catalog
+    /// order, so the proposal list — and with it the order association edges
+    /// are added to the search graph — is deterministic.
+    fn match_source(
+        &self,
+        catalog: &Catalog,
+        source: SourceId,
+        top_y: usize,
+    ) -> Vec<AttributeAlignment> {
+        let existing: Vec<RelationId> = catalog
+            .relations()
+            .iter()
+            .filter(|r| r.source != source)
+            .map(|r| r.id)
+            .collect();
+        let Some(src) = catalog.source(source) else {
+            return Vec::new();
+        };
+        let mut all: Vec<AttributeAlignment> = Vec::new();
+        for new_relation in &src.relations {
+            all.extend(self.match_against(catalog, *new_relation, &existing, top_y));
+        }
+        keep_top_y_per_attribute(all, top_y)
+    }
 }
 
 /// Keep only the `top_y` best alignments for each new attribute.
@@ -137,6 +170,41 @@ mod tests {
         assert!(kept
             .iter()
             .any(|a| a.new_attribute == AttributeId(1) && (a.confidence - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn match_source_scores_only_new_columns_against_existing_sources() {
+        use crate::MetadataMatcher;
+        use q_storage::{RelationSpec, SourceSpec};
+        let mut cat = Catalog::new();
+        SourceSpec::new("go")
+            .relation(RelationSpec::new("go_term", &["acc", "name"]))
+            .load_into(&mut cat)
+            .unwrap();
+        let new = SourceSpec::new("pubdb")
+            .relation(RelationSpec::new("pub", &["pub_id", "name"]))
+            .relation(RelationSpec::new("author", &["author_id", "name"]))
+            .load_into(&mut cat)
+            .unwrap();
+        let matcher = MetadataMatcher::new();
+        let alignments = matcher.match_source(&cat, new, 3);
+        assert!(!alignments.is_empty());
+        let go_attrs: Vec<AttributeId> =
+            cat.relation_by_name("go_term").unwrap().attributes.clone();
+        for a in &alignments {
+            // New side always belongs to the new source; existing side never.
+            let new_rel = cat.attribute(a.new_attribute).unwrap().relation;
+            assert_eq!(cat.relation(new_rel).unwrap().source, new);
+            assert!(go_attrs.contains(&a.existing_attribute));
+        }
+        // The two same-named `name` columns inside the new source were not
+        // paired with each other.
+        assert!(!alignments.iter().any(|a| {
+            let existing_rel = cat.attribute(a.existing_attribute).unwrap().relation;
+            cat.relation(existing_rel).unwrap().source == new
+        }));
+        // An unknown source scores nothing.
+        assert!(matcher.match_source(&cat, SourceId(99), 3).is_empty());
     }
 
     #[test]

@@ -99,6 +99,22 @@ impl SourceSpec {
         self.relations.iter().map(|r| r.attributes.len()).sum()
     }
 
+    /// Register this source against a *shared* catalog without mutating it:
+    /// the catalog is cloned, the source loaded into the clone, and the
+    /// extended catalog returned alongside the new source id.
+    ///
+    /// This is the copy-on-write registration step of live ingestion: readers
+    /// keep serving from the original catalog (inside their immutable
+    /// snapshot) while the writer prepares the next one. Because loading is
+    /// all-or-nothing here, a spec that fails mid-way (say, an unresolvable
+    /// foreign key) leaves no half-registered source behind — the clone is
+    /// simply dropped.
+    pub fn load_incremental(&self, catalog: &Catalog) -> Result<(Catalog, SourceId), StorageError> {
+        let mut next = catalog.clone();
+        let source = self.load_into(&mut next)?;
+        Ok((next, source))
+    }
+
     /// Load this source into the catalog, returning the new source id.
     pub fn load_into(&self, catalog: &mut Catalog) -> Result<SourceId, StorageError> {
         let source = catalog.add_source(&self.name)?;
@@ -178,6 +194,36 @@ mod tests {
             bad.load_into(&mut cat),
             Err(StorageError::UnknownAttribute(_))
         ));
+    }
+
+    #[test]
+    fn load_incremental_leaves_the_shared_catalog_untouched() {
+        let mut base = Catalog::new();
+        go_spec().load_into(&mut base).unwrap();
+        let before_sources = base.sources().len();
+        let (next, id) = interpro_spec().load_incremental(&base).unwrap();
+        // The original catalog is unchanged; the returned one has the source.
+        assert_eq!(base.sources().len(), before_sources);
+        assert!(base.source_by_name("interpro").is_none());
+        assert_eq!(next.source(id).unwrap().name, "interpro");
+        assert_eq!(next.foreign_keys().len(), 1);
+        // And the extension equals a plain sequential load.
+        let sequential = load_catalog(&[go_spec(), interpro_spec()]).unwrap();
+        assert_eq!(next.sources().len(), sequential.sources().len());
+        assert_eq!(next.relations().len(), sequential.relations().len());
+    }
+
+    #[test]
+    fn failed_incremental_load_registers_nothing() {
+        let mut base = Catalog::new();
+        go_spec().load_into(&mut base).unwrap();
+        let bad = SourceSpec::new("bad")
+            .relation(RelationSpec::new("t", &["a"]))
+            .foreign_key("t.a", "missing.b");
+        assert!(bad.load_incremental(&base).is_err());
+        // All-or-nothing: the shared catalog gained nothing.
+        assert!(base.source_by_name("bad").is_none());
+        assert_eq!(base.sources().len(), 1);
     }
 
     #[test]

@@ -42,6 +42,16 @@
 //!
 //! The shims answer byte-identically to the typed path (pinned by the
 //! `api_equivalence` integration test), so migration is mechanical.
+//!
+//! ## Live ingestion
+//!
+//! For serving *while* new sources arrive, use [`LiveServer`]: readers
+//! answer [`QueryRequest`]s through `&self` against an immutable published
+//! [`GraphSnapshot`], and [`LiveServer::ingest_source`](q_core::LiveServer::ingest_source)
+//! incorporates a source end-to-end and publishes the next snapshot without
+//! stopping them. Every outcome carries "answered from snapshot N"
+//! provenance; the `live_ingest` stress test replays each concurrent answer
+//! against its snapshot's sequential answer. See DESIGN.md § Live ingestion.
 
 pub use q_align as align;
 pub use q_core as core;
@@ -52,7 +62,8 @@ pub use q_matchers as matchers;
 pub use q_storage as storage;
 
 pub use q_core::{
-    BatchOptions, BatchOutcome, CachePolicy, CacheStatus, Feedback, QConfig, QError, QSystem,
-    QSystemBuilder, QueryOutcome, QueryRequest, SearchStrategy,
+    BatchOptions, BatchOutcome, CachePolicy, CacheStatus, Feedback, GraphSnapshot, IngestReport,
+    LiveServer, QConfig, QError, QSystem, QSystemBuilder, QueryOutcome, QueryRequest,
+    SearchStrategy,
 };
 pub use q_storage::{Catalog, RelationSpec, SourceSpec, StorageError, Value};

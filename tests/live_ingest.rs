@@ -1,0 +1,388 @@
+//! Concurrency and soak tests for the live-ingestion serving engine.
+//!
+//! The engine's contract: readers serve from immutable published
+//! [`GraphSnapshot`]s while a writer incorporates sources, and **every**
+//! answer a reader observes — fresh, cached or survival-kept — is
+//! byte-identical to the *sequential* answer of some published snapshot,
+//! which the outcome names via [`QueryOutcome::snapshot`]. The stress
+//! harness here interleaves reader threads with a source-ingesting writer
+//! under `std::thread::scope` and replays every observation against the
+//! publish log (linearizability-by-replay).
+//!
+//! The file also pins the two ingestion-specific satellite behaviours:
+//! the cache survival rule (an unaffordable bridge keeps entries serving
+//! `CacheStatus::Revalidated` hits; a cheap bridge forces the drop path)
+//! and the golden-answer guarantee that incremental one-by-one ingestion
+//! converges byte-for-byte to the all-at-once build.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use q_core::{CachePolicy, CacheStatus, GraphSnapshot, LiveServer, QConfig, QSystem, QueryRequest};
+use q_datasets::{gbco_source_specs_with_fks, gbco_trials, GbcoConfig, GoldStandard};
+use q_matchers::{AttributeAlignment, MetadataMatcher, SchemaMatcher};
+use q_storage::{Catalog, RelationId, RelationSpec, SourceSpec};
+
+fn small() -> GbcoConfig {
+    GbcoConfig {
+        rows_per_table: 12,
+        seed: 17,
+    }
+}
+
+fn trial_requests() -> Vec<QueryRequest> {
+    gbco_trials()
+        .iter()
+        .map(|t| QueryRequest::new(t.keywords.iter().cloned()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Stress harness: N readers vs an ingesting writer, replayed afterwards.
+// ---------------------------------------------------------------------------
+
+/// How many sources the server boots with; the rest stream in live.
+const INITIAL_SOURCES: usize = 10;
+/// Queries every reader must answer even if the writer finishes first, so
+/// each run exercises the final snapshot too.
+const MIN_QUERIES_PER_READER: usize = 8;
+
+/// Run the interleaved stress once and replay every observation.
+fn stress_run(readers: usize) {
+    let specs = gbco_source_specs_with_fks(&small());
+    let catalog =
+        q_storage::loader::load_catalog(&specs[..INITIAL_SOURCES]).expect("initial GBCO loads");
+    let mut server = LiveServer::new(catalog, QConfig::default());
+    server.add_matcher(Box::new(MetadataMatcher::new()));
+    let server = &server;
+    let requests = trial_requests();
+    let requests = &requests;
+
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    // (snapshot id, request index) -> observed answer bytes. Two readers
+    // observing the same key must agree; the replay below checks both of
+    // them against the snapshot's sequential answer anyway.
+    let observations: Mutex<HashMap<(u64, usize), String>> = Mutex::new(HashMap::new());
+    let observations = &observations;
+    let mut published: Vec<Arc<GraphSnapshot>> = vec![server.snapshot()];
+
+    std::thread::scope(|s| {
+        for r in 0..readers {
+            s.spawn(move || {
+                let mut i = r; // strided start: readers diverge immediately
+                let mut issued = 0usize;
+                let mut local: Vec<((u64, usize), String)> = Vec::new();
+                let observe = |request: &QueryRequest, idx: usize| {
+                    let outcome = server.query(request).expect("GBCO queries answer");
+                    let snapshot = outcome
+                        .snapshot
+                        .expect("live serving stamps snapshot provenance");
+                    ((snapshot, idx), format!("{:?}", outcome.view))
+                };
+                while !stop.load(Ordering::Acquire) || issued < MIN_QUERIES_PER_READER {
+                    let idx = i % requests.len();
+                    // Mixed policies: every third query bypasses the cache,
+                    // the rest go through it (hits, misses and
+                    // survival-kept entries all land in the observations).
+                    let request = if i % 3 == 0 {
+                        requests[idx].clone().cache_policy(CachePolicy::Bypass)
+                    } else {
+                        requests[idx].clone()
+                    };
+                    local.push(observe(&request, idx));
+                    i += 1;
+                    issued += 1;
+                }
+                // One guaranteed post-stop observation: a bypass query after
+                // the last publish pins the final snapshot into the replay.
+                let idx = i % requests.len();
+                let last = requests[idx].clone().cache_policy(CachePolicy::Bypass);
+                local.push(observe(&last, idx));
+                let mut merged = observations.lock().unwrap();
+                for (key, bytes) in local {
+                    if let Some(seen) = merged.get(&key) {
+                        assert_eq!(
+                            seen, &bytes,
+                            "two readers observed different bytes for {key:?}"
+                        );
+                    } else {
+                        merged.insert(key, bytes);
+                    }
+                }
+            });
+        }
+        // The writer runs on the scope's own thread: one source at a time,
+        // end-to-end, while the readers above keep serving.
+        for spec in &specs[INITIAL_SOURCES..] {
+            let report = server.ingest_source(spec).expect("GBCO source ingests");
+            published.push(report.snapshot);
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    // Replay: every observation must be byte-identical to the sequential
+    // answer of the published snapshot it claims.
+    let by_id: HashMap<u64, &Arc<GraphSnapshot>> = published.iter().map(|s| (s.id(), s)).collect();
+    assert_eq!(by_id.len(), published.len(), "snapshot ids are unique");
+    let observations = std::mem::take(&mut *observations.lock().unwrap());
+    assert!(!observations.is_empty());
+    let mut distinct_snapshots = HashSet::new();
+    for ((snapshot, idx), bytes) in &observations {
+        let snap = by_id
+            .get(snapshot)
+            .unwrap_or_else(|| panic!("observed unpublished snapshot {snapshot}"));
+        let reference = snap
+            .answer(server.config(), &requests[*idx])
+            .expect("replay answers");
+        assert_eq!(
+            &format!("{reference:?}"),
+            bytes,
+            "observation (snapshot {snapshot}, query {idx}) diverged from the \
+             snapshot's sequential answer"
+        );
+        distinct_snapshots.insert(*snapshot);
+    }
+    // The final snapshot is always observed (readers keep going past the
+    // last publish).
+    assert!(distinct_snapshots.contains(&published.last().unwrap().id()));
+}
+
+#[test]
+fn concurrent_answers_replay_byte_identical_against_published_snapshots() {
+    // CI pins the reader count through the environment (its matrix runs 1,
+    // 4 and 8); a plain `cargo test` covers a serial and a parallel shape.
+    match std::env::var("LIVE_INGEST_READERS") {
+        Ok(v) => stress_run(v.parse().expect("LIVE_INGEST_READERS is a number")),
+        Err(_) => {
+            for readers in [1, 4] {
+                stress_run(readers);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache survival regression (satellite): unaffordable bridge keeps entries,
+// affordable bridge forces the drop path.
+// ---------------------------------------------------------------------------
+
+/// A matcher proposing one fixed alignment at a fixed confidence whenever
+/// the configured relation pair is scored — full control over the bridge
+/// edge's cost in the survival tests.
+struct FixedMatcher {
+    new_relation: String,
+    existing_attribute: String,
+    new_attribute: String,
+    confidence: f64,
+}
+
+impl SchemaMatcher for FixedMatcher {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+
+    fn match_relations(
+        &self,
+        catalog: &Catalog,
+        new_relation: RelationId,
+        _existing_relation: RelationId,
+        _top_y: usize,
+    ) -> Vec<AttributeAlignment> {
+        if catalog.relation(new_relation).map(|r| r.name.as_str()) != Some(&self.new_relation) {
+            return Vec::new();
+        }
+        match (
+            catalog.resolve_qualified(&self.new_attribute),
+            catalog.resolve_qualified(&self.existing_attribute),
+        ) {
+            // Propose the pair only when scoring the relation that owns the
+            // existing attribute, so the alignment is emitted exactly once.
+            (Some(new), Some(existing))
+                if catalog.attribute(existing).map(|a| a.relation) == Some(_existing_relation) =>
+            {
+                vec![AttributeAlignment::new(new, existing, self.confidence)]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+fn survival_base() -> Vec<SourceSpec> {
+    vec![
+        SourceSpec::new("go").relation(
+            RelationSpec::new("go_term", &["acc", "name"])
+                .row(["GO:1", "plasma membrane"])
+                .row(["GO:2", "kinase activity"]),
+        ),
+        SourceSpec::new("interpro")
+            .relation(
+                RelationSpec::new("interpro2go", &["go_id", "entry_ac"])
+                    .row(["GO:1", "IPR01"])
+                    .row(["GO:2", "IPR02"]),
+            )
+            .relation(
+                RelationSpec::new("entry", &["entry_ac", "name"])
+                    .row(["IPR01", "Kringle domain"])
+                    .row(["IPR02", "Cytokine receptor"]),
+            )
+            .foreign_key("interpro2go.entry_ac", "entry.entry_ac"),
+    ]
+}
+
+/// A source with a vocabulary sharing no token or trigram with the cached
+/// query's keywords, so only the bridge-cost half of the survival rule is
+/// in play.
+fn disjoint_source() -> SourceSpec {
+    SourceSpec::new("xlog").relation(
+        RelationSpec::new("xq_row", &["xq_uid", "xq_val"])
+            .row(["UU81", "VV92"])
+            .row(["UU82", "VV93"]),
+    )
+}
+
+fn survival_server(confidence: f64) -> (LiveServer, QueryRequest) {
+    let catalog = q_storage::loader::load_catalog(&survival_base()).expect("base loads");
+    let mut server = LiveServer::new(catalog, QConfig::default());
+    server.add_matcher(Box::new(FixedMatcher {
+        new_relation: "xq_row".into(),
+        existing_attribute: "go_term.acc".into(),
+        new_attribute: "xq_row.xq_uid".into(),
+        confidence,
+    }));
+    let snap = server.snapshot();
+    let acc = snap.catalog().resolve_qualified("go_term.acc").unwrap();
+    let go_id = snap
+        .catalog()
+        .resolve_qualified("interpro2go.go_id")
+        .unwrap();
+    server.publish_association(acc, go_id, 0.95);
+    // A full (top_k = 1) ranked list: its displacement threshold is the
+    // single tree's cost, not the (infinite) budget.
+    let request = QueryRequest::new(["plasma membrane", "entry"]).top_k(1);
+    (server, request)
+}
+
+#[test]
+fn expensive_bridge_keeps_cached_entries_revalidated() {
+    // Confidence 0.05 prices the only bridge edge far above the cached
+    // tree: the new source provably cannot enter the top-k.
+    let (server, request) = survival_server(0.05);
+    let warm = server.query(&request).unwrap();
+    assert_eq!(warm.cache, CacheStatus::Miss);
+
+    let report = server.ingest_source(&disjoint_source()).unwrap();
+    assert_eq!(report.alignments.len(), 1, "the fixed bridge was proposed");
+    assert!(report.bridge_floor > warm.view.queries[0].cost);
+    assert_eq!((report.cache_kept, report.cache_dropped), (1, 0));
+
+    let hit = server.query(&request).unwrap();
+    assert_eq!(hit.cache, CacheStatus::Revalidated);
+    assert!(Arc::ptr_eq(&warm.view, &hit.view));
+    // Provenance: still the snapshot that priced the entry, which remains a
+    // published snapshot the answer replays against.
+    assert_eq!(hit.snapshot, warm.snapshot);
+    assert!(hit.snapshot.unwrap() < report.snapshot.id());
+}
+
+#[test]
+fn cheap_bridge_forces_the_drop_path() {
+    // Confidence 0.95 prices the bridge *below* the cached tree's cost: a
+    // new join tree could displace the top-k, so the entry must drop and
+    // the repeat recomputes against the new snapshot.
+    let (server, request) = survival_server(0.95);
+    let warm = server.query(&request).unwrap();
+    let report = server.ingest_source(&disjoint_source()).unwrap();
+    assert!(report.bridge_floor < warm.view.queries[0].cost);
+    assert_eq!((report.cache_kept, report.cache_dropped), (0, 1));
+
+    let after = server.query(&request).unwrap();
+    assert_eq!(after.cache, CacheStatus::Miss);
+    assert_eq!(after.snapshot, Some(report.snapshot.id()));
+    let reference = report.snapshot.answer(server.config(), &request).unwrap();
+    assert_eq!(&*after.view, &reference);
+}
+
+#[test]
+fn keyword_overlap_forces_the_drop_path_even_when_unbridged() {
+    // No matcher at all: the source is unreachable (bridge floor infinite),
+    // but its relation vocabulary matches the cached query's keywords — the
+    // survival rule must still drop the entry.
+    let catalog = q_storage::loader::load_catalog(&survival_base()).expect("base loads");
+    let server = LiveServer::new(catalog, QConfig::default());
+    let request = QueryRequest::new(["plasma membrane", "entry"]).top_k(1);
+    server.query(&request).unwrap();
+    let overlapping = SourceSpec::new("notes").relation(
+        RelationSpec::new("lab_entry", &["entry_code", "text"]).row(["E1", "plasma prep"]),
+    );
+    let report = server.ingest_source(&overlapping).unwrap();
+    assert_eq!(report.bridge_floor, f64::INFINITY);
+    assert_eq!((report.cache_kept, report.cache_dropped), (0, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Golden-answer evaluation: incremental ingestion == all-at-once build.
+// ---------------------------------------------------------------------------
+
+/// Gold alignments over the GBCO schema (domain-true attribute pairs that
+/// are not foreign keys), applied identically to both builds.
+fn gbco_gold() -> GoldStandard {
+    GoldStandard::new(&[
+        ("tissue.species", "gene.species"),
+        ("donor.age", "sample.age"),
+        ("tissue.name", "platform.name"),
+        ("sample.notes", "donor.notes"),
+        ("experiment.investigator", "platform.manufacturer"),
+    ])
+}
+
+#[test]
+fn incremental_ingestion_matches_the_all_at_once_build_byte_for_byte() {
+    let specs = gbco_source_specs_with_fks(&small());
+
+    // All-at-once: every source in the catalog from the start, gold
+    // alignments added last.
+    let full_catalog = q_storage::loader::load_catalog(&specs).expect("GBCO loads");
+    let gold = gbco_gold();
+    let resolved = gold.resolve(&full_catalog);
+    let mut batch = QSystem::new(full_catalog, QConfig::default());
+    for (a, b) in &resolved {
+        batch.add_manual_association(*a, *b, 0.9);
+    }
+
+    // Incremental: boot on the first source alone, stream the remaining 17
+    // through live ingestion one by one, then publish the same gold
+    // alignments in the same order.
+    let first = q_storage::loader::load_catalog(&specs[..1]).expect("first source loads");
+    let live = LiveServer::new(first, QConfig::default());
+    for spec in &specs[1..] {
+        live.ingest_source(spec).expect("source ingests");
+    }
+    for (a, b) in &resolved {
+        live.publish_association(*a, *b, 0.9);
+    }
+    let final_snapshot = live.snapshot();
+
+    // The converged serving state is identical...
+    assert_eq!(
+        batch.graph().node_count(),
+        final_snapshot.graph().node_count()
+    );
+    assert_eq!(
+        batch.graph().edge_count(),
+        final_snapshot.graph().edge_count()
+    );
+    // ...and so is every top-k answer of the gold workload, byte for byte.
+    for request in trial_requests() {
+        let request = request.cache_policy(CachePolicy::Bypass);
+        let from_batch = batch.query(&request).expect("batch answers");
+        let from_live = live.query(&request).expect("live answers");
+        assert_eq!(
+            format!("{:?}", from_batch.view),
+            format!("{:?}", from_live.view),
+            "answers diverged for {:?}",
+            request.keywords()
+        );
+    }
+}

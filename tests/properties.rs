@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use q_graph::steiner::GraphView;
 use q_graph::{
-    approx_top_k, bin_confidence, exact_minimum_steiner, Csr, EdgeId, FeatureId, FeatureVector,
-    NodeId, SteinerConfig, WeightVector,
+    approx_top_k, bin_confidence, exact_minimum_steiner, Csr, CsrDelta, EdgeId, FeatureId,
+    FeatureVector, NodeId, SteinerConfig, WeightVector,
 };
 use q_learn::{constraints_from_candidates, Mira};
 use q_storage::{Catalog, Value, ValueIndex};
@@ -202,6 +202,64 @@ proptest! {
         let hi = terminals.last().unwrap().0;
         let expected: f64 = (lo..hi).map(|i| graph.edges[i as usize].2).sum();
         prop_assert!((exact.cost - expected).abs() < 1e-9);
+    }
+
+    /// A delta-merged CSR is byte-identical to a from-scratch pack of the
+    /// full edge list, for arbitrary interleavings of node and edge
+    /// additions and an arbitrary split point between "already packed" and
+    /// "still buffered" — the invariant the live-ingestion graph growth
+    /// rests on. Also checks the sorted-adjacency invariant: every node's
+    /// incident edge ids are strictly increasing, so downstream tie-breaks
+    /// see one canonical neighbour order.
+    #[test]
+    fn csr_delta_merge_equals_scratch_pack(
+        ops in proptest::collection::vec((0u8..4, 0u32..1000, 0u32..1000), 1..40),
+        split_pick in 0u32..1000,
+    ) {
+        // Interpret the op stream: tag 0 interns a node, anything else adds
+        // an edge between two existing nodes (ids taken modulo the current
+        // node count). Start with one node so edges are always possible.
+        let mut node_count = 1usize;
+        let mut edges: Vec<(EdgeId, NodeId, NodeId)> = Vec::new();
+        // (node_count_after, edges_len_after) checkpoints per op, so any
+        // split point is a consistent intermediate state.
+        let mut checkpoints: Vec<(usize, usize)> = Vec::new();
+        for (tag, a, b) in &ops {
+            if *tag == 0 {
+                node_count += 1;
+            } else {
+                let a = NodeId(a % node_count as u32);
+                let b = NodeId(b % node_count as u32);
+                edges.push((EdgeId(edges.len() as u32), a, b));
+            }
+            checkpoints.push((node_count, edges.len()));
+        }
+        let split = checkpoints[split_pick as usize % checkpoints.len()];
+        let (base_nodes, base_edges) = split;
+
+        let base = Csr::build(base_nodes, edges[..base_edges].iter().copied());
+        let mut delta = CsrDelta::new(base.node_count());
+        delta.grow_nodes(node_count);
+        for (e, a, b) in &edges[base_edges..] {
+            delta.add_edge(*e, *a, *b);
+        }
+        let merged = delta.merge(&base);
+        let scratch = Csr::build(node_count, edges.iter().copied());
+        prop_assert_eq!(&merged, &scratch);
+        prop_assert_eq!(merged.node_count(), node_count);
+
+        // Sorted-adjacency invariant.
+        for n in 0..node_count {
+            let ids: Vec<u32> = merged
+                .neighbors(NodeId(n as u32))
+                .iter()
+                .map(|(e, _)| e.0)
+                .collect();
+            prop_assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "node {n} adjacency not strictly increasing: {ids:?}"
+            );
+        }
     }
 
     /// Confidence binning always lands in range and is monotone.
