@@ -1,8 +1,7 @@
 //! Criterion benches regenerating the paper's figures and tables
 //! (Figures 6–8, Table 1, Figures 10–12 / Table 2) on reduced-size
 //! configurations. Each bench group corresponds to one experiment; the
-//! `experiments` binary prints the full-size numbers recorded in
-//! EXPERIMENTS.md.
+//! `experiments` binary prints the full-size paper-style numbers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -4,7 +4,7 @@
 //! Each experiment is a library function returning a plain result struct so
 //! that both the `experiments` binary (which prints the paper-style rows) and
 //! the Criterion benches can drive it. See DESIGN.md for the per-experiment
-//! index and EXPERIMENTS.md for paper-vs-measured numbers.
+//! index; the `experiments` binary prints the paper-vs-measured numbers.
 
 pub mod aligners;
 pub mod learning;

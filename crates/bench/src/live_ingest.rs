@@ -255,23 +255,16 @@ pub fn run_live_ingest_experiment(config: &LiveIngestConfig) -> LiveIngestResult
     let mut stop_world_queries = 0usize;
     {
         let (answered, stop, locked) = (&answered, &stop, &locked);
-        let trials = gbco_trials();
-        let trials = &trials;
+        let requests = &requests;
         std::thread::scope(|s| {
             for r in 0..readers {
                 s.spawn(move || {
                     let mut i = r;
                     while !stop.load(Ordering::Acquire) {
-                        let keywords: Vec<&str> = trials[i % trials.len()]
-                            .keywords
-                            .iter()
-                            .map(String::as_str)
-                            .collect();
-                        #[allow(deprecated)]
                         locked
                             .read()
                             .expect("reader lock")
-                            .run_query_uncached(&keywords)
+                            .query_shared(&requests[i % requests.len()])
                             .expect("GBCO queries answer");
                         answered.fetch_add(1, Ordering::Relaxed);
                         i += 1;

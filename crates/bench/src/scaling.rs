@@ -223,7 +223,7 @@ mod tests {
         // The pruned strategies never exceed exhaustive at either size, and
         // the prior-bounded preferential aligner stays flat as the graph
         // grows (the Figure 8 claim that survives the tiny test configuration;
-        // the full-size behaviour is recorded in EXPERIMENTS.md).
+        // run the `experiments` binary for the full-size behaviour).
         assert!(small.view_based <= small.exhaustive);
         assert!(large.view_based <= large.exhaustive);
         assert!(small.preferential <= small.exhaustive);

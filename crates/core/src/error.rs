@@ -59,6 +59,26 @@ pub enum QError {
     NoQueryTrees,
 }
 
+impl QError {
+    /// Stable machine-readable error code, one per variant. These are part
+    /// of the versioned wire contract: the network layer serialises every
+    /// error as `{"code": <this>, "message": <Display>}` and maps codes to
+    /// HTTP statuses, so codes may be added but never renamed within a wire
+    /// version.
+    pub fn code(&self) -> &'static str {
+        match self {
+            QError::Storage(_) => "storage",
+            QError::SourceLoad { .. } => "source_load",
+            QError::ViewMaterialization { .. } => "view_materialization",
+            QError::InvalidRequest { .. } => "invalid_request",
+            QError::InvalidBuild { .. } => "invalid_build",
+            QError::UnknownView(_) => "unknown_view",
+            QError::UnknownAnswer { .. } => "unknown_answer",
+            QError::NoQueryTrees => "no_query_trees",
+        }
+    }
+}
+
 impl fmt::Display for QError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -148,6 +168,43 @@ mod tests {
         };
         assert!(e.to_string().contains("plasma"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn every_variant_has_a_distinct_stable_code() {
+        let variants = [
+            QError::Storage(StorageError::InvalidAtom(0)),
+            QError::SourceLoad {
+                source_name: "s".into(),
+                source: StorageError::InvalidAtom(0),
+            },
+            QError::ViewMaterialization {
+                keywords: vec![],
+                source: StorageError::InvalidAtom(0),
+            },
+            QError::InvalidRequest {
+                field: "top_k",
+                reason: String::new(),
+            },
+            QError::InvalidBuild {
+                field: "top_k",
+                reason: String::new(),
+            },
+            QError::UnknownView(0),
+            QError::UnknownAnswer { view: 0, answer: 0 },
+            QError::NoQueryTrees,
+        ];
+        let codes: Vec<&str> = variants.iter().map(QError::code).collect();
+        let mut deduped = codes.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), codes.len(), "codes must be distinct");
+        for code in codes {
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "wire codes are snake_case: {code}"
+            );
+        }
     }
 
     #[test]

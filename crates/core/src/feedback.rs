@@ -3,11 +3,16 @@
 //! The user annotates answers as valid, invalid, or better-than-some-other
 //! answer; Q generalises each annotation to the query tree that produced the
 //! answer (via its provenance) and feeds ranking constraints to the MIRA
-//! learner. The actual weight update is performed by
-//! [`QSystem::feedback`](crate::QSystem::feedback); this module defines the
-//! feedback vocabulary and the outcome report.
+//! learner. This module defines the feedback vocabulary ([`Feedback`]), the
+//! typed request surface ([`FeedbackRequest`] — what
+//! [`QSystem::apply_feedback`](crate::QSystem::apply_feedback) and
+//! [`LiveServer::feedback`](crate::LiveServer::feedback) consume, and what
+//! the network `/feedback` endpoint decodes into) and the outcome report
+//! ([`FeedbackOutcome`]).
 
 use serde::{Deserialize, Serialize};
+
+use crate::answer::ViewId;
 
 /// One piece of user feedback on a view's answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,6 +36,74 @@ pub enum Feedback {
         /// Index of the answer that should rank lower.
         worse: usize,
     },
+}
+
+/// What a [`FeedbackRequest`] annotates: either a persistent view by id
+/// (the [`QSystem`](crate::QSystem) path) or a keyword query (the live
+/// serving path, where answers are computed per request and no persistent
+/// view exists).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeedbackTarget {
+    /// A persistent view registered with
+    /// [`QSystem::create_view`](crate::QSystem::create_view).
+    View(ViewId),
+    /// The ranked answers of a keyword query, as currently served.
+    /// [`QSystem::apply_feedback`](crate::QSystem::apply_feedback) resolves
+    /// this to an existing view with the same keywords (creating one when
+    /// none exists);
+    /// [`LiveServer::feedback`](crate::LiveServer::feedback) annotates the
+    /// current snapshot's sequential answer directly.
+    Keywords(Vec<String>),
+}
+
+/// A typed feedback request: which answers are being annotated, and how.
+///
+/// ```no_run
+/// use q_core::{Feedback, FeedbackRequest};
+///
+/// let by_view = FeedbackRequest::on_view(0, Feedback::Correct { answer: 0 });
+/// let by_query = FeedbackRequest::on_keywords(
+///     ["plasma membrane", "entry"],
+///     Feedback::Prefer { better: 0, worse: 2 },
+/// );
+/// # let _ = (by_view, by_query);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackRequest {
+    target: FeedbackTarget,
+    feedback: Feedback,
+}
+
+impl FeedbackRequest {
+    /// Feedback on a persistent view's answers.
+    pub fn on_view(view: ViewId, feedback: Feedback) -> Self {
+        FeedbackRequest {
+            target: FeedbackTarget::View(view),
+            feedback,
+        }
+    }
+
+    /// Feedback on the ranked answers of a keyword query.
+    pub fn on_keywords<I, S>(keywords: I, feedback: Feedback) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        FeedbackRequest {
+            target: FeedbackTarget::Keywords(keywords.into_iter().map(Into::into).collect()),
+            feedback,
+        }
+    }
+
+    /// What the request targets.
+    pub fn target(&self) -> &FeedbackTarget {
+        &self.target
+    }
+
+    /// The annotation itself.
+    pub fn feedback(&self) -> Feedback {
+        self.feedback
+    }
 }
 
 /// What a feedback application did to the model.

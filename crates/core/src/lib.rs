@@ -46,9 +46,9 @@ pub use evaluation::{
     average_edge_costs, pr_curve_from_alignments, pr_curve_from_graph, precision_recall_graph,
     EdgeCostSummary, PrPoint,
 };
-pub use feedback::{Feedback, FeedbackOutcome};
-pub use live::{GraphSnapshot, IngestReport, LiveCacheStats, LiveServer};
+pub use feedback::{Feedback, FeedbackOutcome, FeedbackRequest, FeedbackTarget};
+pub use live::{GraphSnapshot, IngestReport, LiveCacheStats, LiveFeedbackReport, LiveServer};
 pub use request::{
     CachePolicy, CacheStatus, QueryOutcome, QueryParamsKey, QueryRequest, SearchStrategy,
 };
-pub use system::{BatchOptions, BatchOutcome, BatchReport, QSystem, RegistrationReport};
+pub use system::{BatchOptions, BatchOutcome, QSystem, RegistrationReport};

@@ -55,6 +55,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use q_graph::{KeywordIndex, SearchGraph, SteinerScratch};
+use q_learn::Mira;
 use q_matchers::{AttributeAlignment, SchemaMatcher};
 use q_storage::{AttributeId, Catalog, RelationId, SourceId, SourceSpec};
 
@@ -62,8 +63,9 @@ use crate::answer::RankedView;
 use crate::cache::{normalize_keywords, IngestionDelta, QueryCache, QueryKey};
 use crate::config::QConfig;
 use crate::error::QError;
+use crate::feedback::{FeedbackOutcome, FeedbackRequest, FeedbackTarget};
 use crate::request::{CachePolicy, CacheStatus, QueryOutcome, QueryRequest};
-use crate::system::{answer_keywords, ServeParams};
+use crate::system::{answer_keywords, learn_feedback, ServeParams};
 
 /// One immutable published serving state: everything a reader needs to
 /// answer a query, frozen at publish time. Cheap to share (`Arc`) and safe
@@ -165,6 +167,21 @@ pub struct LiveCacheStats {
 
 struct WriterState {
     matchers: Vec<Box<dyn SchemaMatcher + Send>>,
+    /// MIRA learner state for the network feedback lane — feedback is a
+    /// writer-lane operation (it re-prices the graph and publishes), so the
+    /// learner lives with the other writer state.
+    mira: Mira,
+}
+
+/// Report of one [`LiveServer::feedback`] publish.
+#[derive(Debug)]
+pub struct LiveFeedbackReport {
+    /// What the MIRA update did (constraints, violations, re-priced
+    /// features).
+    pub outcome: FeedbackOutcome,
+    /// The re-priced snapshot this feedback published (readers switch to
+    /// it).
+    pub snapshot: Arc<GraphSnapshot>,
 }
 
 /// Snapshot-isolated serving engine: concurrent `&self` reads from an
@@ -201,6 +218,7 @@ impl LiveServer {
             cache: Mutex::new(cache),
             writer: Mutex::new(WriterState {
                 matchers: Vec::new(),
+                mira: Mira::new(),
             }),
         }
     }
@@ -466,11 +484,72 @@ impl LiveServer {
         drop(writer);
         next
     }
+
+    /// Apply user feedback to the live model and publish the re-priced
+    /// snapshot, without stopping reads.
+    ///
+    /// Live serving has no persistent views, so the request must target a
+    /// keyword query ([`FeedbackTarget::Keywords`]); the annotated answers
+    /// are the current snapshot's sequential answer for those keywords —
+    /// exactly the bytes a [`query`](Self::query) against this snapshot
+    /// serves, so answer indices in the annotation line up with what the
+    /// user saw. [`FeedbackTarget::View`] is rejected as an invalid request.
+    ///
+    /// The MIRA update re-prices association edges (same topology, new
+    /// weights), so the publish runs the cache's re-pricing survival rule:
+    /// entries whose costs moved drop, bit-identical ones survive.
+    pub fn feedback(&self, request: &FeedbackRequest) -> Result<LiveFeedbackReport, QError> {
+        let FeedbackTarget::Keywords(keywords) = request.target() else {
+            return Err(QError::InvalidRequest {
+                field: "target",
+                reason: "live serving has no persistent views — target feedback by \
+                         keywords"
+                    .into(),
+            });
+        };
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+
+        // The view being annotated: the snapshot's sequential answer.
+        let query = QueryRequest::new(keywords.iter().cloned());
+        let view = base.answer(&self.config, &query)?;
+
+        let mut graph = base.graph.clone();
+        let outcome = learn_feedback(
+            &mut graph,
+            &base.keyword_index,
+            &self.config,
+            &mut writer.mira,
+            &view,
+            0,
+            request.feedback(),
+        )?;
+        let next = Arc::new(GraphSnapshot::build(
+            base.catalog.clone(),
+            graph,
+            base.keyword_index.clone(),
+        ));
+        // Weights-only publish: drop re-priced entries, keep bit-identical
+        // ones. Sync before the pointer swap so stale in-flight inserts
+        // fail the epoch guard.
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .sync_repricing_publish(next.id, &next.graph);
+        *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        drop(writer);
+
+        Ok(LiveFeedbackReport {
+            outcome,
+            snapshot: next,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::feedback::Feedback;
     use crate::request::SearchStrategy;
     use q_matchers::MetadataMatcher;
     use q_storage::RelationSpec;
@@ -693,6 +772,109 @@ mod tests {
         assert_eq!(local_after.snapshot, local_before.snapshot);
         let old_reference = first.answer(server.config(), &local).unwrap();
         assert_eq!(&*local_after.view, &old_reference);
+    }
+
+    #[test]
+    fn feedback_republishes_a_repriced_snapshot() {
+        let server = server();
+        let snap = server.snapshot();
+        let acc = snap.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = snap
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        let entry_name = snap.catalog().resolve_qualified("entry.name").unwrap();
+        let term_name = snap.catalog().resolve_qualified("go_term.name").unwrap();
+        // One good association and one bad one, so the annotated view has
+        // alternative trees to rank against.
+        server.publish_association(acc, go_id, 0.9);
+        server.publish_association(term_name, entry_name, 0.9);
+
+        // Warm two cache entries: one whose trees cross the association
+        // edges (its price will move) and one single-relation query that
+        // cannot be touched by a weights-only publish.
+        let crossing = QueryRequest::new(["plasma membrane", "entry"]);
+        let local = QueryRequest::new(["kinase activity"]);
+        let crossing_before = server.query(&crossing).unwrap();
+        let local_before = server.query(&local).unwrap();
+        assert!(
+            crossing_before.view.queries.len() >= 2,
+            "fixture: need alternative trees"
+        );
+        let before = server.snapshot();
+
+        // Marking the top answer invalid forces its (currently cheapest)
+        // query to cost more than the best alternative — the constraint is
+        // violated by construction, so weights must move.
+        let report = server
+            .feedback(&FeedbackRequest::on_keywords(
+                ["plasma membrane", "entry"],
+                Feedback::Invalid { answer: 0 },
+            ))
+            .unwrap();
+        assert!(report.outcome.constraints > 0);
+        assert!(report.outcome.initially_violated > 0);
+        assert!(report.outcome.repriced_features > 0);
+        assert!(report.snapshot.id() > before.id());
+        assert_eq!(server.snapshot().id(), report.snapshot.id());
+        assert!(
+            report.snapshot.graph().min_learnable_edge_cost().unwrap() > 0.0,
+            "edge costs stay positive after learning"
+        );
+
+        // The re-priced entry dropped: a repeat is recomputed against (and
+        // stamped with) the feedback snapshot, byte-identical to its
+        // sequential answer.
+        let crossing_after = server.query(&crossing).unwrap();
+        assert_eq!(crossing_after.cache, CacheStatus::Miss);
+        assert_eq!(crossing_after.snapshot, Some(report.snapshot.id()));
+        let reference = report.snapshot.answer(server.config(), &crossing).unwrap();
+        assert_eq!(&*crossing_after.view, &reference);
+
+        // The untouched entry survived verbatim with its original
+        // provenance.
+        let local_after = server.query(&local).unwrap();
+        assert_eq!(local_after.cache, CacheStatus::Revalidated);
+        assert!(Arc::ptr_eq(&local_before.view, &local_after.view));
+        assert_eq!(local_after.snapshot, local_before.snapshot);
+    }
+
+    #[test]
+    fn feedback_rejects_view_targets_and_publishes_nothing_on_error() {
+        let server = server();
+        let before = server.snapshot();
+        let err = server
+            .feedback(&FeedbackRequest::on_view(
+                0,
+                Feedback::Correct { answer: 0 },
+            ))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QError::InvalidRequest {
+                field: "target",
+                ..
+            }
+        ));
+
+        // Annotating an answer the query does not have fails without
+        // publishing.
+        let snap = server.snapshot();
+        let acc = snap.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = snap
+            .catalog()
+            .resolve_qualified("interpro2go.go_id")
+            .unwrap();
+        let published = server.publish_association(acc, go_id, 0.9);
+        let err = server
+            .feedback(&FeedbackRequest::on_keywords(
+                ["plasma membrane", "entry"],
+                Feedback::Correct { answer: 10_000 },
+            ))
+            .unwrap_err();
+        assert!(matches!(err, QError::UnknownAnswer { .. }));
+        assert_eq!(server.snapshot().id(), published.id());
+        assert!(server.snapshot().id() > before.id());
     }
 
     #[test]

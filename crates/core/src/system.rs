@@ -3,10 +3,9 @@
 //!
 //! Serving goes through the typed request/response API:
 //! [`QSystem::query`] answers one [`QueryRequest`], [`QSystem::query_batch`]
-//! answers a workload of them; both return [`QueryOutcome`]s carrying the
-//! ranked view plus serving provenance. The old slice-taking
-//! `run_query_cached` / `run_query_uncached` / `run_queries_batch` methods
-//! survive as thin deprecated shims over the same internals.
+//! answers a workload of them, and [`QSystem::query_shared`] is the `&self`
+//! path for cache-bypassing callers behind a shared reference; all return
+//! [`QueryOutcome`]s carrying the ranked view plus serving provenance.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,7 +31,7 @@ use crate::cache::{
 };
 use crate::config::{AlignmentStrategy, QConfig};
 use crate::error::QError;
-use crate::feedback::{Feedback, FeedbackOutcome};
+use crate::feedback::{Feedback, FeedbackOutcome, FeedbackRequest, FeedbackTarget};
 use crate::request::{CachePolicy, CacheStatus, QueryOutcome, QueryRequest, SearchStrategy};
 use crate::translate::{materialize_view, tree_to_query};
 
@@ -72,21 +71,6 @@ impl BatchOptions {
         .min(pending)
         .max(1)
     }
-}
-
-/// Outcome of [`QSystem::run_queries_batch`]: one result per workload query,
-/// in workload order. The typed API's equivalent is [`BatchOutcome`].
-#[derive(Debug)]
-pub struct BatchReport {
-    /// Per-query ranked views, in the order the workload listed them.
-    pub results: Vec<Result<Arc<RankedView>, QError>>,
-    /// Queries served from the cache as the batch started (duplicates of an
-    /// earlier in-batch query count here too: they are answered once).
-    pub cache_hits: usize,
-    /// Distinct queries that had to be computed.
-    pub cache_misses: usize,
-    /// Worker threads actually used.
-    pub workers: usize,
 }
 
 /// Outcome of [`QSystem::query_batch`]: one [`QueryOutcome`] (or error) per
@@ -245,22 +229,6 @@ impl QSystem {
             ServeParams::defaults(&self.config),
             false,
             &mut self.scratch,
-        )
-        .map(|(view, _, _)| view)
-    }
-
-    /// Config-default answer over fresh scratch, for the `&self` callers
-    /// (the deprecated uncached shim).
-    fn compute_view(&self, keywords: &[&str]) -> Result<RankedView, QError> {
-        answer_keywords(
-            &self.catalog,
-            &self.graph,
-            &self.keyword_index,
-            &self.config,
-            keywords,
-            ServeParams::defaults(&self.config),
-            false,
-            &mut SteinerScratch::default(),
         )
         .map(|(view, _, _)| view)
     }
@@ -554,65 +522,44 @@ impl QSystem {
         }
     }
 
-    // ------------------------------------------------------------------
-    // Deprecated slice-taking serving shims
-    // ------------------------------------------------------------------
-
-    /// Answer a keyword query through the answer cache.
-    ///
-    /// Deprecated shim: equivalent to
-    /// `self.query(&QueryRequest::new(keywords))?.view` — same cache, same
-    /// bytes (pinned by the `api_equivalence` integration test).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `QSystem::query` with the default `CachePolicy::Cached`"
-    )]
-    pub fn run_query_cached(&mut self, keywords: &[&str]) -> Result<Arc<RankedView>, QError> {
-        self.query(&QueryRequest::new(keywords.iter().copied()))
-            .map(|outcome| outcome.view)
-    }
-
-    /// Answer a workload of keyword queries through the cache and batch
-    /// workers.
-    ///
-    /// Deprecated shim over [`QSystem::query_batch`] with one default
-    /// [`QueryRequest`] per workload entry; counters and bytes match the
-    /// typed path exactly.
-    #[deprecated(since = "0.2.0", note = "use `QSystem::query_batch`")]
-    pub fn run_queries_batch(
-        &mut self,
-        workload: &[Vec<String>],
-        options: &BatchOptions,
-    ) -> BatchReport {
-        let requests: Vec<QueryRequest> = workload
-            .iter()
-            .map(|kws| QueryRequest::new(kws.iter().cloned()))
-            .collect();
-        let outcome = self.query_batch(&requests, options);
-        BatchReport {
-            results: outcome
-                .outcomes
-                .into_iter()
-                .map(|r| r.map(|o| o.view))
-                .collect(),
-            cache_hits: outcome.cache_hits,
-            cache_misses: outcome.cache_misses,
-            workers: outcome.workers,
+    /// Answer one typed [`QueryRequest`] through a *shared* reference: the
+    /// `&self` serving path for callers that hold the system behind a read
+    /// lock (e.g. the lock-coupled baseline the live-ingestion bench
+    /// compares against). Because the answer cache needs `&mut self`, the
+    /// request's policy must be [`CachePolicy::Bypass`] — anything else is
+    /// rejected as [`QError::InvalidRequest`] rather than silently served
+    /// uncached. Answers are byte-identical to [`QSystem::query`] with the
+    /// same request.
+    pub fn query_shared(&self, request: &QueryRequest) -> Result<QueryOutcome, QError> {
+        request.validate()?;
+        if request.cache() != CachePolicy::Bypass {
+            return Err(QError::InvalidRequest {
+                field: "cache",
+                reason: "query_shared serves through `&self` and cannot touch the answer \
+                         cache — use `CachePolicy::Bypass` (or `QSystem::query`)"
+                    .into(),
+            });
         }
-    }
-
-    /// Answer a keyword query bypassing the cache: every call recomputes
-    /// from scratch.
-    ///
-    /// Deprecated shim: equivalent to [`QSystem::query`] with
-    /// [`CachePolicy::Bypass`] (kept on `&self` for callers that serve from
-    /// a shared reference).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `QSystem::query` with `CachePolicy::Bypass`"
-    )]
-    pub fn run_query_uncached(&self, keywords: &[&str]) -> Result<RankedView, QError> {
-        self.compute_view(keywords)
+        let refs: Vec<&str> = request.keywords().iter().map(String::as_str).collect();
+        let start = Instant::now();
+        let (view, stats, _) = answer_keywords(
+            &self.catalog,
+            &self.graph,
+            &self.keyword_index,
+            &self.config,
+            &refs,
+            ServeParams::resolve(&self.config, request),
+            false,
+            &mut SteinerScratch::default(),
+        )?;
+        Ok(QueryOutcome {
+            view: Arc::new(view),
+            cache: CacheStatus::Bypassed,
+            weight_epoch: self.graph.weight_epoch(),
+            steiner: Some(stats),
+            wall_time: start.elapsed(),
+            snapshot: None,
+        })
     }
 
     /// The answer cache and its statistics.
@@ -804,92 +751,142 @@ impl QSystem {
     // User feedback & corrections (Section 4, Algorithm 4)
     // ------------------------------------------------------------------
 
+    /// Apply one typed [`FeedbackRequest`]: resolve its target to a
+    /// persistent view (a [`FeedbackTarget::Keywords`] target reuses the
+    /// existing view with those keywords, creating one when none exists),
+    /// run the MIRA update, and refresh every view.
+    pub fn apply_feedback(&mut self, request: &FeedbackRequest) -> Result<FeedbackOutcome, QError> {
+        let view_id = match request.target() {
+            FeedbackTarget::View(id) => *id,
+            FeedbackTarget::Keywords(keywords) => {
+                match self.views.iter().position(|v| &v.keywords == keywords) {
+                    Some(id) => id,
+                    None => {
+                        let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+                        self.create_view(&refs)?
+                    }
+                }
+            }
+        };
+        let view = self
+            .views
+            .get(view_id)
+            .ok_or(QError::UnknownView(view_id))?;
+        let outcome = learn_feedback(
+            &mut self.graph,
+            &self.keyword_index,
+            &self.config,
+            &mut self.mira,
+            view,
+            view_id,
+            request.feedback(),
+        )?;
+        self.refresh_all_views();
+        Ok(outcome)
+    }
+
     /// Apply one piece of user feedback to a view: generalise the annotated
     /// answer to its originating query tree, build margin constraints against
     /// the current K-best trees, update the weights with MIRA, keep edge
     /// costs positive, and refresh every view.
+    ///
+    /// Thin wrapper over [`QSystem::apply_feedback`] with a
+    /// [`FeedbackTarget::View`] target.
     pub fn feedback(
         &mut self,
         view_id: ViewId,
         feedback: Feedback,
     ) -> Result<FeedbackOutcome, QError> {
-        let view = self
-            .views
-            .get(view_id)
-            .ok_or(QError::UnknownView(view_id))?;
-        if view.queries.is_empty() {
-            return Err(QError::NoQueryTrees);
-        }
-
-        // Resolve the feedback to a target query and the candidate set.
-        let resolve = |answer: usize| -> Result<usize, QError> {
-            view.answers
-                .get(answer)
-                .map(|a| a.query_index)
-                .ok_or(QError::UnknownAnswer {
-                    view: view_id,
-                    answer,
-                })
-        };
-        let (target_query, candidate_queries): (usize, Vec<usize>) = match feedback {
-            Feedback::Correct { answer } => {
-                let t = resolve(answer)?;
-                (t, (0..view.queries.len()).collect())
-            }
-            Feedback::Invalid { answer } => {
-                let bad = resolve(answer)?;
-                let target = (0..view.queries.len()).find(|q| *q != bad);
-                match target {
-                    Some(t) => (t, vec![bad]),
-                    None => return Err(QError::NoQueryTrees),
-                }
-            }
-            Feedback::Prefer { better, worse } => (resolve(better)?, vec![resolve(worse)?]),
-        };
-
-        // Rebuild the query graph (deterministic, so edge ids line up with
-        // the stored trees) and recompute the K-best list under the current
-        // weights, per Algorithm 4.
-        let keywords: Vec<&str> = view.keywords.iter().map(String::as_str).collect();
-        let query_graph = QueryGraph::build(
-            &self.graph,
-            &self.keyword_index,
-            &keywords,
-            &self.config.match_config,
-        );
-        let steiner = SteinerConfig {
-            k: self.config.top_k,
-            ..self.config.steiner
-        };
-        let mut candidates = approx_top_k(&query_graph, &query_graph.terminals(), &steiner);
-        for q in candidate_queries {
-            candidates.push(view.queries[q].tree.clone());
-        }
-        let target_tree = view.queries[target_query].tree.clone();
-
-        let constraints = constraints_from_candidates(&target_tree, &candidates, |e| {
-            query_graph.edge_features(e).clone()
-        });
-        let weights_before = self.graph.weights().clone();
-        let mut weights = weights_before.clone();
-        let summary = self.mira.update(&mut weights, &constraints);
-        self.graph.set_weights(weights);
-        let bump = enforce_positive_costs(&mut self.graph, self.config.min_edge_cost);
-        // Surface the weight delta of this re-pricing (MIRA step plus
-        // positivity repair): the answer cache revalidates cached trees
-        // against the new prices instead of cold-starting.
-        let repriced_features = self.graph.weights().changed_features(&weights_before).len();
-
-        self.refresh_all_views();
-        Ok(FeedbackOutcome {
-            target_query,
-            constraints: constraints.len(),
-            initially_violated: summary.initially_violated,
-            remaining_violations: summary.remaining_violations,
-            default_weight_bump: bump,
-            repriced_features,
-        })
+        self.apply_feedback(&FeedbackRequest::on_view(view_id, feedback))
     }
+}
+
+/// The MIRA learning step shared by [`QSystem::apply_feedback`] and
+/// [`LiveServer::feedback`](crate::LiveServer::feedback): generalise the
+/// annotated answers of `view` to their originating query trees, build
+/// margin constraints against the current K-best list, update the weights,
+/// and keep every edge cost positive. Mutates `graph` (weights only — the
+/// topology is untouched, so this is always a pure re-pricing) and `mira`;
+/// the caller decides what to do with the re-priced graph (refresh views, or
+/// publish it as the next snapshot).
+///
+/// `view_label` is only used to label [`QError::UnknownAnswer`] — the live
+/// path, which has no persistent views, passes the id its caller targeted.
+pub(crate) fn learn_feedback(
+    graph: &mut SearchGraph,
+    keyword_index: &KeywordIndex,
+    config: &QConfig,
+    mira: &mut Mira,
+    view: &RankedView,
+    view_label: ViewId,
+    feedback: Feedback,
+) -> Result<FeedbackOutcome, QError> {
+    if view.queries.is_empty() {
+        return Err(QError::NoQueryTrees);
+    }
+
+    // Resolve the feedback to a target query and the candidate set.
+    let resolve = |answer: usize| -> Result<usize, QError> {
+        view.answers
+            .get(answer)
+            .map(|a| a.query_index)
+            .ok_or(QError::UnknownAnswer {
+                view: view_label,
+                answer,
+            })
+    };
+    let (target_query, candidate_queries): (usize, Vec<usize>) = match feedback {
+        Feedback::Correct { answer } => {
+            let t = resolve(answer)?;
+            (t, (0..view.queries.len()).collect())
+        }
+        Feedback::Invalid { answer } => {
+            let bad = resolve(answer)?;
+            let target = (0..view.queries.len()).find(|q| *q != bad);
+            match target {
+                Some(t) => (t, vec![bad]),
+                None => return Err(QError::NoQueryTrees),
+            }
+        }
+        Feedback::Prefer { better, worse } => (resolve(better)?, vec![resolve(worse)?]),
+    };
+
+    // Rebuild the query graph (deterministic, so edge ids line up with
+    // the stored trees) and recompute the K-best list under the current
+    // weights, per Algorithm 4.
+    let keywords: Vec<&str> = view.keywords.iter().map(String::as_str).collect();
+    let query_graph = QueryGraph::build(graph, keyword_index, &keywords, &config.match_config);
+    let steiner = SteinerConfig {
+        k: config.top_k,
+        ..config.steiner
+    };
+    let mut candidates = approx_top_k(&query_graph, &query_graph.terminals(), &steiner);
+    for q in candidate_queries {
+        candidates.push(view.queries[q].tree.clone());
+    }
+    let target_tree = view.queries[target_query].tree.clone();
+
+    let constraints = constraints_from_candidates(&target_tree, &candidates, |e| {
+        query_graph.edge_features(e).clone()
+    });
+    let weights_before = graph.weights().clone();
+    let mut weights = weights_before.clone();
+    let summary = mira.update(&mut weights, &constraints);
+    graph.set_weights(weights);
+    let bump = enforce_positive_costs(graph, config.min_edge_cost);
+    // Surface the weight delta of this re-pricing (MIRA step plus
+    // positivity repair): the answer cache revalidates cached trees
+    // against the new prices instead of cold-starting.
+    let repriced_features = graph.weights().changed_features(&weights_before).len();
+
+    Ok(FeedbackOutcome {
+        target_query,
+        constraints: constraints.len(),
+        initially_violated: summary.initially_violated,
+        remaining_violations: summary.remaining_violations,
+        default_weight_bump: bump,
+        repriced_features,
+    })
 }
 
 /// The per-request serving parameters after merging a [`QueryRequest`]'s

@@ -1,0 +1,138 @@
+//! `q-serve`: boot a [`LiveServer`] over the GBCO dataset and serve the
+//! versioned JSON wire API over HTTP.
+//!
+//! ```text
+//! q-serve [--addr 127.0.0.1:8080] [--threads 8] [--gbco-rows 40]
+//!         [--gbco-seed 7] [--initial-sources N] [--port-file PATH]
+//! ```
+//!
+//! `--initial-sources N` loads only the first N GBCO sources at boot; the
+//! rest can stream in later over `POST /ingest` (the CI smoke job uses
+//! this to exercise live ingestion). `--port-file` writes the bound
+//! `host:port` to a file once listening — the reliable way for a harness
+//! to discover an ephemeral (`:0`) port.
+
+use std::process::ExitCode;
+
+use q_core::{LiveServer, QConfig};
+use q_datasets::{gbco_source_specs_with_fks, GbcoConfig};
+use q_matchers::MetadataMatcher;
+use q_serve::{QServe, ServeOptions};
+
+struct Args {
+    addr: String,
+    threads: usize,
+    gbco: GbcoConfig,
+    initial_sources: Option<usize>,
+    port_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        threads: 8,
+        gbco: GbcoConfig::default(),
+        initial_sources: None,
+        port_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_string())?
+            }
+            "--gbco-rows" => {
+                args.gbco.rows_per_table = value("--gbco-rows")?
+                    .parse()
+                    .map_err(|_| "--gbco-rows must be a positive integer".to_string())?
+            }
+            "--gbco-seed" => {
+                args.gbco.seed = value("--gbco-seed")?
+                    .parse()
+                    .map_err(|_| "--gbco-seed must be an integer".to_string())?
+            }
+            "--initial-sources" => {
+                args.initial_sources = Some(
+                    value("--initial-sources")?
+                        .parse()
+                        .map_err(|_| "--initial-sources must be a positive integer".to_string())?,
+                )
+            }
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: q-serve [--addr HOST:PORT] [--threads N] [--gbco-rows N] \
+                     [--gbco-seed N] [--initial-sources N] [--port-file PATH]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let specs = gbco_source_specs_with_fks(&args.gbco);
+    let initial = args
+        .initial_sources
+        .unwrap_or(specs.len())
+        .clamp(1, specs.len());
+    let catalog = match q_storage::loader::load_catalog(&specs[..initial]) {
+        Ok(catalog) => catalog,
+        Err(err) => {
+            eprintln!("failed to load the GBCO catalog: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut engine = LiveServer::new(catalog, QConfig::default());
+    engine.add_matcher(Box::new(MetadataMatcher::new()));
+
+    let server = match QServe::start(
+        engine,
+        &args.addr,
+        ServeOptions {
+            threads: args.threads,
+            ..ServeOptions::default()
+        },
+    ) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("failed to bind {}: {err}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "q-serve listening on {} ({} of {} GBCO sources loaded, snapshot {})",
+        server.addr(),
+        initial,
+        specs.len(),
+        server.engine().snapshot().id(),
+    );
+    if let Some(path) = &args.port_file {
+        if let Err(err) = std::fs::write(path, server.addr().to_string()) {
+            eprintln!("failed to write port file {path}: {err}");
+            server.shutdown();
+            server.join();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Serve until a graceful POST /shutdown.
+    server.join();
+    println!("q-serve stopped");
+    ExitCode::SUCCESS
+}

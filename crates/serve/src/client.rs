@@ -1,0 +1,120 @@
+//! A minimal blocking HTTP/1.1 client for tests, examples and smoke
+//! checks. One [`HttpClient`] holds one keep-alive connection; requests
+//! are serialized on it, mirroring how browsers and `curl` drive the
+//! server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a Q server.
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+/// A response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes, decoded as UTF-8.
+    pub body: String,
+}
+
+impl HttpClient {
+    /// Connect to a server, with a read timeout so a wedged server fails a
+    /// test instead of hanging it.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { stream })
+    }
+
+    /// Issue one request and read the full response. The connection stays
+    /// open for the next request.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: q\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Send raw bytes (for malformed-request tests) and read one response.
+    pub fn raw(&mut self, bytes: &[u8]) -> std::io::Result<HttpResponse> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Send raw bytes without waiting for a response — for tests that
+    /// deliberately leave a request half-written (e.g. a declared body that
+    /// never arrives) to prove the server times the connection out instead
+    /// of pinning a worker on it.
+    pub fn raw_no_response(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed before a full response head",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+            })?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            let mut chunk = [0u8; 8192];
+            let want = (content_length - body.len()).min(chunk.len());
+            let n = self.stream.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-body",
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        Ok(HttpResponse {
+            status,
+            body: String::from_utf8_lossy(&body).to_string(),
+        })
+    }
+}

@@ -1,0 +1,491 @@
+//! A minimal, deterministic JSON layer for the wire protocol.
+//!
+//! The workspace's vendored serde shim is API-only (no JSON backend), so the
+//! network layer carries its own encoder and parser. Both are deliberately
+//! small and strict:
+//!
+//! * **Deterministic encoding** — objects preserve insertion order (they are
+//!   association lists, never maps), numbers use Rust's shortest round-trip
+//!   `Display`, and strings escape exactly the mandatory set. Encoding the
+//!   same [`Json`] value twice yields identical bytes, which is what the
+//!   byte-replay contract of the serving layer is built on.
+//! * **Strict parsing** — the parser rejects trailing garbage, caps nesting
+//!   depth, and distinguishes integers from floats (a token with `.`, `e`
+//!   or `E` parses as [`Json::Float`], anything else as [`Json::Int`]), so
+//!   `encode(parse(bytes)) == bytes` for every value this module encodes.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts. Deep enough for any wire
+/// message (the deepest is ~6 levels), shallow enough that a malicious
+/// `[[[[…]]]]` body cannot exhaust the stack.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value. Objects are insertion-ordered association lists:
+/// the wire layer controls field order, and duplicate keys are a parse
+/// error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number token without `.`/`e`/`E`.
+    Int(i64),
+    /// A number token with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object constructor from (key, value) pairs, preserving order.
+    pub fn object(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Look up a field of an object; `None` for missing fields and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Encode to the deterministic byte representation.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(x) => write_float(*x, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Floats encode through Rust's `Display`, which emits the shortest string
+/// that parses back to the identical bits. An integral float renders with a
+/// trailing `.0` so the token stays a [`Json::Float`] on re-parse; the
+/// non-finite values (unrepresentable in JSON numbers) become marker
+/// strings the wire layer's float decoder understands.
+fn write_float(x: f64, out: &mut String) {
+    if x.is_nan() {
+        out.push_str("\"nan\"");
+    } else if x == f64::INFINITY {
+        out.push_str("\"inf\"");
+    } else if x == f64::NEG_INFINITY {
+        out.push_str("\"-inf\"");
+    } else if x == x.trunc() {
+        let _ = write!(out, "{x:.1}");
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a body failed to parse. The wire layer maps every variant to the
+/// `bad_json` error code; the message pinpoints the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.reason, self.at)
+    }
+}
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error.
+pub fn parse(input: &[u8]) -> Result<Json, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing data after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
+        if self.input[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.unicode_escape()?;
+                            out.push(code);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the body was validated as
+                    // UTF-8 before parsing).
+                    let rest = std::str::from_utf8(&self.input[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        // self.pos is on the `u`.
+        let hex = |p: &Self, start: usize| -> Result<u32, ParseError> {
+            let bytes = p
+                .input
+                .get(start..start + 4)
+                .ok_or_else(|| p.err("truncated \\u escape"))?;
+            let s = std::str::from_utf8(bytes).map_err(|_| p.err("invalid \\u escape"))?;
+            u32::from_str_radix(s, 16).map_err(|_| p.err("invalid \\u escape"))
+        };
+        let first = hex(self, self.pos + 1)?;
+        self.pos += 5;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: require the paired low surrogate.
+            if self.input.get(self.pos) != Some(&b'\\')
+                || self.input.get(self.pos + 1) != Some(&b'u')
+            {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let second = hex(self, self.pos + 2)?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err("unpaired surrogate"));
+            }
+            self.pos += 6;
+            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err("unpaired surrogate"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.input[start..self.pos]).expect("number tokens are ASCII");
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(x) if x.is_finite() => Ok(Json::Float(x)),
+                _ => Err(self.err("invalid number")),
+            }
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: &Json) {
+        let bytes = value.encode();
+        let back = parse(bytes.as_bytes()).expect("encoded JSON parses");
+        assert_eq!(&back, value, "round trip diverged for {bytes}");
+        assert_eq!(back.encode(), bytes, "re-encode diverged for {bytes}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Int(0),
+            Json::Int(-42),
+            Json::Int(i64::MAX),
+            Json::Int(i64::MIN),
+            Json::Float(0.5),
+            Json::Float(-1.25e-7),
+            Json::Float(3.0),
+            Json::Float(1e16),
+            Json::Float(1e300),
+            Json::Float(f64::MIN_POSITIVE),
+            Json::Str(String::new()),
+            Json::Str("plasma \"membrane\"\n\t\\ \u{1}".into()),
+            Json::Str("ünïcode 🧬".into()),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip_in_order() {
+        let v = Json::object([
+            ("v", Json::Int(1)),
+            ("items", Json::Array(vec![Json::Null, Json::Bool(false)])),
+            ("nested", Json::object([("x", Json::Float(1.5))])),
+        ]);
+        round_trip(&v);
+        assert_eq!(
+            v.encode(),
+            r#"{"v":1,"items":[null,false],"nested":{"x":1.5}}"#
+        );
+        assert_eq!(v.get("v"), Some(&Json::Int(1)));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        // `3.0` must not collapse into the integer token `3`.
+        let v = Json::Float(3.0);
+        assert_eq!(v.encode(), "3.0");
+        round_trip(&v);
+    }
+
+    #[test]
+    fn whitespace_and_escapes_parse() {
+        let v = parse(b" { \"a\" : [ 1 , 2.5 ] , \"b\" : \"\\u0041\\ud83e\\uddec\" } ").unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Array(vec![Json::Int(1), Json::Float(2.5)]))
+        );
+        assert_eq!(v.get("b"), Some(&Json::Str("A🧬".into())));
+    }
+
+    #[test]
+    fn malformed_documents_error_without_panicking() {
+        for bad in [
+            &b"{"[..],
+            b"[1,",
+            b"\"unterminated",
+            b"{\"a\":1,\"a\":2}",
+            b"nul",
+            b"1 2",
+            b"{\"a\"}",
+            b"[1e999]",
+            b"99999999999999999999",
+            b"\"\\ud800\"",
+            b"\x01",
+            b"",
+        ] {
+            assert!(
+                parse(bad).is_err(),
+                "{:?} must fail",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(deep.as_bytes()).is_err());
+        let ok = "[".repeat(MAX_DEPTH / 2) + &"]".repeat(MAX_DEPTH / 2);
+        assert!(parse(ok.as_bytes()).is_ok());
+    }
+}

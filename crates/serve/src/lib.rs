@@ -1,0 +1,41 @@
+//! Network serving layer for the Q system: an HTTP/1.1 front end over
+//! [`LiveServer`](q_core::LiveServer) with a versioned JSON wire API.
+//!
+//! Everything is hand-rolled on `std::net` — no async runtime, no HTTP or
+//! JSON dependency — because the workspace builds without crates.io and the
+//! protocol surface is deliberately small:
+//!
+//! | Endpoint             | Method | Body (v1)                         | Purpose |
+//! |----------------------|--------|-----------------------------------|---------|
+//! | `/query`             | POST   | keywords + per-request overrides  | answer one keyword query |
+//! | `/query/batch`       | POST   | array of query objects            | answer many, one response |
+//! | `/ingest`            | POST   | a full source spec                | incorporate a source, publish a snapshot |
+//! | `/feedback`          | POST   | keyword target + annotation       | MIRA update, publish a re-priced snapshot |
+//! | `/healthz`           | GET    | —                                 | liveness + current snapshot |
+//! | `/metrics`           | GET    | —                                 | Prometheus text exposition |
+//! | `/shutdown`          | POST   | —                                 | graceful stop (in-flight requests finish) |
+//!
+//! The module split mirrors the layering: [`json`] (deterministic
+//! encode/strict parse), [`wire`] (v1 message schema + typed error codes),
+//! [`http`] (defensive HTTP/1.1 framing), [`metrics`] (counters, latency
+//! quantiles, Prometheus rendering), [`server`] (router + fixed worker
+//! pool + graceful shutdown), [`client`] (a tiny blocking client for tests
+//! and smoke checks).
+//!
+//! The serving contract is byte-replayability: every query response names
+//! the published snapshot it was computed against, and re-encoding that
+//! snapshot's sequential answer ([`wire::encode_result`]) reproduces the
+//! response's `"result"` field byte for byte.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::HttpClient;
+pub use json::Json;
+pub use metrics::Metrics;
+pub use server::{QServe, ServeOptions};
+pub use wire::{WireError, WireView, WIRE_VERSION};

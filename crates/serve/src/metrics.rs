@@ -1,0 +1,268 @@
+//! Serving metrics: lock-free counters, a log-bucketed latency histogram
+//! for p50/p99, and a Prometheus text-format renderer.
+//!
+//! Everything is updated with relaxed atomics on the hot path; `/metrics`
+//! scrapes read the same atomics and render the text contract the CI smoke
+//! job checks (every `*_total` series is a monotone counter; `q_snapshot_id`
+//! and `q_ingest_lag_seconds` are gauges; quantiles come from the
+//! histogram's bucket upper bounds).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Histogram bucket count: bucket `i` holds observations in
+/// `[2^i, 2^(i+1))` microseconds, so 32 buckets span 1 µs to ~2¹⁵ s.
+const BUCKETS: usize = 32;
+
+/// Serving metrics. One instance is shared by every worker thread.
+pub struct Metrics {
+    started: Instant,
+    /// Queries answered (single and per-batch-entry), by cache disposition.
+    pub cache_hits: AtomicU64,
+    /// Cache entries served after surviving a publish re-pricing.
+    pub cache_revalidated: AtomicU64,
+    /// Fresh computations inserted into the cache.
+    pub cache_misses: AtomicU64,
+    /// Fresh computations that bypassed or refreshed the cache.
+    pub cache_uncached: AtomicU64,
+    /// HTTP requests served, all endpoints.
+    pub http_requests: AtomicU64,
+    /// Requests answered with an error body.
+    pub errors: AtomicU64,
+    /// Sources ingested over `/ingest`.
+    pub ingests: AtomicU64,
+    /// Feedback publishes over `/feedback`.
+    pub feedbacks: AtomicU64,
+    /// Currently published snapshot id (gauge).
+    pub snapshot_id: AtomicU64,
+    /// Wall time of the most recent ingest publish, in microseconds — the
+    /// "ingest lag": how far behind live a source is once its upload
+    /// completes (gauge).
+    pub ingest_lag_us: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh metrics; `snapshot` is the boot snapshot id.
+    pub fn new(snapshot: u64) -> Self {
+        Metrics {
+            started: Instant::now(),
+            cache_hits: AtomicU64::new(0),
+            cache_revalidated: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_uncached: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            ingests: AtomicU64::new(0),
+            feedbacks: AtomicU64::new(0),
+            snapshot_id: AtomicU64::new(snapshot),
+            ingest_lag_us: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one answered query's service time.
+    pub fn observe_query(&self, wall: Duration) {
+        let us = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total queries answered.
+    pub fn queries_total(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile from the histogram: the upper bound (in
+    /// seconds) of the bucket containing the q-th observation.
+    fn quantile(&self, q: f64) -> f64 {
+        let total = self.latency_count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.latency_buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 2f64.powi(i as i32 + 1) / 1e6;
+            }
+        }
+        2f64.powi(BUCKETS as i32) / 1e6
+    }
+
+    /// Render the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let queries = self.queries_total();
+
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "q_queries_total",
+            "Queries answered (single requests and batch entries).",
+            queries,
+        );
+        counter(
+            "q_http_requests_total",
+            "HTTP requests served, all endpoints.",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_cache_hits_total",
+            "Queries served from the shared answer cache.",
+            self.cache_hits.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_cache_revalidated_total",
+            "Cache entries served after surviving a publish.",
+            self.cache_revalidated.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_cache_misses_total",
+            "Fresh computations inserted into the cache.",
+            self.cache_misses.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_cache_uncached_total",
+            "Fresh computations that bypassed or refreshed the cache.",
+            self.cache_uncached.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_errors_total",
+            "Requests answered with an error body.",
+            self.errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_ingests_total",
+            "Sources ingested over /ingest.",
+            self.ingests.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_feedback_total",
+            "Feedback publishes over /feedback.",
+            self.feedbacks.load(Ordering::Relaxed),
+        );
+
+        let _ = writeln!(out, "# HELP q_qps Average queries per second since boot.");
+        let _ = writeln!(out, "# TYPE q_qps gauge");
+        let _ = writeln!(out, "q_qps {}", queries as f64 / uptime);
+
+        let _ = writeln!(
+            out,
+            "# HELP q_query_latency_seconds Query service time (histogram upper bounds)."
+        );
+        let _ = writeln!(out, "# TYPE q_query_latency_seconds summary");
+        let _ = writeln!(
+            out,
+            "q_query_latency_seconds{{quantile=\"0.5\"}} {}",
+            self.quantile(0.5)
+        );
+        let _ = writeln!(
+            out,
+            "q_query_latency_seconds{{quantile=\"0.99\"}} {}",
+            self.quantile(0.99)
+        );
+        let _ = writeln!(
+            out,
+            "q_query_latency_seconds_sum {}",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(out, "q_query_latency_seconds_count {queries}");
+
+        let _ = writeln!(
+            out,
+            "# HELP q_snapshot_id Currently published graph snapshot (weight epoch)."
+        );
+        let _ = writeln!(out, "# TYPE q_snapshot_id gauge");
+        let _ = writeln!(
+            out,
+            "q_snapshot_id {}",
+            self.snapshot_id.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP q_ingest_lag_seconds Wall time of the most recent ingest publish."
+        );
+        let _ = writeln!(out, "# TYPE q_ingest_lag_seconds gauge");
+        let _ = writeln!(
+            out,
+            "q_ingest_lag_seconds {}",
+            self.ingest_lag_us.load(Ordering::Relaxed) as f64 / 1e6
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP q_uptime_seconds Seconds since the server booted."
+        );
+        let _ = writeln!(out, "# TYPE q_uptime_seconds gauge");
+        let _ = writeln!(out, "q_uptime_seconds {uptime}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_the_histogram() {
+        let m = Metrics::new(0);
+        assert_eq!(m.quantile(0.5), 0.0, "empty histogram reports 0");
+        // 99 fast queries (~100us) and one slow (~50ms).
+        for _ in 0..99 {
+            m.observe_query(Duration::from_micros(100));
+        }
+        m.observe_query(Duration::from_millis(50));
+        let p50 = m.quantile(0.5);
+        let p99 = m.quantile(0.99);
+        assert!((100e-6..1e-3).contains(&p50), "p50 = {p50}");
+        assert!(p50 <= p99);
+        assert!(p99 < 50e-3, "p99 excludes the single outlier: {p99}");
+        assert!(m.quantile(1.0) >= 50e-3);
+        assert_eq!(m.queries_total(), 100);
+    }
+
+    #[test]
+    fn render_exposes_the_contract_series() {
+        let m = Metrics::new(7);
+        m.observe_query(Duration::from_micros(250));
+        m.http_requests.fetch_add(3, Ordering::Relaxed);
+        m.ingest_lag_us.store(1_500_000, Ordering::Relaxed);
+        let text = m.render();
+        for series in [
+            "q_queries_total ",
+            "q_http_requests_total ",
+            "q_cache_hits_total ",
+            "q_cache_revalidated_total ",
+            "q_cache_misses_total ",
+            "q_errors_total ",
+            "q_ingests_total ",
+            "q_qps ",
+            "q_query_latency_seconds{quantile=\"0.5\"} ",
+            "q_query_latency_seconds{quantile=\"0.99\"} ",
+            "q_snapshot_id 7",
+            "q_ingest_lag_seconds 1.5",
+            "q_uptime_seconds ",
+        ] {
+            assert!(text.contains(series), "missing `{series}` in:\n{text}");
+        }
+        // Every series carries HELP and TYPE lines.
+        assert_eq!(
+            text.matches("# HELP").count(),
+            text.matches("# TYPE").count()
+        );
+    }
+}

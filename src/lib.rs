@@ -19,29 +19,29 @@
 //! * [`core`] — the [`QSystem`] tying everything together.
 //! * [`datasets`] — synthetic GBCO and InterPro-GO datasets, gold standards
 //!   and workloads used by the experiments.
+//! * [`serve`] — the network serving layer: an HTTP/1.1 front end over
+//!   [`LiveServer`] with a versioned JSON wire API and Prometheus metrics.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
-//! EXPERIMENTS.md for the reproduction methodology.
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the reproduction methodology and experiment write-ups.
 //!
-//! ## Query API migration
+//! ## Typed query API
 //!
 //! Serving goes through the typed request/response surface: construct the
 //! system with [`QSystem::builder`](q_core::QSystem::builder), describe each
 //! query with a [`QueryRequest`] (keywords + per-request `top_k`, search
 //! strategy, cost budget, cache policy), and get a [`QueryOutcome`] back
-//! (the ranked view + cache/epoch/search provenance). The old slice-taking
-//! methods are deprecated shims:
+//! (the ranked view + cache/epoch/search provenance):
 //!
-//! | Old call | New call |
+//! | Task | Call |
 //! |---|---|
-//! | `QSystem::new(catalog, config)` + `add_matcher(..)` | `QSystem::builder().catalog(..).config(..).matcher(..).build()?` |
-//! | `q.run_query_cached(&["a", "b"])` | `q.query(&QueryRequest::new(["a", "b"]))?.view` |
-//! | `q.run_query_uncached(&["a", "b"])` | `q.query(&QueryRequest::new(["a", "b"]).cache_policy(CachePolicy::Bypass))?.view` |
-//! | `q.run_queries_batch(&workload, &opts)` | `q.query_batch(&requests, &opts)` |
-//! | `QConfig { top_k, .. }` frozen at build | `QueryRequest::new(..).top_k(k).strategy(..).cost_budget(..)` per request |
-//!
-//! The shims answer byte-identically to the typed path (pinned by the
-//! `api_equivalence` integration test), so migration is mechanical.
+//! | Build a system | `QSystem::builder().catalog(..).config(..).matcher(..).build()?` |
+//! | Answer a query | `q.query(&QueryRequest::new(["a", "b"]))?.view` |
+//! | Answer without caching | `q.query(&QueryRequest::new(["a", "b"]).cache_policy(CachePolicy::Bypass))?` |
+//! | Answer a workload | `q.query_batch(&requests, &opts)` |
+//! | Answer through `&self` | `q.query_shared(&request)?` (requires `CachePolicy::Bypass`) |
+//! | Apply feedback | `q.apply_feedback(&FeedbackRequest::on_view(id, feedback))?` |
+//! | Override parameters per request | `QueryRequest::new(..).top_k(k).strategy(..).cost_budget(..)` |
 //!
 //! ## Live ingestion
 //!
@@ -52,6 +52,16 @@
 //! stopping them. Every outcome carries "answered from snapshot N"
 //! provenance; the `live_ingest` stress test replays each concurrent answer
 //! against its snapshot's sequential answer. See DESIGN.md § Live ingestion.
+//!
+//! ## Network serving
+//!
+//! [`serve::QServe`] exposes a [`LiveServer`] over HTTP: `POST /query`,
+//! `/query/batch`, `/ingest` and `/feedback` speak the versioned JSON wire
+//! protocol (`"v":1`, typed error codes, bit-exact value round-trips), and
+//! `GET /healthz` / `GET /metrics` serve operations. Every response names
+//! the published snapshot it was computed against and replays byte-identical
+//! against that snapshot's sequential answer. See DESIGN.md § Network
+//! serving and the `q-serve` binary.
 
 pub use q_align as align;
 pub use q_core as core;
@@ -59,11 +69,13 @@ pub use q_datasets as datasets;
 pub use q_graph as graph;
 pub use q_learn as learn;
 pub use q_matchers as matchers;
+pub use q_serve as serve;
 pub use q_storage as storage;
 
 pub use q_core::{
-    BatchOptions, BatchOutcome, CachePolicy, CacheStatus, Feedback, GraphSnapshot, IngestReport,
-    LiveServer, QConfig, QError, QSystem, QSystemBuilder, QueryOutcome, QueryRequest,
-    SearchStrategy,
+    BatchOptions, BatchOutcome, CachePolicy, CacheStatus, Feedback, FeedbackOutcome,
+    FeedbackRequest, FeedbackTarget, GraphSnapshot, IngestReport, LiveFeedbackReport, LiveServer,
+    QConfig, QError, QSystem, QSystemBuilder, QueryOutcome, QueryRequest, SearchStrategy,
 };
+pub use q_serve::{QServe, ServeOptions};
 pub use q_storage::{Catalog, RelationSpec, SourceSpec, StorageError, Value};

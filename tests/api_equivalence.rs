@@ -1,15 +1,14 @@
-//! Pins the API redesign to PR 2's determinism guarantees: every query
-//! answered through the typed `QueryRequest` path must be byte-identical to
-//! the deprecated `run_query_cached` / `run_query_uncached` /
-//! `run_queries_batch` answers across the GBCO workload, and the per-request
-//! overrides must change answers *without* rebuilding the system.
-#![allow(deprecated)]
+//! Pins the typed API to PR 2's determinism guarantees: the shared
+//! (`&self`) query path must be byte-identical to the exclusive typed path,
+//! the typed feedback surface must behave identically whether it targets a
+//! view id or the view's keywords, and per-request overrides must change
+//! answers *without* rebuilding the system.
 
 use std::sync::Arc;
 
 use q_core::{
-    BatchOptions, CachePolicy, CacheStatus, QConfig, QSystem, QueryRequest, RankedView,
-    SearchStrategy,
+    CachePolicy, CacheStatus, Feedback, FeedbackRequest, QConfig, QError, QSystem, QueryRequest,
+    RankedView, SearchStrategy,
 };
 use q_datasets::{
     declare_foreign_keys, gbco_foreign_keys, gbco_source_specs, gbco_trials, GbcoConfig,
@@ -58,79 +57,93 @@ fn render(view: &RankedView) -> String {
 }
 
 #[test]
-fn typed_query_path_is_byte_identical_to_the_deprecated_shims() {
-    // Old and new paths on identically prepared systems over the full GBCO
-    // trial workload.
-    let mut old = build_system();
-    let mut new = build_system();
+fn shared_query_path_is_byte_identical_to_the_exclusive_path() {
+    // `query_shared` (the `&self` lane concurrent readers use) and `query`
+    // (the `&mut self` lane) on identically prepared systems over the full
+    // GBCO trial workload.
+    let shared = build_system();
+    let mut exclusive = build_system();
 
     for keywords in trial_keywords() {
-        let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
-
-        // Uncached / Bypass.
-        let old_uncached = old.run_query_uncached(&refs).expect("answers");
-        let new_bypass = new
-            .query(&QueryRequest::new(keywords.iter().cloned()).cache_policy(CachePolicy::Bypass))
-            .expect("answers");
+        let request = QueryRequest::new(keywords.iter().cloned()).cache_policy(CachePolicy::Bypass);
+        let via_shared = shared.query_shared(&request).expect("answers");
+        let via_exclusive = exclusive.query(&request).expect("answers");
         assert_eq!(
-            render(&old_uncached),
-            render(&new_bypass.view),
-            "bypass diverged from run_query_uncached for {keywords:?}"
+            render(&via_shared.view),
+            render(&via_exclusive.view),
+            "shared path diverged for {keywords:?}"
         );
-
-        // Cached (first call computes, second hits) — bytes must agree with
-        // the old cached method on the other system.
-        let old_cached = old.run_query_cached(&refs).expect("answers");
-        let new_cached = new
-            .query(&QueryRequest::new(keywords.iter().cloned()))
-            .expect("answers");
-        assert_eq!(
-            render(&old_cached),
-            render(&new_cached.view),
-            "cached diverged from run_query_cached for {keywords:?}"
-        );
+        assert_eq!(via_shared.cache, CacheStatus::Bypassed);
+        assert_eq!(via_shared.weight_epoch, via_exclusive.weight_epoch);
     }
 
-    // Both caches saw exactly the same traffic shape.
-    assert_eq!(old.query_cache().len(), new.query_cache().len());
-    assert_eq!(old.query_cache().misses(), new.query_cache().misses());
+    // The shared lane serves through `&self` and never touches the cache.
+    assert_eq!(shared.query_cache().len(), 0);
+    assert_eq!(shared.query_cache().misses(), 0);
 }
 
 #[test]
-fn deprecated_batch_shim_matches_query_batch_including_counters() {
-    let workload = trial_keywords();
-    let requests: Vec<QueryRequest> = workload
-        .iter()
-        .map(|kws| QueryRequest::new(kws.iter().cloned()))
-        .collect();
-
-    let mut old = build_system();
-    let old_report = old.run_queries_batch(&workload, &BatchOptions { workers: 3 });
-    let mut new = build_system();
-    let new_outcome = new.query_batch(&requests, &BatchOptions { workers: 3 });
-
-    assert_eq!(old_report.results.len(), new_outcome.outcomes.len());
-    assert_eq!(old_report.cache_hits, new_outcome.cache_hits);
-    assert_eq!(old_report.cache_misses, new_outcome.cache_misses);
-    assert_eq!(old_report.workers, new_outcome.workers);
-    for (old_slot, new_slot) in old_report.results.iter().zip(&new_outcome.outcomes) {
-        let old_view = old_slot.as_ref().expect("GBCO queries answer");
-        let new_view = &new_slot.as_ref().expect("GBCO queries answer").view;
-        assert_eq!(render(old_view), render(new_view));
+fn shared_query_path_rejects_cacheable_policies() {
+    let q = build_system();
+    let keywords = &trial_keywords()[0];
+    for policy in [CachePolicy::Cached, CachePolicy::Refresh] {
+        let err = q
+            .query_shared(&QueryRequest::new(keywords.iter().cloned()).cache_policy(policy))
+            .expect_err("cacheable policies need the exclusive lane");
+        assert!(
+            matches!(err, QError::InvalidRequest { field: "cache", .. }),
+            "unexpected error: {err:?}"
+        );
     }
+}
 
-    // The shim funnels through the typed path, so a shim batch on the same
-    // system is now all cache hits.
-    let replay = old.run_queries_batch(&workload, &BatchOptions::default());
-    assert_eq!(replay.cache_misses, 0);
-    // ... and the typed path shares those entries byte for byte (same Arc).
-    let typed_replay = old.query_batch(&requests, &BatchOptions::default());
-    for (shim, typed) in replay.results.iter().zip(&typed_replay.outcomes) {
-        assert!(Arc::ptr_eq(
-            shim.as_ref().unwrap(),
-            &typed.as_ref().unwrap().view
-        ));
-    }
+#[test]
+fn feedback_by_keywords_matches_feedback_by_view_id() {
+    // Two identically prepared systems, the same annotation: one addressed
+    // by view id, one by the view's keywords. The typed request surface
+    // must resolve both to the same MIRA update.
+    let mut by_id = build_system();
+    let mut by_keywords = build_system();
+    let keywords = trial_keywords()
+        .into_iter()
+        .find(|kws| {
+            by_id
+                .query(&QueryRequest::new(kws.iter().cloned()))
+                .map(|o| o.view.queries.len() >= 2 && !o.view.answers.is_empty())
+                .unwrap_or(false)
+        })
+        .expect("some GBCO trial yields multiple trees");
+    let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+    let view_id = by_id.create_view(&refs).expect("view materialises");
+
+    let annotation = Feedback::Invalid { answer: 0 };
+    let id_outcome = by_id
+        .apply_feedback(&FeedbackRequest::on_view(view_id, annotation))
+        .expect("feedback applies");
+    // The keyword form creates the view on demand (none exists yet) and
+    // then applies the identical update.
+    let kw_outcome = by_keywords
+        .apply_feedback(&FeedbackRequest::on_keywords(keywords.clone(), annotation))
+        .expect("feedback applies");
+    assert_eq!(id_outcome, kw_outcome);
+    assert!(id_outcome.constraints > 0);
+
+    // Both systems converged to the same re-priced answers.
+    let request = QueryRequest::new(keywords.iter().cloned()).cache_policy(CachePolicy::Bypass);
+    let a = by_id.query(&request).expect("answers");
+    let b = by_keywords.query(&request).expect("answers");
+    assert_eq!(render(&a.view), render(&b.view));
+
+    // A second keyword-addressed annotation reuses the materialised view
+    // instead of growing the view table.
+    let views_before = by_keywords.views().len();
+    by_keywords
+        .apply_feedback(&FeedbackRequest::on_keywords(
+            keywords.clone(),
+            Feedback::Correct { answer: 0 },
+        ))
+        .expect("feedback applies");
+    assert_eq!(by_keywords.views().len(), views_before);
 }
 
 #[test]
