@@ -1,18 +1,20 @@
 //! Command-line experiment runner: regenerates every table and figure of the
 //! paper's evaluation section, plus the post-paper throughput experiment.
 //!
-//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|search|search-smoke|ingest|ingest-smoke|all]`
+//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|search|search-smoke|ingest|ingest-smoke|scale|scale-smoke|all]`
 //!
 //! `throughput` (and its reduced CI variant `throughput-smoke`) additionally
 //! writes `BENCH_throughput.json` to the current directory; `search` /
 //! `search-smoke` write `BENCH_search.json`; `ingest` / `ingest-smoke`
-//! write `BENCH_ingest.json`.
+//! write `BENCH_ingest.json`; `scale` / `scale-smoke` write
+//! `BENCH_scale.json`.
 
 use q_bench::{
     run_aligner_experiment, run_learning_experiment, run_live_ingest_experiment,
-    run_matcher_quality, run_scaling_experiment, run_search_latency_experiment,
-    run_throughput_experiment, AlignerExperimentConfig, LearningConfig, LiveIngestConfig,
-    MatcherQualityConfig, ScalingExperimentConfig, SearchLatencyConfig, ThroughputConfig,
+    run_matcher_quality, run_scale_experiment, run_scaling_experiment,
+    run_search_latency_experiment, run_throughput_experiment, AlignerExperimentConfig,
+    LearningConfig, LiveIngestConfig, MatcherQualityConfig, ScaleConfig, ScalingExperimentConfig,
+    SearchLatencyConfig, ThroughputConfig,
 };
 
 fn main() {
@@ -32,6 +34,8 @@ fn main() {
         "search-smoke" => search(&SearchLatencyConfig::smoke()),
         "ingest" => ingest(&LiveIngestConfig::default()),
         "ingest-smoke" => ingest(&LiveIngestConfig::smoke()),
+        "scale" => scale(&ScaleConfig::default()),
+        "scale-smoke" => scale(&ScaleConfig::smoke()),
         "all" => {
             fig6_7(true, true);
             fig8();
@@ -40,15 +44,58 @@ fn main() {
             throughput(&ThroughputConfig::default());
             search(&SearchLatencyConfig::default());
             ingest(&LiveIngestConfig::default());
+            scale(&ScaleConfig::default());
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "expected one of: fig6 fig7 fig8 table1 fig10 fig11 fig12 table2 \
-                 throughput throughput-smoke search search-smoke ingest ingest-smoke all"
+                 throughput throughput-smoke search search-smoke ingest ingest-smoke \
+                 scale scale-smoke all"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn scale(config: &ScaleConfig) {
+    let result = run_scale_experiment(config);
+    println!("== Corpus scaling: latency, throughput and memory vs corpus size ==");
+    println!(
+        "{} shards, {} miss workers; peak RSS {:.1} MiB ({})",
+        result.shards,
+        result.shard_workers,
+        result.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        result.rss_source
+    );
+    println!("sources      rows   build_ms  snap_MiB  boundary  cold_p99_ms  warm_p99_ms  cold_qps    warm_qps");
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    for t in &result.tiers {
+        println!(
+            "{:>7}  {:>8}  {:>9.1}  {:>8.2}  {:>8}  {:>11.3}  {:>11.3}  {:>8.1}  {:>10.1}",
+            t.total_sources,
+            t.total_rows,
+            ms(t.build),
+            t.snapshot_bytes as f64 / (1024.0 * 1024.0),
+            t.boundary_edges,
+            ms(t.cold_p99),
+            ms(t.warm_p99),
+            t.cold_qps,
+            t.warm_qps
+        );
+    }
+    println!(
+        "deterministic (rebuilds + sharded-vs-unsharded): {}",
+        result.deterministic
+    );
+    let json = result.to_json(config);
+    let path = "BENCH_scale.json";
+    std::fs::write(path, &json).expect("write BENCH_scale.json");
+    println!("wrote {path}");
+    println!();
+    if !result.deterministic {
+        eprintln!("FATAL: scaled replays diverged (rebuild or sharded-vs-unsharded mismatch)");
+        std::process::exit(1);
     }
 }
 

@@ -10,6 +10,7 @@ pub mod aligners;
 pub mod learning;
 pub mod live_ingest;
 pub mod matchers;
+pub mod scale;
 pub mod scaling;
 pub mod search_latency;
 pub mod throughput;
@@ -22,6 +23,7 @@ pub use live_ingest::{run_live_ingest_experiment, LiveIngestConfig, LiveIngestRe
 pub use matchers::{
     run_matcher_quality, MatcherQualityConfig, MatcherQualityResult, MatcherQualityRow,
 };
+pub use scale::{run_scale_experiment, ScaleConfig, ScaleResult, ScaleTier};
 pub use scaling::{run_scaling_experiment, ScalingExperimentConfig, ScalingPoint, ScalingResult};
 pub use search_latency::{
     run_search_latency_experiment, LatencyStats, SearchLatencyConfig, SearchLatencyResult,

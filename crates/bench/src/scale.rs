@@ -1,0 +1,438 @@
+//! Corpus scaling: serving latency, throughput and memory accounting as the
+//! synthetic corpus grows 1× → 10× → 100× past the calibrated GBCO seed.
+//!
+//! This is the experiment behind `BENCH_scale.json`: the CI `scale-smoke`
+//! step runs it in a reduced configuration and fails when the file is
+//! absent, malformed or nondeterministic; the full-size numbers (1800
+//! additional sources at the top tier) land in the committed JSON for the
+//! README's bench table. Each tier builds the expanded system twice and
+//! replays the 16 GBCO trial queries cold (all misses) and warm (all hits);
+//! the `deterministic` flag asserts the two builds answered byte-for-byte
+//! identically, and — at the first tier — that the sharded system answers
+//! byte-for-byte like an unsharded (`shards = 1`, `shard_workers = 1`) one.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use q_core::{QConfig, QSystem, QueryRequest};
+use q_datasets::scaling::{expand_with_synthetic_sources_detailed, ScalingConfig};
+use q_datasets::{gbco_catalog, gbco_trials, GbcoConfig};
+use q_graph::SearchGraph;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    /// Calibrated GBCO seed corpus.
+    pub gbco: GbcoConfig,
+    /// Synthetic expansion knobs (rows per table, arity, vocabulary reuse).
+    pub scaling: ScalingConfig,
+    /// Additional synthetic sources per tier, smallest first (the default
+    /// 18 / 180 / 1800 is 1× / 10× / 100× the 18-source GBCO federation).
+    pub tiers: Vec<usize>,
+    /// Shards the served snapshot is partitioned into.
+    pub shards: usize,
+    /// Worker threads fanning one miss's per-terminal Dijkstras.
+    pub shard_workers: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            gbco: GbcoConfig::default(),
+            scaling: ScalingConfig {
+                rows_per_table: 50,
+                ..ScalingConfig::default()
+            },
+            tiers: vec![18, 180, 1800],
+            shards: 4,
+            shard_workers: 2,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// Reduced configuration for the CI smoke run.
+    pub fn smoke() -> Self {
+        ScaleConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 10,
+                seed: 17,
+            },
+            scaling: ScalingConfig {
+                rows_per_table: 12,
+                ..ScalingConfig::default()
+            },
+            tiers: vec![6, 24],
+            shards: 3,
+            shard_workers: 2,
+        }
+    }
+}
+
+/// Measurements of one corpus tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleTier {
+    /// Synthetic sources added on top of the GBCO seed.
+    pub additional_sources: usize,
+    /// Total sources in the federation.
+    pub total_sources: usize,
+    /// Total rows across all relations.
+    pub total_rows: usize,
+    /// Wall-clock to build the serving state (catalog, graph, indexes,
+    /// shard set).
+    pub build: Duration,
+    /// Accounted bytes of the packed search structures (all shards plus the
+    /// boundary section).
+    pub snapshot_bytes: u64,
+    /// Accounted bytes per shard.
+    pub shard_bytes: Vec<u64>,
+    /// Cross-shard edges in the shared boundary section.
+    pub boundary_edges: usize,
+    /// Cold-pass (all misses) latency percentiles.
+    pub cold_p50: Duration,
+    /// 99th percentile of the cold pass.
+    pub cold_p99: Duration,
+    /// Warm-pass (all hits) latency percentiles.
+    pub warm_p50: Duration,
+    /// 99th percentile of the warm pass.
+    pub warm_p99: Duration,
+    /// Queries per second over the cold pass.
+    pub cold_qps: f64,
+    /// Queries per second over the warm pass.
+    pub warm_qps: f64,
+}
+
+/// Measured result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleResult {
+    /// Per-tier measurements, smallest corpus first.
+    pub tiers: Vec<ScaleTier>,
+    /// Shards the snapshots were partitioned into.
+    pub shards: usize,
+    /// Per-miss Dijkstra fan-out width.
+    pub shard_workers: usize,
+    /// Peak resident set size in bytes (`VmHWM` when the platform exposes
+    /// it, otherwise the largest accounted snapshot size).
+    pub peak_rss_bytes: u64,
+    /// `"vm_hwm"` or `"accounted"` — where `peak_rss_bytes` came from.
+    pub rss_source: &'static str,
+    /// Every tier's two builds answered byte-for-byte identically, and the
+    /// first tier's sharded system matched an unsharded one byte-for-byte.
+    pub deterministic: bool,
+}
+
+/// Peak resident set size from `/proc/self/status` (`VmHWM`, in bytes).
+fn vm_hwm_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+fn qps(count: usize, total: Duration) -> f64 {
+    let secs = total.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Build the expanded system for one tier: GBCO seed catalog, synthetic
+/// expansion (multi-attribute FK-linked sources), `QSystem` over the result
+/// with the expansion's association edges re-applied and the shard set
+/// built eagerly so `build` covers the whole serving state.
+fn build_tier(config: &ScaleConfig, additional: usize) -> (QSystem, Duration, usize) {
+    let start = Instant::now();
+    let mut catalog = gbco_catalog(&config.gbco);
+    let mut graph = SearchGraph::from_catalog(&catalog);
+    let expansion = expand_with_synthetic_sources_detailed(
+        &mut catalog,
+        &mut graph,
+        additional,
+        &config.scaling,
+    );
+    drop(graph); // the QSystem re-derives its graph from the catalog
+    let total_rows: usize = catalog.relations().iter().map(|r| r.cardinality()).sum();
+    let mut q = QSystem::new(
+        catalog,
+        QConfig {
+            shards: config.shards,
+            shard_workers: config.shard_workers,
+            ..QConfig::default()
+        },
+    );
+    for (a, b, confidence) in &expansion.associations {
+        q.graph_mut()
+            .add_association(*a, *b, "synthetic", *confidence);
+    }
+    q.shard_set();
+    (q, start.elapsed(), total_rows)
+}
+
+/// Replay the requests once, timing each individually; returns the
+/// per-query times and the rendered views (the byte-identity fingerprint).
+fn replay(q: &mut QSystem, requests: &[QueryRequest]) -> (Vec<Duration>, Vec<String>) {
+    let mut times = Vec::with_capacity(requests.len());
+    let mut renders = Vec::with_capacity(requests.len());
+    for request in requests {
+        let start = Instant::now();
+        let outcome = q.query(request).expect("scale query answers");
+        times.push(start.elapsed());
+        renders.push(format!("{:?}", outcome.view));
+    }
+    (times, renders)
+}
+
+/// Run the scale experiment.
+pub fn run_scale_experiment(config: &ScaleConfig) -> ScaleResult {
+    let requests: Vec<QueryRequest> = gbco_trials()
+        .iter()
+        .map(|t| QueryRequest::new(t.keywords.iter().cloned()))
+        .collect();
+
+    let mut tiers = Vec::with_capacity(config.tiers.len());
+    let mut deterministic = true;
+    let mut accounted_peak = 0u64;
+    for (tier_index, &additional) in config.tiers.iter().enumerate() {
+        let (mut q, build, total_rows) = build_tier(config, additional);
+        let total_sources = q.catalog().sources().len();
+        let (snapshot_bytes, shard_bytes, boundary_edges) = {
+            let set = q.shard_set();
+            (
+                set.total_bytes(),
+                set.shard_bytes(),
+                set.boundary_edge_count(),
+            )
+        };
+        accounted_peak = accounted_peak.max(snapshot_bytes);
+
+        let (cold_times, cold_renders) = replay(&mut q, &requests);
+        let (warm_times, warm_renders) = replay(&mut q, &requests);
+        deterministic &= cold_renders == warm_renders;
+
+        // Second build of the same tier: answers must be byte-identical.
+        let (mut q2, _, _) = build_tier(config, additional);
+        let (_, rebuild_renders) = replay(&mut q2, &requests);
+        deterministic &= cold_renders == rebuild_renders;
+
+        // At the smallest tier, pin the shard-equivalence claim inside the
+        // experiment too: an unsharded single-threaded system answers
+        // byte-for-byte like the sharded one.
+        if tier_index == 0 {
+            let unsharded = ScaleConfig {
+                shards: 1,
+                shard_workers: 1,
+                ..config.clone()
+            };
+            let (mut q1, _, _) = build_tier(&unsharded, additional);
+            let (_, unsharded_renders) = replay(&mut q1, &requests);
+            deterministic &= cold_renders == unsharded_renders;
+        }
+
+        let cold_total: Duration = cold_times.iter().sum();
+        let warm_total: Duration = warm_times.iter().sum();
+        let mut cold_sorted = cold_times;
+        let mut warm_sorted = warm_times;
+        cold_sorted.sort_unstable();
+        warm_sorted.sort_unstable();
+        tiers.push(ScaleTier {
+            additional_sources: additional,
+            total_sources,
+            total_rows,
+            build,
+            snapshot_bytes,
+            shard_bytes,
+            boundary_edges,
+            cold_p50: percentile(&cold_sorted, 50),
+            cold_p99: percentile(&cold_sorted, 99),
+            warm_p50: percentile(&warm_sorted, 50),
+            warm_p99: percentile(&warm_sorted, 99),
+            cold_qps: qps(requests.len(), cold_total),
+            warm_qps: qps(requests.len(), warm_total),
+        });
+    }
+
+    let (peak_rss_bytes, rss_source) = match vm_hwm_bytes() {
+        Some(bytes) => (bytes, "vm_hwm"),
+        None => (accounted_peak, "accounted"),
+    };
+    ScaleResult {
+        tiers,
+        shards: config.shards,
+        shard_workers: config.shard_workers,
+        peak_rss_bytes,
+        rss_source,
+        deterministic,
+    }
+}
+
+impl ScaleResult {
+    /// Serialise to the `BENCH_scale.json` schema (hand-rolled: the vendored
+    /// serde shim has no JSON backend). Keys are stable — the CI smoke step
+    /// asserts their presence.
+    pub fn to_json(&self, config: &ScaleConfig) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let tiers: Vec<String> = self
+            .tiers
+            .iter()
+            .map(|t| {
+                let shard_bytes: Vec<String> =
+                    t.shard_bytes.iter().map(|b| b.to_string()).collect();
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"additional_sources\": {},\n",
+                        "      \"total_sources\": {},\n",
+                        "      \"total_rows\": {},\n",
+                        "      \"build_ms\": {:.3},\n",
+                        "      \"snapshot_bytes\": {},\n",
+                        "      \"shard_bytes\": [{}],\n",
+                        "      \"boundary_edges\": {},\n",
+                        "      \"cold_p50_ms\": {:.3},\n",
+                        "      \"cold_p99_ms\": {:.3},\n",
+                        "      \"warm_p50_ms\": {:.3},\n",
+                        "      \"warm_p99_ms\": {:.3},\n",
+                        "      \"cold_qps\": {:.1},\n",
+                        "      \"warm_qps\": {:.1}\n",
+                        "    }}"
+                    ),
+                    t.additional_sources,
+                    t.total_sources,
+                    t.total_rows,
+                    ms(t.build),
+                    t.snapshot_bytes,
+                    shard_bytes.join(", "),
+                    t.boundary_edges,
+                    ms(t.cold_p50),
+                    ms(t.cold_p99),
+                    ms(t.warm_p50),
+                    ms(t.warm_p99),
+                    t.cold_qps,
+                    t.warm_qps,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"scale\",\n",
+                "  \"workload\": \"gbco_trials\",\n",
+                "  \"rows_per_table\": {},\n",
+                "  \"attributes_per_table\": {},\n",
+                "  \"shards\": {},\n",
+                "  \"shard_workers\": {},\n",
+                "  \"peak_rss_bytes\": {},\n",
+                "  \"rss_source\": \"{}\",\n",
+                "  \"deterministic\": {},\n",
+                "  \"tiers\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            config.scaling.rows_per_table,
+            config.scaling.attributes_per_table,
+            self.shards,
+            self.shard_workers,
+            self.peak_rss_bytes,
+            self.rss_source,
+            self.deterministic,
+            tiers.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_configuration_measures_and_stays_deterministic() {
+        let config = ScaleConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 8,
+                seed: 17,
+            },
+            scaling: ScalingConfig {
+                rows_per_table: 6,
+                ..ScalingConfig::default()
+            },
+            tiers: vec![4],
+            shards: 3,
+            shard_workers: 2,
+        };
+        let result = run_scale_experiment(&config);
+        assert!(result.deterministic, "scale replays diverged");
+        assert_eq!(result.tiers.len(), 1);
+        let tier = &result.tiers[0];
+        assert_eq!(tier.additional_sources, 4);
+        assert!(tier.total_rows > 0);
+        assert!(tier.snapshot_bytes > 0);
+        assert_eq!(tier.shard_bytes.len(), 3);
+        assert!(
+            tier.shard_bytes.iter().sum::<u64>() <= tier.snapshot_bytes,
+            "per-shard bytes exceed the accounted total"
+        );
+        assert!(tier.boundary_edges > 0, "synthetic FKs must cross shards");
+        assert!(result.peak_rss_bytes > 0);
+    }
+
+    #[test]
+    fn json_has_the_contracted_keys() {
+        let config = ScaleConfig::smoke();
+        let result = ScaleResult {
+            tiers: vec![ScaleTier {
+                additional_sources: 6,
+                total_sources: 24,
+                total_rows: 252,
+                build: Duration::from_millis(12),
+                snapshot_bytes: 4096,
+                shard_bytes: vec![2048, 1024, 512],
+                boundary_edges: 3,
+                cold_p50: Duration::from_millis(2),
+                cold_p99: Duration::from_millis(5),
+                warm_p50: Duration::from_micros(10),
+                warm_p99: Duration::from_micros(50),
+                cold_qps: 400.0,
+                warm_qps: 90_000.0,
+            }],
+            shards: 3,
+            shard_workers: 2,
+            peak_rss_bytes: 1 << 20,
+            rss_source: "vm_hwm",
+            deterministic: true,
+        };
+        let json = result.to_json(&config);
+        for key in [
+            "\"experiment\"",
+            "\"shards\"",
+            "\"shard_workers\"",
+            "\"peak_rss_bytes\"",
+            "\"rss_source\"",
+            "\"deterministic\"",
+            "\"tiers\"",
+            "\"additional_sources\"",
+            "\"total_sources\"",
+            "\"total_rows\"",
+            "\"build_ms\"",
+            "\"snapshot_bytes\"",
+            "\"shard_bytes\"",
+            "\"boundary_edges\"",
+            "\"cold_p50_ms\"",
+            "\"cold_p99_ms\"",
+            "\"warm_p50_ms\"",
+            "\"warm_p99_ms\"",
+            "\"cold_qps\"",
+            "\"warm_qps\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with("}\n"));
+    }
+}

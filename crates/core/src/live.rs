@@ -54,7 +54,7 @@
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use q_graph::{KeywordIndex, SearchGraph, SteinerScratch};
+use q_graph::{KeywordIndex, SearchGraph, ShardSet, SteinerScratch};
 use q_learn::Mira;
 use q_matchers::{AttributeAlignment, SchemaMatcher};
 use q_storage::{AttributeId, Catalog, RelationId, SourceId, SourceSpec};
@@ -76,12 +76,22 @@ pub struct GraphSnapshot {
     catalog: Catalog,
     graph: SearchGraph,
     keyword_index: KeywordIndex,
+    /// Shard structure frozen with the snapshot: per-shard postings
+    /// partitions and sub-CSRs, plus the byte accounting `/metrics`
+    /// surfaces. Built once at publish time, always fresh by construction.
+    shards: ShardSet,
 }
 
 impl GraphSnapshot {
-    fn build(catalog: Catalog, graph: SearchGraph, keyword_index: KeywordIndex) -> Self {
+    fn build(
+        catalog: Catalog,
+        graph: SearchGraph,
+        keyword_index: KeywordIndex,
+        shards: usize,
+    ) -> Self {
         GraphSnapshot {
             id: graph.weight_epoch(),
+            shards: ShardSet::build(&catalog, &graph, &keyword_index, shards),
             catalog,
             graph,
             keyword_index,
@@ -109,6 +119,24 @@ impl GraphSnapshot {
         &self.keyword_index
     }
 
+    /// The shard structure frozen into this snapshot.
+    pub fn shard_set(&self) -> &ShardSet {
+        &self.shards
+    }
+
+    /// Accounted heap bytes of the snapshot's packed search structures:
+    /// every shard's interior sub-CSR and postings share plus the shared
+    /// boundary section.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.shards.total_bytes()
+    }
+
+    /// Accounted heap bytes per shard (interior sub-CSR plus postings
+    /// share), in shard order.
+    pub fn shard_bytes(&self) -> Vec<u64> {
+        self.shards.shard_bytes()
+    }
+
     /// The sequential reference answer of this snapshot for a request: a
     /// pure function of `(snapshot, request)`, computed fresh with no cache
     /// involvement. Concurrent serving is pinned against exactly this — the
@@ -124,6 +152,7 @@ impl GraphSnapshot {
             &refs,
             ServeParams::resolve(config, request),
             false,
+            Some(&self.shards),
             &mut SteinerScratch::default(),
         )
         .map(|(view, _, _)| view)
@@ -209,7 +238,12 @@ impl LiveServer {
     pub fn new(catalog: Catalog, config: QConfig) -> Self {
         let graph = SearchGraph::from_catalog(&catalog);
         let keyword_index = KeywordIndex::build(&catalog);
-        let snapshot = Arc::new(GraphSnapshot::build(catalog, graph, keyword_index));
+        let snapshot = Arc::new(GraphSnapshot::build(
+            catalog,
+            graph,
+            keyword_index,
+            config.shards,
+        ));
         let mut cache = QueryCache::default();
         cache.sync_epoch(snapshot.graph.weight_epoch(), &snapshot.graph);
         LiveServer {
@@ -313,6 +347,7 @@ impl LiveServer {
                 &refs,
                 params,
                 build_model,
+                Some(&snapshot.shards),
                 &mut scratch.borrow_mut(),
             )
         })?;
@@ -402,7 +437,12 @@ impl LiveServer {
             .map(|e| graph.edge_cost(e.id))
             .fold(f64::INFINITY, f64::min);
 
-        let next = Arc::new(GraphSnapshot::build(catalog, graph, keyword_index));
+        let next = Arc::new(GraphSnapshot::build(
+            catalog,
+            graph,
+            keyword_index,
+            self.config.shards,
+        ));
         let (cache_kept, cache_dropped) = {
             let delta = IngestionDelta {
                 catalog: &next.catalog,
@@ -458,6 +498,7 @@ impl LiveServer {
             base.catalog.clone(),
             graph,
             base.keyword_index.clone(),
+            self.config.shards,
         ));
         {
             let mut cache = self.cache.lock().expect("cache lock poisoned");
@@ -528,6 +569,7 @@ impl LiveServer {
             base.catalog.clone(),
             graph,
             base.keyword_index.clone(),
+            self.config.shards,
         ));
         // Weights-only publish: drop re-priced entries, keep bit-identical
         // ones. Sync before the pointer swap so stale in-flight inserts

@@ -18,8 +18,8 @@ use q_align::{
 };
 use q_graph::keyword::MatchTarget;
 use q_graph::{
-    approx_top_k, approx_top_k_detailed, exact_minimum_steiner, KeywordIndex, NodeId, QueryGraph,
-    SearchGraph, SteinerConfig, SteinerScratch, SteinerStats,
+    approx_top_k, approx_top_k_detailed_fanned, exact_minimum_steiner, KeywordIndex, KeywordMatch,
+    NodeId, QueryGraph, SearchGraph, ShardSet, SteinerConfig, SteinerScratch, SteinerStats,
 };
 use q_learn::{constraints_from_candidates, enforce_positive_costs, Mira};
 use q_matchers::{AttributeAlignment, SchemaMatcher};
@@ -107,6 +107,12 @@ pub struct QSystem {
     /// make starting the next search O(1), so they must not be rebuilt per
     /// query.
     scratch: SteinerScratch,
+    /// Shard structure over the current catalog/graph/index, rebuilt lazily
+    /// whenever a serving path finds it stale (a source or association
+    /// arrived since). Sharding never changes answers — see
+    /// [`q_graph::shard`] — so staleness is a freshness concern, not a
+    /// correctness one.
+    shards: Option<ShardSet>,
 }
 
 impl QSystem {
@@ -128,6 +134,7 @@ impl QSystem {
             mira: Mira::new(),
             cache: QueryCache::default(),
             scratch: SteinerScratch::default(),
+            shards: None,
         }
     }
 
@@ -165,6 +172,30 @@ impl QSystem {
     /// The pre-built value index.
     pub fn value_index(&self) -> &ValueIndex {
         &self.value_index
+    }
+
+    /// The shard structure over the current catalog/graph/index, rebuilding
+    /// it first if a source or association arrived since the last build.
+    pub fn shard_set(&mut self) -> &ShardSet {
+        self.refresh_shards();
+        self.shards.as_ref().expect("refresh_shards built a set")
+    }
+
+    /// Rebuild the shard set when the structures it mirrors have grown.
+    /// Weight-only changes (feedback re-pricing) keep the set fresh.
+    fn refresh_shards(&mut self) {
+        let fresh = self
+            .shards
+            .as_ref()
+            .is_some_and(|s| s.is_fresh(&self.catalog, &self.graph, &self.keyword_index));
+        if !fresh {
+            self.shards = Some(ShardSet::build(
+                &self.catalog,
+                &self.graph,
+                &self.keyword_index,
+                self.config.shards,
+            ));
+        }
     }
 
     /// A view by id.
@@ -220,6 +251,7 @@ impl QSystem {
     /// loop refreshes every persistent view per interaction, which must not
     /// rebuild the search buffers per view.
     fn compute_view_reusing_scratch(&mut self, keywords: &[&str]) -> Result<RankedView, QError> {
+        self.refresh_shards();
         answer_keywords(
             &self.catalog,
             &self.graph,
@@ -228,6 +260,7 @@ impl QSystem {
             keywords,
             ServeParams::defaults(&self.config),
             false,
+            self.shards.as_ref(),
             &mut self.scratch,
         )
         .map(|(view, _, _)| view)
@@ -281,6 +314,7 @@ impl QSystem {
             }
         }
 
+        self.refresh_shards();
         let start = Instant::now();
         let (view, stats, model) = answer_keywords(
             &self.catalog,
@@ -290,6 +324,7 @@ impl QSystem {
             &refs,
             params,
             request.cache() != CachePolicy::Bypass,
+            self.shards.as_ref(),
             &mut self.scratch,
         )?;
         let wall_time = start.elapsed();
@@ -340,6 +375,7 @@ impl QSystem {
     ) -> BatchOutcome {
         let epoch = self.graph.weight_epoch();
         self.cache.sync_epoch(epoch, &self.graph);
+        self.refresh_shards();
 
         // Resolve each request against the cache; collect the distinct
         // computations (first occurrence wins, duplicates share it).
@@ -409,6 +445,7 @@ impl QSystem {
         let graph = &self.graph;
         let keyword_index = &self.keyword_index;
         let config = &self.config;
+        let shards = self.shards.as_ref();
         type Computed = Result<(RankedView, SteinerStats, Option<RevalidationModel>), QError>;
         let mut computed: Vec<Option<(Computed, Duration)>> = vec![None; miss_requester.len()];
         if !miss_requester.is_empty() {
@@ -436,6 +473,7 @@ impl QSystem {
                                 &refs,
                                 miss_params[i],
                                 miss_cache_it[i],
+                                shards,
                                 &mut scratch,
                             );
                             out.push((i, (result, start.elapsed())));
@@ -541,6 +579,12 @@ impl QSystem {
             });
         }
         let refs: Vec<&str> = request.keywords().iter().map(String::as_str).collect();
+        // `&self` cannot rebuild a stale shard set, so serve sharded only
+        // while it is provably fresh — the answers are identical either way.
+        let shards = self
+            .shards
+            .as_ref()
+            .filter(|s| s.is_fresh(&self.catalog, &self.graph, &self.keyword_index));
         let start = Instant::now();
         let (view, stats, _) = answer_keywords(
             &self.catalog,
@@ -550,6 +594,7 @@ impl QSystem {
             &refs,
             ServeParams::resolve(&self.config, request),
             false,
+            shards,
             &mut SteinerScratch::default(),
         )?;
         Ok(QueryOutcome {
@@ -934,6 +979,13 @@ impl ServeParams {
 /// the ranked view. Pure in its inputs — the batch path calls this from
 /// worker threads holding only shared references.
 ///
+/// When `shards` is present (and fresh against `keyword_index`), keyword
+/// matching fans across the per-shard postings partitions and the
+/// per-terminal backward Dijkstras fan across `config.shard_workers`
+/// threads; both fan-outs are byte-identical to the unsharded sequential
+/// path, so `shards` affects wall-clock and memory accounting only, never
+/// the answer.
+///
 /// When `build_model` is set (the answer is destined for the cache), it also
 /// returns the [`RevalidationModel`] the cache needs to re-price the answer
 /// on a later weight-epoch delta: per-tree cost terms (base edges by id —
@@ -949,9 +1001,17 @@ pub(crate) fn answer_keywords(
     keywords: &[&str],
     params: ServeParams,
     build_model: bool,
+    shards: Option<&ShardSet>,
     scratch: &mut SteinerScratch,
 ) -> Result<(RankedView, SteinerStats, Option<RevalidationModel>), QError> {
-    let query_graph = QueryGraph::build(graph, keyword_index, keywords, &config.match_config);
+    let match_lists: Vec<Vec<KeywordMatch>> = keywords
+        .iter()
+        .map(|keyword| match shards {
+            Some(set) => set.keyword_matches(keyword_index, keyword, &config.match_config),
+            None => keyword_index.matches(keyword, &config.match_config),
+        })
+        .collect();
+    let query_graph = QueryGraph::build_with_matches(graph, keywords, match_lists);
     let terminals = query_graph.terminals();
     let (trees, stats) = match params.strategy {
         SearchStrategy::Approx { max_roots } => {
@@ -960,7 +1020,12 @@ pub(crate) fn answer_keywords(
                 max_roots,
                 max_cost: params.max_cost,
             };
-            approx_top_k_detailed(&query_graph, &terminals, &steiner, scratch)
+            let workers = if shards.is_some() {
+                config.shard_workers
+            } else {
+                1
+            };
+            approx_top_k_detailed_fanned(&query_graph, &terminals, &steiner, scratch, workers)
         }
         SearchStrategy::Exact => {
             let found = exact_minimum_steiner(&query_graph, &terminals);

@@ -34,4 +34,7 @@ pub use interpro_go::{
     interpro_go_catalog, interpro_go_gold, interpro_go_queries, interpro_go_source_specs,
     InterproGoConfig, KeywordQuery,
 };
-pub use scaling::{expand_with_synthetic_sources, ScalingConfig};
+pub use scaling::{
+    expand_with_synthetic_sources, expand_with_synthetic_sources_detailed, ScalingConfig,
+    SyntheticExpansion,
+};

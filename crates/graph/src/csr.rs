@@ -87,6 +87,14 @@ impl Csr {
         self.targets.len()
     }
 
+    /// Heap footprint of the packed arrays in bytes (offsets plus targets).
+    /// The sharded snapshot accounting sums these per shard and surfaces
+    /// them as `/metrics` gauges.
+    pub fn byte_size(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<(EdgeId, NodeId)>()
+    }
+
     /// Degree of one node under this index (0 when out of range).
     #[inline]
     fn degree(&self, node: usize) -> u32 {

@@ -14,6 +14,8 @@ use serde::{Deserialize, Serialize};
 
 use q_storage::{AttributeId, Catalog, RelationId, Value};
 
+use crate::shard::ShardPlan;
+
 /// What a keyword matched.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MatchTarget {
@@ -90,6 +92,10 @@ pub struct KeywordIndex {
     /// against the idf table (`matches` runs once per keyword per query
     /// miss, over every posting-list candidate).
     doc_norm_sq: Vec<f64>,
+    /// Every target ever indexed, for O(1) duplicate rejection in
+    /// `add_document` — a linear scan there is quadratic in corpus size and
+    /// dominates snapshot builds past ~10⁵ documents.
+    seen_targets: HashSet<MatchTarget>,
 }
 
 impl KeywordIndex {
@@ -304,10 +310,10 @@ impl KeywordIndex {
     }
 
     fn add_document(&mut self, target: MatchTarget, text: &str) {
-        let norm = normalize(text);
-        if self.documents.iter().any(|d| d.target == target) {
+        if !self.seen_targets.insert(target.clone()) {
             return;
         }
+        let norm = normalize(text);
         let doc = Document {
             target,
             tokens: tokenize(&norm),
@@ -405,6 +411,127 @@ impl KeywordIndex {
             })
             .collect();
     }
+}
+
+/// A partition of a [`KeywordIndex`]'s documents into relation-group shards,
+/// with per-shard postings byte accounting.
+///
+/// The index itself stays global — idf weights and document order must not
+/// depend on the shard count, or similarity scores (and with them match
+/// lists and Steiner tie-breaks) would change when resharding. What the
+/// partition adds is a *fanned* candidate-matching path: each shard scores
+/// and filters only its own candidate documents, and
+/// [`ShardedKeywordIndex::matches_sharded`] merges the per-shard survivor
+/// lists back into the exact global candidate order before ranking, so the
+/// result is byte-identical to [`KeywordIndex::matches`] for any shard
+/// count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardedKeywordIndex {
+    /// Document index → owning shard.
+    shard_of_doc: Vec<u32>,
+    /// Estimated postings bytes owned by each shard.
+    postings_bytes: Vec<u64>,
+    shards: usize,
+}
+
+impl ShardedKeywordIndex {
+    /// Assign every document of `index` to the shard of its owning relation
+    /// under `plan`. Documents whose relation no longer resolves land in
+    /// shard 0.
+    pub fn build(index: &KeywordIndex, catalog: &Catalog, plan: &ShardPlan) -> Self {
+        let shards = plan.shards();
+        let mut shard_of_doc = Vec::with_capacity(index.documents.len());
+        let mut postings_bytes = vec![0u64; shards];
+        for doc in &index.documents {
+            let relation = match &doc.target {
+                MatchTarget::Relation(r) => Some(*r),
+                MatchTarget::Attribute(a) => catalog.attribute(*a).map(|attr| attr.relation),
+                MatchTarget::Value { attribute, .. } => {
+                    catalog.attribute(*attribute).map(|attr| attr.relation)
+                }
+            };
+            let shard = relation.map_or(0, |r| plan.shard_of_relation(r));
+            shard_of_doc.push(shard as u32);
+            postings_bytes[shard] += doc_byte_estimate(doc);
+        }
+        ShardedKeywordIndex {
+            shard_of_doc,
+            postings_bytes,
+            shards,
+        }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of partitioned documents (must match the index it was built
+    /// from to be usable).
+    pub fn doc_count(&self) -> usize {
+        self.shard_of_doc.len()
+    }
+
+    /// Estimated postings bytes owned by each shard.
+    pub fn postings_bytes(&self) -> &[u64] {
+        &self.postings_bytes
+    }
+
+    /// Match one keyword through the per-shard fan-out: candidates are
+    /// scored and threshold-filtered shard by shard, then the survivor lists
+    /// are merged back into ascending document order — exactly the global
+    /// candidate order [`KeywordIndex::matches`] scores — before the shared
+    /// ranking rule (stable descending similarity, `max_matches` cutoff)
+    /// runs. Byte-identical to the unsharded path for any shard count.
+    pub fn matches_sharded(
+        &self,
+        index: &KeywordIndex,
+        keyword: &str,
+        config: &MatchConfig,
+    ) -> Vec<KeywordMatch> {
+        debug_assert_eq!(self.shard_of_doc.len(), index.documents.len());
+        let Some(terms) = index.query_terms(keyword) else {
+            return Vec::new();
+        };
+        // Fan: each shard scores only its own candidates. Candidate lists
+        // are per-shard subsequences of the globally ascending candidate
+        // list, so each survivor list comes out ascending too.
+        let mut per_shard: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.shards.max(1)];
+        let last = per_shard.len() - 1;
+        for &idx in &terms.candidates {
+            let shard = self.shard_of_doc.get(idx).copied().unwrap_or(0) as usize;
+            let similarity = index.score(&terms, idx);
+            if similarity >= config.min_similarity {
+                per_shard[shard.min(last)].push((idx, similarity));
+            }
+        }
+        // Merge: concatenating the shard lists and re-sorting by document
+        // index restores the exact global order (indices are distinct).
+        let mut merged: Vec<(usize, f64)> = per_shard.into_iter().flatten().collect();
+        merged.sort_unstable_by_key(|&(idx, _)| idx);
+        let mut scored: Vec<KeywordMatch> = merged
+            .into_iter()
+            .map(|(idx, similarity)| KeywordMatch {
+                target: index.documents[idx].target.clone(),
+                similarity,
+            })
+            .collect();
+        // Stable sort: similarity ties keep ascending document order.
+        scored.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
+        scored.truncate(config.max_matches);
+        scored
+    }
+}
+
+/// Deterministic estimate of one document's postings footprint: normalised
+/// text, token strings + posting entries, trigram strings + posting entries,
+/// and the fixed per-document state (target, norm). An estimate — not an
+/// allocator measurement — but stable across builds, which is what the
+/// accounting tests and `/metrics` gauges need.
+fn doc_byte_estimate(doc: &Document) -> u64 {
+    let tokens: usize = doc.tokens.iter().map(|t| t.len() + 8).sum();
+    let trigrams = doc.trigrams.len() * (3 + 8);
+    (doc.text.len() + tokens + trigrams + 24) as u64
 }
 
 fn normalize(text: &str) -> String {
@@ -606,6 +733,30 @@ mod tests {
         // Garbage matches nowhere.
         assert!(!idx.keyword_matches_in("zzzqqqxxx", &cat, &[go_term, pub_rel], &cfg));
         assert!(!idx.keyword_matches_in("", &cat, &[go_term], &cfg));
+    }
+
+    #[test]
+    fn sharded_matches_equal_unsharded_for_any_shard_count() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        let cfg = MatchConfig {
+            min_similarity: 0.1,
+            max_matches: 8,
+        };
+        for k in [1, 2, 3, 7] {
+            let plan = ShardPlan::by_source(&cat, k);
+            let sharded = ShardedKeywordIndex::build(&idx, &cat, &plan);
+            assert_eq!(sharded.shard_count(), k);
+            assert_eq!(sharded.doc_count(), idx.len());
+            assert!(sharded.postings_bytes().iter().sum::<u64>() > 0);
+            for kw in ["title", "plasma membrane", "term", "pub", "zzzqqq", ""] {
+                assert_eq!(
+                    sharded.matches_sharded(&idx, kw, &cfg),
+                    idx.matches(kw, &cfg),
+                    "shard count {k}, keyword {kw:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod keyword;
 pub mod node;
 pub mod query_graph;
 pub mod search_graph;
+pub mod shard;
 pub mod steiner;
 
 pub use csr::{Csr, CsrDelta};
@@ -30,11 +31,12 @@ pub use features::{
     bin_confidence, FeatureId, FeatureSpace, FeatureVector, WeightVector, CONFIDENCE_BINS,
 };
 pub use heap::IndexedHeap;
-pub use keyword::{KeywordIndex, KeywordMatch, MatchTarget};
+pub use keyword::{KeywordIndex, KeywordMatch, MatchTarget, ShardedKeywordIndex};
 pub use node::{Node, NodeId};
 pub use query_graph::{KeywordNode, QueryGraph};
 pub use search_graph::{AssociationProvenance, SearchGraph};
+pub use shard::{GraphShards, ShardPlan, ShardSet, ShardStamp};
 pub use steiner::{
-    approx_top_k, approx_top_k_detailed, approx_top_k_with, exact_minimum_steiner, SteinerConfig,
-    SteinerScratch, SteinerStats, SteinerTree,
+    approx_top_k, approx_top_k_detailed, approx_top_k_detailed_fanned, approx_top_k_with,
+    exact_minimum_steiner, SteinerConfig, SteinerScratch, SteinerStats, SteinerTree,
 };

@@ -61,6 +61,25 @@ impl<'a> QueryGraph<'a> {
         keywords: &[&str],
         config: &MatchConfig,
     ) -> Self {
+        let match_lists: Vec<Vec<KeywordMatch>> = keywords
+            .iter()
+            .map(|keyword| index.matches(keyword, config))
+            .collect();
+        Self::build_with_matches(base, keywords, match_lists)
+    }
+
+    /// [`QueryGraph::build`] over precomputed per-keyword match lists.
+    ///
+    /// The sharded miss path computes each keyword's matches through the
+    /// per-shard fan-out and hands the merged lists here; since those lists
+    /// are byte-identical to what [`KeywordIndex::matches`] returns, the
+    /// resulting query graph — node ids, edge ids, adjacency order — is too.
+    pub fn build_with_matches(
+        base: &'a SearchGraph,
+        keywords: &[&str],
+        match_lists: Vec<Vec<KeywordMatch>>,
+    ) -> Self {
+        debug_assert_eq!(keywords.len(), match_lists.len());
         let mut qg = QueryGraph {
             base,
             extra_nodes: Vec::new(),
@@ -78,8 +97,7 @@ impl<'a> QueryGraph<'a> {
             .get("keyword_mismatch")
             .expect("search graph created via SearchGraph::new()");
 
-        for keyword in keywords {
-            let matches = index.matches(keyword, config);
+        for (keyword, matches) in keywords.iter().zip(match_lists) {
             let kw_node = qg.push_node(Node::Keyword((*keyword).to_string()));
             for m in &matches {
                 let mismatch = 1.0 - m.similarity;

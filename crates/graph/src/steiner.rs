@@ -239,6 +239,10 @@ impl ShortestPaths {
 pub struct SteinerScratch {
     paths: Vec<ShortestPaths>,
     heap: IndexedHeap,
+    /// Extra frontiers for [`approx_top_k_detailed_fanned`]: worker `i > 0`
+    /// drives its per-terminal searches on `heap_pool[i - 1]` while worker 0
+    /// keeps using `heap`. Grown on demand, reused across queries.
+    heap_pool: Vec<IndexedHeap>,
     candidate_edges: Vec<EdgeId>,
     seen_raw: HashSet<u128>,
     seen_trees: HashSet<u128>,
@@ -348,6 +352,71 @@ pub fn approx_top_k_detailed<G: GraphView>(
         let paths = &mut scratch.paths[i];
         dijkstra_into(graph, *t, paths, &mut scratch.heap);
     }
+    rank_candidate_trees(graph, terminals, config, scratch, stats)
+}
+
+/// [`approx_top_k_detailed`] with the independent per-terminal backward
+/// Dijkstras fanned across `workers` threads (the sharded-search miss path
+/// uses the batch worker pool size here). Each worker owns a contiguous
+/// chunk of the per-terminal path buffers and its own [`IndexedHeap`]; the
+/// search results per terminal do not depend on which thread ran them, and
+/// every stage after the Dijkstras is shared with the sequential entry
+/// point, so the returned trees are byte-identical for any worker count
+/// (pinned by `tests/shard_equivalence.rs`).
+pub fn approx_top_k_detailed_fanned<G: GraphView + Sync>(
+    graph: &G,
+    terminals: &[NodeId],
+    config: &SteinerConfig,
+    scratch: &mut SteinerScratch,
+    workers: usize,
+) -> (Vec<SteinerTree>, SteinerStats) {
+    let workers = workers.clamp(1, terminals.len().max(1));
+    if workers <= 1 || config.k == 0 || terminals.len() < 2 {
+        return approx_top_k_detailed(graph, terminals, config, scratch);
+    }
+    let stats = SteinerStats {
+        terminals: terminals.len(),
+        ..SteinerStats::default()
+    };
+    while scratch.paths.len() < terminals.len() {
+        scratch.paths.push(ShortestPaths::default());
+    }
+    while scratch.heap_pool.len() + 1 < workers {
+        scratch.heap_pool.push(IndexedHeap::default());
+    }
+    let chunk = terminals.len().div_ceil(workers);
+    {
+        let paths = &mut scratch.paths[..terminals.len()];
+        let heaps = std::iter::once(&mut scratch.heap).chain(scratch.heap_pool.iter_mut());
+        std::thread::scope(|s| {
+            for ((t_chunk, p_chunk), heap) in terminals
+                .chunks(chunk)
+                .zip(paths.chunks_mut(chunk))
+                .zip(heaps)
+            {
+                s.spawn(move || {
+                    for (t, p) in t_chunk.iter().zip(p_chunk.iter_mut()) {
+                        dijkstra_into(graph, *t, p, heap);
+                    }
+                });
+            }
+        });
+    }
+    rank_candidate_trees(graph, terminals, config, scratch, stats)
+}
+
+/// The shared tail of the approximate search: given per-terminal shortest
+/// paths already computed into `scratch.paths[..terminals.len()]`, collect
+/// candidate roots, union their parent walks, dedup, prune and rank. This is
+/// a pure function of the path buffers, which is what makes the fanned and
+/// sequential Dijkstra phases interchangeable.
+fn rank_candidate_trees<G: GraphView>(
+    graph: &G,
+    terminals: &[NodeId],
+    config: &SteinerConfig,
+    scratch: &mut SteinerScratch,
+    mut stats: SteinerStats,
+) -> (Vec<SteinerTree>, SteinerStats) {
     let per_terminal = &scratch.paths[..terminals.len()];
 
     // Candidate roots: nodes reachable from every terminal.
@@ -877,6 +946,44 @@ mod tests {
         ];
         for (with_scratch, fresh) in runs {
             assert_eq!(with_scratch, fresh);
+        }
+    }
+
+    #[test]
+    fn fanned_dijkstras_match_sequential_for_any_worker_count() {
+        let g = TestGraph::new(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 4, 2.0),
+            ],
+        );
+        let cases: [&[NodeId]; 4] = [
+            &[NodeId(0), NodeId(3)],
+            &[NodeId(1), NodeId(4), NodeId(5)],
+            &[NodeId(2)],
+            &[],
+        ];
+        let config = SteinerConfig::default();
+        for terminals in cases {
+            let sequential =
+                approx_top_k_detailed(&g, terminals, &config, &mut SteinerScratch::default());
+            for workers in [0, 1, 2, 3, 8] {
+                let mut scratch = SteinerScratch::default();
+                let fanned =
+                    approx_top_k_detailed_fanned(&g, terminals, &config, &mut scratch, workers);
+                assert_eq!(fanned, sequential, "{workers} workers diverged");
+                // The same scratch keeps giving the same answer when reused.
+                let again =
+                    approx_top_k_detailed_fanned(&g, terminals, &config, &mut scratch, workers);
+                assert_eq!(again, sequential);
+            }
         }
     }
 

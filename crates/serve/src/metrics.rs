@@ -9,6 +9,7 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Histogram bucket count: bucket `i` holds observations in
@@ -40,6 +41,12 @@ pub struct Metrics {
     /// "ingest lag": how far behind live a source is once its upload
     /// completes (gauge).
     pub ingest_lag_us: AtomicU64,
+    /// Accounted bytes of the published snapshot's packed search structures
+    /// (all shards plus the shared boundary section) (gauge).
+    pub snapshot_bytes: AtomicU64,
+    /// Accounted bytes per shard — updated wholesale at each publish, read
+    /// only by `/metrics` scrapes, so a mutex (not the hot path) is fine.
+    shard_bytes: Mutex<Vec<u64>>,
     latency_buckets: [AtomicU64; BUCKETS],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
@@ -60,10 +67,20 @@ impl Metrics {
             feedbacks: AtomicU64::new(0),
             snapshot_id: AtomicU64::new(snapshot),
             ingest_lag_us: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(0),
+            shard_bytes: Mutex::new(Vec::new()),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_us: AtomicU64::new(0),
             latency_count: AtomicU64::new(0),
         }
+    }
+
+    /// Record the published snapshot's memory accounting: total packed
+    /// bytes and the per-shard breakdown. Called at boot and at every
+    /// publish, never on the query hot path.
+    pub fn set_snapshot_accounting(&self, total: u64, per_shard: Vec<u64>) {
+        self.snapshot_bytes.store(total, Ordering::Relaxed);
+        *self.shard_bytes.lock().expect("shard bytes lock") = per_shard;
     }
 
     /// Record one answered query's service time.
@@ -205,6 +222,32 @@ impl Metrics {
 
         let _ = writeln!(
             out,
+            "# HELP q_snapshot_bytes Accounted bytes of the published snapshot's packed search structures."
+        );
+        let _ = writeln!(out, "# TYPE q_snapshot_bytes gauge");
+        let _ = writeln!(
+            out,
+            "q_snapshot_bytes {}",
+            self.snapshot_bytes.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP q_shard_bytes Accounted bytes of one shard's keyword postings and interior sub-CSR."
+        );
+        let _ = writeln!(out, "# TYPE q_shard_bytes gauge");
+        for (shard, bytes) in self
+            .shard_bytes
+            .lock()
+            .expect("shard bytes lock")
+            .iter()
+            .enumerate()
+        {
+            let _ = writeln!(out, "q_shard_bytes{{shard=\"{shard}\"}} {bytes}");
+        }
+
+        let _ = writeln!(
+            out,
             "# HELP q_uptime_seconds Seconds since the server booted."
         );
         let _ = writeln!(out, "# TYPE q_uptime_seconds gauge");
@@ -241,6 +284,7 @@ mod tests {
         m.observe_query(Duration::from_micros(250));
         m.http_requests.fetch_add(3, Ordering::Relaxed);
         m.ingest_lag_us.store(1_500_000, Ordering::Relaxed);
+        m.set_snapshot_accounting(4096, vec![2048, 1024, 512]);
         let text = m.render();
         for series in [
             "q_queries_total ",
@@ -255,6 +299,10 @@ mod tests {
             "q_query_latency_seconds{quantile=\"0.99\"} ",
             "q_snapshot_id 7",
             "q_ingest_lag_seconds 1.5",
+            "q_snapshot_bytes 4096",
+            "q_shard_bytes{shard=\"0\"} 2048",
+            "q_shard_bytes{shard=\"1\"} 1024",
+            "q_shard_bytes{shard=\"2\"} 512",
             "q_uptime_seconds ",
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");

@@ -89,8 +89,10 @@ impl QServe {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let boot = engine.snapshot();
+        let metrics = Metrics::new(boot.id());
+        metrics.set_snapshot_accounting(boot.snapshot_bytes(), boot.shard_bytes());
         let shared = Arc::new(Shared {
-            metrics: Metrics::new(boot.id()),
+            metrics,
             published: Mutex::new(vec![boot]),
             engine,
             shutdown: AtomicBool::new(false),
@@ -363,4 +365,7 @@ fn record_publish(shared: &Shared, snapshot: &Arc<GraphSnapshot>) {
         .metrics
         .snapshot_id
         .store(snapshot.id(), Ordering::Relaxed);
+    shared
+        .metrics
+        .set_snapshot_accounting(snapshot.snapshot_bytes(), snapshot.shard_bytes());
 }

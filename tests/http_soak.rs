@@ -252,12 +252,31 @@ fn soak_concurrent_http_clients_replay_byte_identical_while_sources_stream_in() 
         "q_qps",
         "q_snapshot_id",
         "q_ingest_lag_seconds",
+        "q_snapshot_bytes",
+        "q_shard_bytes{shard=\"0\"}",
         "q_uptime_seconds",
         "q_query_latency_seconds{quantile=\"0.5\"}",
         "q_query_latency_seconds{quantile=\"0.99\"}",
     ] {
         metric(&second.body, series); // presence check
     }
+    // Memory accounting: the snapshot gauge is live and the per-shard
+    // gauges sum to it exactly (interior bytes; the shared boundary section
+    // is part of the total but belongs to no single shard).
+    let snapshot_bytes = metric(&second.body, "q_snapshot_bytes");
+    assert!(
+        snapshot_bytes > 0.0,
+        "published snapshot accounts its bytes"
+    );
+    let shard_sum: f64 = (0..)
+        .map(|i| format!("q_shard_bytes{{shard=\"{i}\"}}"))
+        .take_while(|series| second.body.lines().any(|l| l.starts_with(series.as_str())))
+        .map(|series| metric(&second.body, &series))
+        .sum();
+    assert!(
+        shard_sum > 0.0 && shard_sum <= snapshot_bytes,
+        "per-shard bytes ({shard_sum}) stay within the accounted total ({snapshot_bytes})"
+    );
     let soak_queries = observations.lock().unwrap().len() as f64;
     assert!(
         metric(&second.body, "q_queries_total") >= soak_queries,
