@@ -1,18 +1,18 @@
 //! Command-line experiment runner: regenerates every table and figure of the
 //! paper's evaluation section, plus the post-paper throughput experiment.
 //!
-//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|search|search-smoke|ingest|ingest-smoke|scale|scale-smoke|all]`
+//! Usage: `cargo run --release -p q-bench --bin experiments [fig6|fig7|fig8|table1|fig10|fig11|fig12|table2|throughput|throughput-smoke|search|search-smoke|ingest|ingest-smoke|scale|scale-smoke|boot|boot-smoke|all]`
 //!
 //! `throughput` (and its reduced CI variant `throughput-smoke`) additionally
 //! writes `BENCH_throughput.json` to the current directory; `search` /
 //! `search-smoke` write `BENCH_search.json`; `ingest` / `ingest-smoke`
 //! write `BENCH_ingest.json`; `scale` / `scale-smoke` write
-//! `BENCH_scale.json`.
+//! `BENCH_scale.json`; `boot` / `boot-smoke` write `BENCH_boot.json`.
 
 use q_bench::{
-    run_aligner_experiment, run_learning_experiment, run_live_ingest_experiment,
-    run_matcher_quality, run_scale_experiment, run_scaling_experiment,
-    run_search_latency_experiment, run_throughput_experiment, AlignerExperimentConfig,
+    run_aligner_experiment, run_boot_experiment, run_learning_experiment,
+    run_live_ingest_experiment, run_matcher_quality, run_scale_experiment, run_scaling_experiment,
+    run_search_latency_experiment, run_throughput_experiment, AlignerExperimentConfig, BootConfig,
     LearningConfig, LiveIngestConfig, MatcherQualityConfig, ScaleConfig, ScalingExperimentConfig,
     SearchLatencyConfig, ThroughputConfig,
 };
@@ -36,6 +36,8 @@ fn main() {
         "ingest-smoke" => ingest(&LiveIngestConfig::smoke()),
         "scale" => scale(&ScaleConfig::default()),
         "scale-smoke" => scale(&ScaleConfig::smoke()),
+        "boot" => boot(&BootConfig::default()),
+        "boot-smoke" => boot(&BootConfig::smoke()),
         "all" => {
             fig6_7(true, true);
             fig8();
@@ -45,16 +47,59 @@ fn main() {
             search(&SearchLatencyConfig::default());
             ingest(&LiveIngestConfig::default());
             scale(&ScaleConfig::default());
+            boot(&BootConfig::default());
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "expected one of: fig6 fig7 fig8 table1 fig10 fig11 fig12 table2 \
                  throughput throughput-smoke search search-smoke ingest ingest-smoke \
-                 scale scale-smoke all"
+                 scale scale-smoke boot boot-smoke all"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn boot(config: &BootConfig) {
+    let result = run_boot_experiment(config);
+    println!("== Boot: rebuild from the dataset vs restore from a persisted snapshot ==");
+    println!(
+        "{} shards, {} miss workers",
+        result.shards, result.shard_workers
+    );
+    println!("sources   build_ms    save_ms    load_ms   file_MiB   speedup");
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    for t in &result.tiers {
+        println!(
+            "{:>7}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.2}  {:>7.1}x",
+            t.total_sources,
+            ms(t.build),
+            ms(t.save),
+            ms(t.load),
+            t.file_bytes as f64 / (1024.0 * 1024.0),
+            t.speedup,
+        );
+    }
+    println!(
+        "deterministic (loaded replays byte-identical): {}",
+        result.deterministic
+    );
+    let json = result.to_json(config);
+    let path = "BENCH_boot.json";
+    std::fs::write(path, &json).expect("write BENCH_boot.json");
+    println!("wrote {path}");
+    println!();
+    if !result.deterministic {
+        eprintln!("FATAL: a loaded snapshot's answers diverged from the built server's");
+        std::process::exit(1);
+    }
+    if let Some(slow) = result.tiers.iter().find(|t| t.load >= t.build) {
+        eprintln!(
+            "FATAL: loading ({:?}) did not beat rebuilding ({:?}) at the {}-source tier",
+            slow.load, slow.build, slow.total_sources
+        );
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,374 @@
+//! Boot-time experiment: rebuilding the serving state from the dataset vs
+//! restoring it from a persisted snapshot file.
+//!
+//! This is the experiment behind `BENCH_boot.json`: each corpus tier
+//! (1× → 10× → 100× the GBCO federation, as in the scale experiment)
+//! builds the full serving state from the dataset — catalog, search graph,
+//! keyword index, shard set — then saves it with
+//! [`GraphSnapshot::save`], loads it back with [`GraphSnapshot::load`] and
+//! boots a second [`LiveServer`] from the loaded snapshot. The claim the
+//! committed JSON pins is twofold: the loaded server answers the GBCO
+//! trial workload **byte-identically** to the built one (`deterministic`),
+//! and the load path is an order of magnitude faster than the rebuild at
+//! the top tier (`speedup`), turning a multi-second boot into
+//! milliseconds. The CI `boot-smoke` step runs the reduced configuration
+//! and fails when the JSON is absent, malformed, nondeterministic or has
+//! `load_ms >= build_ms`.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use q_core::{GraphSnapshot, LiveServer, QConfig, QueryRequest};
+use q_datasets::scaling::{expand_with_synthetic_sources_detailed, ScalingConfig};
+use q_datasets::{gbco_catalog, gbco_trials, GbcoConfig};
+use q_graph::SearchGraph;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootConfig {
+    /// Calibrated GBCO seed corpus.
+    pub gbco: GbcoConfig,
+    /// Synthetic expansion knobs (rows per table, arity, vocabulary reuse).
+    pub scaling: ScalingConfig,
+    /// Additional synthetic sources per tier, smallest first (the default
+    /// 18 / 180 / 1800 is 1× / 10× / 100× the 18-source GBCO federation).
+    pub tiers: Vec<usize>,
+    /// Shards the served snapshot is partitioned into.
+    pub shards: usize,
+    /// Worker threads fanning one miss's per-terminal Dijkstras.
+    pub shard_workers: usize,
+}
+
+impl Default for BootConfig {
+    fn default() -> Self {
+        BootConfig {
+            gbco: GbcoConfig::default(),
+            scaling: ScalingConfig {
+                rows_per_table: 50,
+                ..ScalingConfig::default()
+            },
+            tiers: vec![18, 180, 1800],
+            shards: 4,
+            shard_workers: 2,
+        }
+    }
+}
+
+impl BootConfig {
+    /// Reduced configuration for the CI smoke run.
+    pub fn smoke() -> Self {
+        BootConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 10,
+                seed: 17,
+            },
+            scaling: ScalingConfig {
+                rows_per_table: 12,
+                ..ScalingConfig::default()
+            },
+            tiers: vec![6],
+            shards: 3,
+            shard_workers: 2,
+        }
+    }
+}
+
+/// Measurements of one corpus tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootTier {
+    /// Synthetic sources added on top of the GBCO seed.
+    pub additional_sources: usize,
+    /// Total sources in the federation.
+    pub total_sources: usize,
+    /// Wall-clock to build the serving state from the dataset (catalog,
+    /// synthetic expansion, search graph, keyword index, shard set).
+    pub build: Duration,
+    /// Wall-clock to persist the snapshot (encode + checksum + atomic
+    /// write).
+    pub save: Duration,
+    /// Wall-clock to boot from disk: validate + decode the snapshot file
+    /// and construct a serving [`LiveServer`] over it. Best of three
+    /// back-to-back loads — the standard way to time an I/O-warm path on a
+    /// shared host, where a single run can absorb tens of milliseconds of
+    /// scheduler noise.
+    pub load: Duration,
+    /// Size of the snapshot file on disk.
+    pub file_bytes: u64,
+    /// Accounted bytes of the packed search structures (the `/metrics`
+    /// gauge).
+    pub snapshot_bytes: u64,
+    /// `build / load` — how much faster booting from the snapshot is.
+    pub speedup: f64,
+}
+
+/// Measured result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootResult {
+    /// Per-tier measurements, smallest corpus first.
+    pub tiers: Vec<BootTier>,
+    /// Shards the snapshots were partitioned into.
+    pub shards: usize,
+    /// Per-miss Dijkstra fan-out width.
+    pub shard_workers: usize,
+    /// Every tier's loaded server answered the GBCO trial workload
+    /// byte-for-byte like the built server it was saved from.
+    pub deterministic: bool,
+}
+
+/// Build one tier's serving state from the dataset, timing the whole path.
+fn build_tier(config: &BootConfig, additional: usize) -> (LiveServer, Duration, usize) {
+    let start = Instant::now();
+    let mut catalog = gbco_catalog(&config.gbco);
+    let mut graph = SearchGraph::from_catalog(&catalog);
+    // The expansion mutates the graph in place (schema elements plus the
+    // synthetic association edges), so the built state carries everything
+    // the snapshot must round-trip.
+    expand_with_synthetic_sources_detailed(&mut catalog, &mut graph, additional, &config.scaling);
+    let qconfig = QConfig {
+        shards: config.shards,
+        shard_workers: config.shard_workers,
+        ..QConfig::default()
+    };
+    let total_sources = catalog.sources().len();
+    let snapshot = GraphSnapshot::assemble(catalog, graph, qconfig.shards);
+    let server = LiveServer::from_snapshot(snapshot, qconfig);
+    (server, start.elapsed(), total_sources)
+}
+
+/// Replay the requests once, returning the rendered views (the
+/// byte-identity fingerprint). Caches start cold in both servers, so the
+/// passes compare like for like.
+fn replay(server: &LiveServer, requests: &[QueryRequest]) -> Vec<String> {
+    requests
+        .iter()
+        .map(|request| {
+            let outcome = server.query(request).expect("boot query answers");
+            format!("{:?}", outcome.view)
+        })
+        .collect()
+}
+
+fn scratch_path(tier: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("q-bench-boot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    dir.join(format!("tier-{tier}.qsnap"))
+}
+
+/// Run the boot experiment.
+pub fn run_boot_experiment(config: &BootConfig) -> BootResult {
+    let requests: Vec<QueryRequest> = gbco_trials()
+        .iter()
+        .map(|t| QueryRequest::new(t.keywords.iter().cloned()))
+        .collect();
+
+    let mut tiers = Vec::with_capacity(config.tiers.len());
+    let mut deterministic = true;
+    for &additional in &config.tiers {
+        let (built, build, total_sources) = build_tier(config, additional);
+        let built_renders = replay(&built, &requests);
+
+        let path = scratch_path(additional);
+        let save_start = Instant::now();
+        let info = built
+            .snapshot()
+            .save(&path)
+            .expect("boot snapshot persists");
+        let save = save_start.elapsed();
+
+        // Best of three loads (see [`BootTier::load`]); the last loaded
+        // server is the one whose answers are compared against the built
+        // server.
+        let mut load = Duration::MAX;
+        let mut loaded = None;
+        for _ in 0..3 {
+            let load_start = Instant::now();
+            let (snapshot, _) = GraphSnapshot::load(&path).expect("boot snapshot loads");
+            let server = LiveServer::from_snapshot(snapshot, *built.config());
+            load = load.min(load_start.elapsed());
+            loaded = Some(server);
+        }
+        let loaded = loaded.expect("at least one load ran");
+
+        let loaded_renders = replay(&loaded, &requests);
+        deterministic &= built_renders == loaded_renders;
+
+        let _ = std::fs::remove_file(&path);
+        tiers.push(BootTier {
+            additional_sources: additional,
+            total_sources,
+            build,
+            save,
+            load,
+            file_bytes: info.file_bytes,
+            snapshot_bytes: built.snapshot().snapshot_bytes(),
+            speedup: build.as_secs_f64() / load.as_secs_f64().max(1e-9),
+        });
+    }
+
+    BootResult {
+        tiers,
+        shards: config.shards,
+        shard_workers: config.shard_workers,
+        deterministic,
+    }
+}
+
+impl BootResult {
+    /// Serialise to the `BENCH_boot.json` schema (hand-rolled: the vendored
+    /// serde shim has no JSON backend). Keys are stable — the CI boot-smoke
+    /// step asserts their presence and the `load_ms < build_ms` /
+    /// `deterministic` contract.
+    pub fn to_json(&self, config: &BootConfig) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let tiers: Vec<String> = self
+            .tiers
+            .iter()
+            .map(|t| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"additional_sources\": {},\n",
+                        "      \"total_sources\": {},\n",
+                        "      \"build_ms\": {:.3},\n",
+                        "      \"save_ms\": {:.3},\n",
+                        "      \"load_ms\": {:.3},\n",
+                        "      \"file_bytes\": {},\n",
+                        "      \"snapshot_bytes\": {},\n",
+                        "      \"speedup\": {:.1}\n",
+                        "    }}"
+                    ),
+                    t.additional_sources,
+                    t.total_sources,
+                    ms(t.build),
+                    ms(t.save),
+                    ms(t.load),
+                    t.file_bytes,
+                    t.snapshot_bytes,
+                    t.speedup,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"boot\",\n",
+                "  \"workload\": \"gbco_trials\",\n",
+                "  \"rows_per_table\": {},\n",
+                "  \"shards\": {},\n",
+                "  \"shard_workers\": {},\n",
+                "  \"deterministic\": {},\n",
+                "  \"tiers\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            config.scaling.rows_per_table,
+            self.shards,
+            self.shard_workers,
+            self.deterministic,
+            tiers.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_configuration_loads_faster_than_it_builds_and_stays_deterministic() {
+        let config = BootConfig {
+            gbco: GbcoConfig {
+                rows_per_table: 8,
+                seed: 17,
+            },
+            scaling: ScalingConfig {
+                rows_per_table: 6,
+                ..ScalingConfig::default()
+            },
+            tiers: vec![4],
+            shards: 3,
+            shard_workers: 2,
+        };
+        let result = run_boot_experiment(&config);
+        assert!(result.deterministic, "loaded replays diverged");
+        assert_eq!(result.tiers.len(), 1);
+        let tier = &result.tiers[0];
+        assert!(tier.file_bytes > 0);
+        assert!(tier.snapshot_bytes > 0);
+        assert!(
+            tier.load < tier.build,
+            "loading ({:?}) must beat rebuilding ({:?}) even at a tiny tier",
+            tier.load,
+            tier.build
+        );
+    }
+
+    #[test]
+    #[ignore = "profiling helper; run manually with --ignored --nocapture"]
+    fn profile_load_breakdown() {
+        let config = BootConfig::default();
+        let (built, build, _) = build_tier(&config, 1800);
+        println!("build {build:?}");
+        let path = scratch_path(9999);
+        let t = Instant::now();
+        built.snapshot().save(&path).unwrap();
+        println!("save {:?}", t.elapsed());
+        let t = Instant::now();
+        let bytes = std::fs::read(&path).unwrap();
+        println!("fs::read {:?} ({} bytes)", t.elapsed(), bytes.len());
+        let t = Instant::now();
+        let c = q_snap::checksum64(&bytes);
+        println!("checksum64(all) {:?} ({c:x})", t.elapsed());
+        drop(bytes);
+        for round in 0..3 {
+            let t = Instant::now();
+            let (snapshot, _) = GraphSnapshot::load(&path).unwrap();
+            println!("GraphSnapshot::load[{round}] {:?}", t.elapsed());
+            let t = Instant::now();
+            let _server = LiveServer::from_snapshot(snapshot, *built.config());
+            println!("from_snapshot[{round}] {:?}", t.elapsed());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_has_the_contracted_keys() {
+        let config = BootConfig::smoke();
+        let result = BootResult {
+            tiers: vec![BootTier {
+                additional_sources: 6,
+                total_sources: 24,
+                build: Duration::from_millis(320),
+                save: Duration::from_millis(9),
+                load: Duration::from_millis(4),
+                file_bytes: 1 << 20,
+                snapshot_bytes: 4096,
+                speedup: 80.0,
+            }],
+            shards: 3,
+            shard_workers: 2,
+            deterministic: true,
+        };
+        let json = result.to_json(&config);
+        for key in [
+            "\"experiment\"",
+            "\"workload\"",
+            "\"shards\"",
+            "\"shard_workers\"",
+            "\"deterministic\"",
+            "\"tiers\"",
+            "\"additional_sources\"",
+            "\"total_sources\"",
+            "\"build_ms\"",
+            "\"save_ms\"",
+            "\"load_ms\"",
+            "\"file_bytes\"",
+            "\"snapshot_bytes\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with("}\n"));
+    }
+}

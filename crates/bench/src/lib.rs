@@ -7,6 +7,7 @@
 //! index; the `experiments` binary prints the paper-vs-measured numbers.
 
 pub mod aligners;
+pub mod boot;
 pub mod learning;
 pub mod live_ingest;
 pub mod matchers;
@@ -18,6 +19,7 @@ pub mod throughput;
 pub use aligners::{
     run_aligner_experiment, AlignerExperimentConfig, AlignerExperimentResult, StrategyMeasurement,
 };
+pub use boot::{run_boot_experiment, BootConfig, BootResult, BootTier};
 pub use learning::{run_learning_experiment, LearningConfig, LearningResult};
 pub use live_ingest::{run_live_ingest_experiment, LiveIngestConfig, LiveIngestResult};
 pub use matchers::{

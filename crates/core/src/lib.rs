@@ -31,6 +31,7 @@ pub mod evaluation;
 pub mod feedback;
 pub mod live;
 pub mod request;
+pub mod snapstore;
 pub mod system;
 pub mod translate;
 
@@ -48,7 +49,9 @@ pub use evaluation::{
 };
 pub use feedback::{Feedback, FeedbackOutcome, FeedbackRequest, FeedbackTarget};
 pub use live::{GraphSnapshot, IngestReport, LiveCacheStats, LiveFeedbackReport, LiveServer};
+pub use q_snap::{SnapError, SnapshotInfo};
 pub use request::{
     CachePolicy, CacheStatus, QueryOutcome, QueryParamsKey, QueryRequest, SearchStrategy,
 };
+pub use snapstore::{latest_snapshot_path, PersistStats, SnapshotPersister};
 pub use system::{BatchOptions, BatchOutcome, QSystem, RegistrationReport};

@@ -65,6 +65,7 @@ use crate::config::QConfig;
 use crate::error::QError;
 use crate::feedback::{FeedbackOutcome, FeedbackRequest, FeedbackTarget};
 use crate::request::{CachePolicy, CacheStatus, QueryOutcome, QueryRequest};
+use crate::snapstore::{PersistStats, SnapshotPersister};
 use crate::system::{answer_keywords, learn_feedback, ServeParams};
 
 /// One immutable published serving state: everything a reader needs to
@@ -98,10 +99,68 @@ impl GraphSnapshot {
         }
     }
 
+    /// Build a snapshot directly from a prepared catalog and search graph:
+    /// the keyword index and shard structure are derived here, the id is
+    /// stamped from the graph's weight epoch. This is the entry point for
+    /// harnesses that assemble serving state out-of-band (e.g. the boot
+    /// benchmark's synthetic corpus expansion) and then [`save`](Self::save)
+    /// it or serve it via [`LiveServer::from_snapshot`].
+    pub fn assemble(catalog: Catalog, graph: SearchGraph, shards: usize) -> GraphSnapshot {
+        let keyword_index = KeywordIndex::build(&catalog);
+        GraphSnapshot::build(catalog, graph, keyword_index, shards)
+    }
+
     /// Snapshot id: the graph's weight epoch at publish time. Strictly
     /// increasing across publishes of one [`LiveServer`].
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Persist this snapshot to `path` in the versioned on-disk format
+    /// (atomic: temp sibling + fsync + rename). The returned
+    /// [`q_snap::SnapshotInfo`] reports per-section payload sizes.
+    pub fn save(&self, path: &std::path::Path) -> Result<q_snap::SnapshotInfo, q_snap::SnapError> {
+        q_snap::write_snapshot(
+            path,
+            &q_snap::SnapshotComponents {
+                id: self.id,
+                catalog: &self.catalog,
+                graph: &self.graph,
+                keyword: &self.keyword_index,
+                shards: &self.shards,
+            },
+        )
+    }
+
+    /// Load a previously persisted snapshot, reconstructing the full
+    /// serving state — catalog, search graph with packed CSR, keyword
+    /// index, shard structure — without re-running matching or
+    /// finalization. Every validation layer of the format (magic, version,
+    /// checksums, decode invariants, cross-section consistency) runs before
+    /// anything is assembled; any failure is a typed [`q_snap::SnapError`]
+    /// and no partially-loaded snapshot escapes.
+    pub fn load(
+        path: &std::path::Path,
+    ) -> Result<(GraphSnapshot, q_snap::SnapshotInfo), q_snap::SnapError> {
+        let (parts, info) = q_snap::read_snapshot(path)?;
+        // The id doubles as the cache epoch, and publishing stamps it from
+        // the weight epoch — a file where they disagree was not produced by
+        // `save`.
+        if parts.id != parts.graph.weight_epoch() {
+            return Err(q_snap::SnapError::Corrupt {
+                context: "snapshot id disagrees with the graph's weight epoch",
+            });
+        }
+        Ok((
+            GraphSnapshot {
+                id: parts.id,
+                catalog: parts.catalog,
+                graph: parts.graph,
+                keyword_index: parts.keyword,
+                shards: parts.shards,
+            },
+            info,
+        ))
     }
 
     /// The catalog frozen into this snapshot.
@@ -221,6 +280,10 @@ pub struct LiveServer {
     current: RwLock<Arc<GraphSnapshot>>,
     cache: Mutex<QueryCache>,
     writer: Mutex<WriterState>,
+    /// Background snapshot persistence lane ([`SnapshotPersister`]), off by
+    /// default. Publishes deposit into its latest-only mailbox and never
+    /// wait for the disk.
+    persister: Option<SnapshotPersister>,
 }
 
 thread_local! {
@@ -238,12 +301,17 @@ impl LiveServer {
     pub fn new(catalog: Catalog, config: QConfig) -> Self {
         let graph = SearchGraph::from_catalog(&catalog);
         let keyword_index = KeywordIndex::build(&catalog);
-        let snapshot = Arc::new(GraphSnapshot::build(
-            catalog,
-            graph,
-            keyword_index,
-            config.shards,
-        ));
+        let snapshot = GraphSnapshot::build(catalog, graph, keyword_index, config.shards);
+        Self::from_snapshot(snapshot, config)
+    }
+
+    /// Build a live server directly over an existing snapshot — the
+    /// boot-from-disk path: pair with [`GraphSnapshot::load`] to start
+    /// serving the persisted state without re-running graph construction,
+    /// matching or finalization. The snapshot's frozen shard structure is
+    /// served as-is; later publishes shard per `config.shards` as usual.
+    pub fn from_snapshot(snapshot: GraphSnapshot, config: QConfig) -> Self {
+        let snapshot = Arc::new(snapshot);
         let mut cache = QueryCache::default();
         cache.sync_epoch(snapshot.graph.weight_epoch(), &snapshot.graph);
         LiveServer {
@@ -254,6 +322,43 @@ impl LiveServer {
                 matchers: Vec::new(),
                 mira: Mira::new(),
             }),
+            persister: None,
+        }
+    }
+
+    /// Turn on the background persistence lane: every publish (ingestion,
+    /// association, feedback) deposits its snapshot for asynchronous
+    /// persistence into `dir`, keeping the newest `keep_last` files. The
+    /// currently published snapshot is deposited immediately, so a freshly
+    /// built server persists its boot state without waiting for the first
+    /// publish.
+    pub fn enable_persistence(
+        &mut self,
+        dir: std::path::PathBuf,
+        keep_last: usize,
+    ) -> Result<(), q_snap::SnapError> {
+        let persister = SnapshotPersister::start(dir, keep_last)?;
+        persister.enqueue(self.snapshot());
+        self.persister = Some(persister);
+        Ok(())
+    }
+
+    /// Counters of the persistence lane (`None` while persistence is off).
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.persister.as_ref().map(SnapshotPersister::stats)
+    }
+
+    /// Block until every deposited snapshot has been written. No-op while
+    /// persistence is off.
+    pub fn flush_persistence(&self) {
+        if let Some(p) = &self.persister {
+            p.flush();
+        }
+    }
+
+    fn deposit_for_persistence(&self, snapshot: &Arc<GraphSnapshot>) {
+        if let Some(p) = &self.persister {
+            p.enqueue(Arc::clone(snapshot));
         }
     }
 
@@ -460,6 +565,7 @@ impl LiveServer {
                 .sync_ingestion(next.id, &delta)
         };
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        self.deposit_for_persistence(&next);
         drop(writer);
 
         Ok(IngestReport {
@@ -522,6 +628,7 @@ impl LiveServer {
             }
         }
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        self.deposit_for_persistence(&next);
         drop(writer);
         next
     }
@@ -579,6 +686,7 @@ impl LiveServer {
             .expect("cache lock poisoned")
             .sync_repricing_publish(next.id, &next.graph);
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        self.deposit_for_persistence(&next);
         drop(writer);
 
         Ok(LiveFeedbackReport {

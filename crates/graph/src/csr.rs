@@ -29,6 +29,25 @@ impl Csr {
         Csr::default()
     }
 
+    /// Reassemble an index from its raw arrays (what a persistent snapshot
+    /// stores — see `q-snap`). The caller is responsible for `offsets` being
+    /// a prefix sum ending at `targets.len()`.
+    pub fn from_parts(offsets: Vec<u32>, targets: Vec<(EdgeId, NodeId)>) -> Self {
+        debug_assert!(offsets.last().copied().unwrap_or(0) as usize == targets.len());
+        Csr { offsets, targets }
+    }
+
+    /// The raw prefix-sum offset array (one entry per node plus a trailing
+    /// total).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw packed target array.
+    pub fn targets(&self) -> &[(EdgeId, NodeId)] {
+        &self.targets
+    }
+
     /// Build the index from an edge list. Self-loops contribute a single
     /// adjacency entry (matching the list-of-lists representation this
     /// replaces); every other edge appears in both endpoints' ranges.

@@ -104,6 +104,33 @@ impl FeatureSpace {
     pub fn default_weight(&self, id: FeatureId) -> f64 {
         self.default_weights.get(id.index()).copied().unwrap_or(0.0)
     }
+
+    /// All interned feature names, in id order (what a persistent snapshot
+    /// stores).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// All default weights, in id order.
+    pub fn default_weight_slice(&self) -> &[f64] {
+        &self.default_weights
+    }
+
+    /// Reassemble a feature space from its persisted columns, rebuilding the
+    /// name-lookup map.
+    pub fn from_parts(names: Vec<String>, default_weights: Vec<f64>) -> Self {
+        debug_assert_eq!(names.len(), default_weights.len());
+        let by_name = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), FeatureId(i as u32)))
+            .collect();
+        FeatureSpace {
+            names,
+            default_weights,
+            by_name,
+        }
+    }
 }
 
 /// Sparse feature vector attached to an edge. Kept sorted by feature id.
@@ -195,6 +222,16 @@ impl WeightVector {
         WeightVector {
             weights: vec![0.0; space.len()],
         }
+    }
+
+    /// Wrap a raw weight array (what a persistent snapshot stores).
+    pub fn from_raw(weights: Vec<f64>) -> Self {
+        WeightVector { weights }
+    }
+
+    /// The raw weight array, in feature-id order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Weight of a feature, 0 if the vector has not grown to cover it yet.

@@ -7,6 +7,29 @@
 //! idf-weighted token cosine similarity and character-trigram Dice
 //! similarity, which behaves like the paper's default for the bioinformatics
 //! vocabularies used in the evaluation.
+//!
+//! # Columnar layout
+//!
+//! The index stores its documents *columnar*: one shared text blob with
+//! per-document end offsets, a canonical token dictionary with flat
+//! per-document token-id runs, and per-document runs of packed `u64`
+//! character trigrams (three scalar values ≤ `0x10FFFF` < 2²¹, packed into
+//! 21-bit lanes — injective, so trigram set intersection over the packed
+//! keys equals intersection over the strings). Postings are flat arrays
+//! sliced by end offsets. Two properties follow:
+//!
+//! * a persistent snapshot can reconstruct a serving index from the raw
+//!   columns with a handful of bulk copies ([`KeywordIndex::from_parts`])
+//!   instead of millions of per-document string/hash-set allocations, and
+//! * the whole index is deterministic by construction — postings are built
+//!   in ascending document order, the dictionary is canonically sorted, and
+//!   no per-document hash iteration order can leak into scores.
+//!
+//! Scoring is bit-identical to the previous per-document representation:
+//! the idf values are computed from the same document frequencies, the
+//! cosine dot product accumulates in query-token order, and the Dice
+//! numerator is a sorted-merge intersection count over the packed trigram
+//! sets.
 
 use std::collections::{HashMap, HashSet};
 
@@ -59,43 +82,144 @@ impl Default for MatchConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct Document {
-    target: MatchTarget,
-    text: String,
-    tokens: Vec<String>,
-    trigrams: HashSet<String>,
-}
+/// Packed-target discriminants of the columnar document store. A `Value`
+/// target stores only its attribute id — its value text *is* the document
+/// text (both construction sites index a value under its own normalised
+/// text), so materialisation reads it back from the text blob.
+const TARGET_RELATION: u8 = 0;
+const TARGET_ATTRIBUTE: u8 = 1;
+const TARGET_VALUE: u8 = 2;
 
 /// Prepared query-side state for one keyword lookup — see
 /// [`KeywordIndex::query_terms`].
 struct QueryTerms {
-    tokens: Vec<String>,
-    trigrams: HashSet<String>,
+    /// One entry per query-token *occurrence* (duplicates and order kept —
+    /// the cosine dot product accumulates in this order): the dictionary
+    /// id, or `None` for out-of-vocabulary tokens.
+    token_ids: Vec<Option<u32>>,
+    /// Sorted distinct packed trigrams of the normalised keyword.
+    trigrams: Vec<u64>,
     norm: String,
     norm_sq: f64,
     candidates: Vec<usize>,
 }
 
+/// Owned columnar contents of a [`KeywordIndex`]: the exact field set a
+/// persistent snapshot stores. [`KeywordIndex::from_parts`] reconstructs a
+/// serving index from these without re-running tokenisation, trigram
+/// extraction or finalisation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KeywordIndexParts {
+    /// Per-document target discriminant (relation / attribute / value).
+    pub target_kinds: Vec<u8>,
+    /// Per-document target id (relation id or attribute id).
+    pub target_ids: Vec<u32>,
+    /// All normalised document texts, concatenated.
+    pub text_blob: String,
+    /// Per-document end offset into `text_blob`.
+    pub text_ends: Vec<u32>,
+    /// Flat per-document token-id runs (occurrence order, duplicates kept).
+    pub token_ids: Vec<u32>,
+    /// Per-document end offset into `token_ids`.
+    pub token_ends: Vec<u32>,
+    /// Flat per-document sorted distinct packed trigram runs.
+    pub doc_trigrams: Vec<u64>,
+    /// Per-document end offset into `doc_trigrams`.
+    pub trigram_ends: Vec<u32>,
+    /// Canonical (sorted) token dictionary.
+    pub token_names: Vec<String>,
+    /// Flat token postings: ascending document indices per token id.
+    pub token_postings: Vec<u32>,
+    /// Per-token end offset into `token_postings`.
+    pub token_posting_ends: Vec<u32>,
+    /// Sorted distinct packed trigram keys.
+    pub trigram_keys: Vec<u64>,
+    /// Flat trigram postings: ascending document indices per key.
+    pub trigram_postings: Vec<u32>,
+    /// Per-key end offset into `trigram_postings`.
+    pub trigram_posting_ends: Vec<u32>,
+    /// Inverse document frequency per token id.
+    pub idf: Vec<f64>,
+    /// Per-document idf-weighted squared token norm.
+    pub doc_norm_sq: Vec<f64>,
+}
+
+/// Borrowed view of the same columns — what a snapshot writer reads, and
+/// what the convergence tests compare (transient lookup state excluded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeywordIndexView<'a> {
+    /// See [`KeywordIndexParts::target_kinds`].
+    pub target_kinds: &'a [u8],
+    /// See [`KeywordIndexParts::target_ids`].
+    pub target_ids: &'a [u32],
+    /// See [`KeywordIndexParts::text_blob`].
+    pub text_blob: &'a str,
+    /// See [`KeywordIndexParts::text_ends`].
+    pub text_ends: &'a [u32],
+    /// See [`KeywordIndexParts::token_ids`].
+    pub token_ids: &'a [u32],
+    /// See [`KeywordIndexParts::token_ends`].
+    pub token_ends: &'a [u32],
+    /// See [`KeywordIndexParts::doc_trigrams`].
+    pub doc_trigrams: &'a [u64],
+    /// See [`KeywordIndexParts::trigram_ends`].
+    pub trigram_ends: &'a [u32],
+    /// See [`KeywordIndexParts::token_names`].
+    pub token_names: &'a [String],
+    /// See [`KeywordIndexParts::token_postings`].
+    pub token_postings: &'a [u32],
+    /// See [`KeywordIndexParts::token_posting_ends`].
+    pub token_posting_ends: &'a [u32],
+    /// See [`KeywordIndexParts::trigram_keys`].
+    pub trigram_keys: &'a [u64],
+    /// See [`KeywordIndexParts::trigram_postings`].
+    pub trigram_postings: &'a [u32],
+    /// See [`KeywordIndexParts::trigram_posting_ends`].
+    pub trigram_posting_ends: &'a [u32],
+    /// See [`KeywordIndexParts::idf`].
+    pub idf: &'a [f64],
+    /// See [`KeywordIndexParts::doc_norm_sq`].
+    pub doc_norm_sq: &'a [f64],
+}
+
 /// tf-idf / trigram index over schema elements and data values.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KeywordIndex {
-    documents: Vec<Document>,
-    /// token -> document indices containing it
-    token_postings: HashMap<String, Vec<usize>>,
-    /// trigram -> document indices containing it
-    trigram_postings: HashMap<String, Vec<usize>>,
-    /// token -> inverse document frequency
-    idf: HashMap<String, f64>,
-    /// Per-document idf-weighted squared token norm, precomputed in
-    /// `finalize` so scoring a candidate does not re-walk its tokens
-    /// against the idf table (`matches` runs once per keyword per query
-    /// miss, over every posting-list candidate).
+    // Persistent columnar state — see [`KeywordIndexParts`] for field docs.
+    target_kinds: Vec<u8>,
+    target_ids: Vec<u32>,
+    text_blob: String,
+    text_ends: Vec<u32>,
+    token_ids: Vec<u32>,
+    token_ends: Vec<u32>,
+    doc_trigrams: Vec<u64>,
+    trigram_ends: Vec<u32>,
+    token_names: Vec<String>,
+    token_postings: Vec<u32>,
+    token_posting_ends: Vec<u32>,
+    trigram_keys: Vec<u64>,
+    trigram_postings: Vec<u32>,
+    trigram_posting_ends: Vec<u32>,
+    idf: Vec<f64>,
     doc_norm_sq: Vec<f64>,
-    /// Every target ever indexed, for O(1) duplicate rejection in
-    /// `add_document` — a linear scan there is quadratic in corpus size and
-    /// dominates snapshot builds past ~10⁵ documents.
+    /// Transient token-name → id map for interning during `add_document`;
+    /// invalidated by `finalize` (the remap renumbers ids) and by
+    /// `from_parts`, rebuilt lazily when its size disagrees with the
+    /// dictionary.
+    token_lookup: HashMap<String, u32>,
+    /// Transient set of every indexed target, for O(1) duplicate rejection
+    /// in `add_document` — a linear scan there is quadratic in corpus size
+    /// and dominates snapshot builds past ~10⁵ documents. Exactly one entry
+    /// per document; rebuilt lazily when the sizes disagree (e.g. after
+    /// `from_parts`).
     seen_targets: HashSet<MatchTarget>,
+}
+
+/// Half-open range `doc`'s run occupies in a flat column with end offsets.
+#[inline]
+fn run(ends: &[u32], idx: usize) -> (usize, usize) {
+    let start = if idx == 0 { 0 } else { ends[idx - 1] as usize };
+    (start, ends[idx] as usize)
 }
 
 impl KeywordIndex {
@@ -170,14 +294,148 @@ impl KeywordIndex {
         self.finalize(catalog);
     }
 
+    /// Reconstruct a finalized serving index from persisted columns. The
+    /// caller (the snapshot layer) is responsible for the columns being a
+    /// faithful copy of a previously finalized index; internal consistency
+    /// of the offsets is checked in debug builds.
+    pub fn from_parts(parts: KeywordIndexParts) -> Self {
+        let idx = KeywordIndex {
+            target_kinds: parts.target_kinds,
+            target_ids: parts.target_ids,
+            text_blob: parts.text_blob,
+            text_ends: parts.text_ends,
+            token_ids: parts.token_ids,
+            token_ends: parts.token_ends,
+            doc_trigrams: parts.doc_trigrams,
+            trigram_ends: parts.trigram_ends,
+            token_names: parts.token_names,
+            token_postings: parts.token_postings,
+            token_posting_ends: parts.token_posting_ends,
+            trigram_keys: parts.trigram_keys,
+            trigram_postings: parts.trigram_postings,
+            trigram_posting_ends: parts.trigram_posting_ends,
+            idf: parts.idf,
+            doc_norm_sq: parts.doc_norm_sq,
+            token_lookup: HashMap::new(),
+            seen_targets: HashSet::new(),
+        };
+        debug_assert_eq!(idx.text_ends.len(), idx.len());
+        debug_assert_eq!(idx.token_ends.len(), idx.len());
+        debug_assert_eq!(idx.trigram_ends.len(), idx.len());
+        debug_assert_eq!(idx.doc_norm_sq.len(), idx.len());
+        debug_assert_eq!(idx.idf.len(), idx.token_names.len());
+        debug_assert_eq!(idx.token_posting_ends.len(), idx.token_names.len());
+        debug_assert_eq!(idx.trigram_posting_ends.len(), idx.trigram_keys.len());
+        idx
+    }
+
+    /// Borrowed view of the persistent columns (what a snapshot persists).
+    pub fn view(&self) -> KeywordIndexView<'_> {
+        KeywordIndexView {
+            target_kinds: &self.target_kinds,
+            target_ids: &self.target_ids,
+            text_blob: &self.text_blob,
+            text_ends: &self.text_ends,
+            token_ids: &self.token_ids,
+            token_ends: &self.token_ends,
+            doc_trigrams: &self.doc_trigrams,
+            trigram_ends: &self.trigram_ends,
+            token_names: &self.token_names,
+            token_postings: &self.token_postings,
+            token_posting_ends: &self.token_posting_ends,
+            trigram_keys: &self.trigram_keys,
+            trigram_postings: &self.trigram_postings,
+            trigram_posting_ends: &self.trigram_posting_ends,
+            idf: &self.idf,
+            doc_norm_sq: &self.doc_norm_sq,
+        }
+    }
+
     /// Number of indexed documents.
     pub fn len(&self) -> usize {
-        self.documents.len()
+        self.target_kinds.len()
     }
 
     /// True if nothing has been indexed.
     pub fn is_empty(&self) -> bool {
-        self.documents.is_empty()
+        self.target_kinds.is_empty()
+    }
+
+    /// Normalised text of one document.
+    fn doc_text(&self, idx: usize) -> &str {
+        let (start, end) = run(&self.text_ends, idx);
+        &self.text_blob[start..end]
+    }
+
+    /// Token-id occurrences of one document (duplicates kept).
+    fn doc_token_ids(&self, idx: usize) -> &[u32] {
+        let (start, end) = run(&self.token_ends, idx);
+        &self.token_ids[start..end]
+    }
+
+    /// Sorted distinct packed trigrams of one document.
+    fn doc_trigram_keys(&self, idx: usize) -> &[u64] {
+        let (start, end) = run(&self.trigram_ends, idx);
+        &self.doc_trigrams[start..end]
+    }
+
+    /// Posting list (ascending document indices) of one token id.
+    fn token_posting_list(&self, token: u32) -> &[u32] {
+        let (start, end) = run(&self.token_posting_ends, token as usize);
+        &self.token_postings[start..end]
+    }
+
+    /// Posting list of the trigram key at `pos` in `trigram_keys`.
+    fn trigram_posting_list(&self, pos: usize) -> &[u32] {
+        let (start, end) = run(&self.trigram_posting_ends, pos);
+        &self.trigram_postings[start..end]
+    }
+
+    /// Dictionary id of a token (binary search over the canonical sorted
+    /// dictionary; only valid on a finalized index, which is the only kind
+    /// the query paths ever see).
+    fn token_id(&self, name: &str) -> Option<u32> {
+        self.token_names
+            .binary_search_by(|t| t.as_str().cmp(name))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// Materialise the [`MatchTarget`] of one document.
+    pub(crate) fn target(&self, idx: usize) -> MatchTarget {
+        let id = self.target_ids[idx];
+        match self.target_kinds[idx] {
+            TARGET_RELATION => MatchTarget::Relation(RelationId(id)),
+            TARGET_ATTRIBUTE => MatchTarget::Attribute(AttributeId(id)),
+            _ => MatchTarget::Value {
+                attribute: AttributeId(id),
+                value: self.doc_text(idx).to_string(),
+            },
+        }
+    }
+
+    /// Relation owning one document's target, resolved against the catalog.
+    pub(crate) fn target_relation(&self, idx: usize, catalog: &Catalog) -> Option<RelationId> {
+        let id = self.target_ids[idx];
+        match self.target_kinds[idx] {
+            TARGET_RELATION => Some(RelationId(id)),
+            _ => catalog.attribute(AttributeId(id)).map(|attr| attr.relation),
+        }
+    }
+
+    /// Deterministic estimate of one document's postings footprint:
+    /// normalised text, token strings + posting entries, trigram strings +
+    /// posting entries, and the fixed per-document state. An estimate — not
+    /// an allocator measurement — but stable across builds, which is what
+    /// the accounting tests and `/metrics` gauges need.
+    pub(crate) fn doc_byte_estimate(&self, idx: usize) -> u64 {
+        let tokens: usize = self
+            .doc_token_ids(idx)
+            .iter()
+            .map(|&t| self.token_names[t as usize].len() + 8)
+            .sum();
+        let trigrams = self.doc_trigram_keys(idx).len() * (3 + 8);
+        (self.doc_text(idx).len() + tokens + trigrams + 24) as u64
     }
 
     /// Match one keyword (which may be a multi-word phrase) against the
@@ -190,7 +448,7 @@ impl KeywordIndex {
             .candidates
             .iter()
             .map(|&idx| KeywordMatch {
-                target: self.documents[idx].target.clone(),
+                target: self.target(idx),
                 similarity: self.score(&terms, idx),
             })
             .filter(|m| m.similarity >= config.min_similarity)
@@ -201,8 +459,8 @@ impl KeywordIndex {
         scored
     }
 
-    /// Per-call query-side state shared by every scoring path: tokens,
-    /// trigrams, normalised text, idf-weighted squared norm, and the
+    /// Per-call query-side state shared by every scoring path: token ids,
+    /// packed trigrams, normalised text, idf-weighted squared norm, and the
     /// candidate documents (anything sharing a token or a trigram), sorted
     /// by document index and deduplicated — equal-similarity matches must
     /// rank in indexing order, never in the iteration order of a per-call
@@ -216,34 +474,34 @@ impl KeywordIndex {
     /// while the probe sees everything a fresh match call would.
     fn query_terms(&self, keyword: &str) -> Option<QueryTerms> {
         let tokens = tokenize(keyword);
-        let query_trigrams = trigrams(&normalize(keyword));
+        let norm = normalize(keyword);
+        let query_trigrams = packed_trigrams(&norm);
         if tokens.is_empty() && query_trigrams.is_empty() {
             return None;
         }
+        let token_ids: Vec<Option<u32>> = tokens.iter().map(|t| self.token_id(t)).collect();
         let mut candidates: Vec<usize> = Vec::new();
-        for t in &tokens {
-            if let Some(docs) = self.token_postings.get(t) {
-                candidates.extend(docs.iter().copied());
-            }
+        for id in token_ids.iter().flatten() {
+            candidates.extend(self.token_posting_list(*id).iter().map(|&d| d as usize));
         }
         for g in &query_trigrams {
-            if let Some(docs) = self.trigram_postings.get(g) {
-                candidates.extend(docs.iter().copied());
+            if let Ok(pos) = self.trigram_keys.binary_search(g) {
+                candidates.extend(self.trigram_posting_list(pos).iter().map(|&d| d as usize));
             }
         }
         candidates.sort_unstable();
         candidates.dedup();
-        let norm_sq = tokens
+        let norm_sq = token_ids
             .iter()
-            .map(|t| {
-                let w = self.idf.get(t).copied().unwrap_or(1.0);
+            .map(|id| {
+                let w = id.map_or(1.0, |i| self.idf[i as usize]);
                 w * w
             })
             .sum();
         Some(QueryTerms {
-            tokens,
+            token_ids,
             trigrams: query_trigrams,
-            norm: normalize(keyword),
+            norm,
             norm_sq,
             candidates,
         })
@@ -251,57 +509,42 @@ impl KeywordIndex {
 
     /// Similarity of one candidate document against prepared query terms.
     fn score(&self, terms: &QueryTerms, doc_index: usize) -> f64 {
-        self.similarity(
-            &terms.tokens,
-            terms.norm_sq,
-            &terms.trigrams,
-            &terms.norm,
-            doc_index,
-            &self.documents[doc_index],
-        )
-    }
-
-    fn similarity(
-        &self,
-        query_tokens: &[String],
-        query_norm_sq: f64,
-        query_trigrams: &HashSet<String>,
-        norm_query: &str,
-        doc_index: usize,
-        doc: &Document,
-    ) -> f64 {
-        if norm_query == doc.text {
+        let text = self.doc_text(doc_index);
+        if terms.norm == text {
             return 1.0;
         }
         // idf-weighted token cosine. Documents hold a handful of tokens, so
-        // a linear scan beats building a hash set per candidate.
+        // a linear scan beats building a hash set per candidate. An
+        // out-of-vocabulary query token cannot occur in any document.
+        let doc_tokens = self.doc_token_ids(doc_index);
         let mut dot = 0.0;
-        for t in query_tokens {
-            if doc.tokens.contains(t) {
-                let w = self.idf.get(t).copied().unwrap_or(1.0);
+        for id in terms.token_ids.iter().flatten() {
+            if doc_tokens.contains(id) {
+                let w = self.idf[*id as usize];
                 dot += w * w;
             }
         }
-        let qn = query_norm_sq;
+        let qn = terms.norm_sq;
         let dn = self.doc_norm_sq.get(doc_index).copied().unwrap_or(0.0);
         let token_cos = if qn > 0.0 && dn > 0.0 {
             dot / (qn.sqrt() * dn.sqrt())
         } else {
             0.0
         };
-        // Character trigram Dice.
-        let common = query_trigrams.intersection(&doc.trigrams).count();
-        let dice = if query_trigrams.is_empty() || doc.trigrams.is_empty() {
+        // Character trigram Dice over the packed sorted sets.
+        let doc_grams = self.doc_trigram_keys(doc_index);
+        let common = sorted_intersection_count(&terms.trigrams, doc_grams);
+        let dice = if terms.trigrams.is_empty() || doc_grams.is_empty() {
             0.0
         } else {
-            2.0 * common as f64 / (query_trigrams.len() + doc.trigrams.len()) as f64
+            2.0 * common as f64 / (terms.trigrams.len() + doc_grams.len()) as f64
         };
         // Substring containment bonus (e.g. "publication" vs "pub").
-        let containment = if !norm_query.is_empty()
-            && (doc.text.contains(norm_query) || norm_query.contains(&doc.text))
+        let containment = if !terms.norm.is_empty()
+            && (text.contains(terms.norm.as_str()) || terms.norm.contains(text))
         {
-            let shorter = norm_query.len().min(doc.text.len()) as f64;
-            let longer = norm_query.len().max(doc.text.len()) as f64;
+            let shorter = terms.norm.len().min(text.len()) as f64;
+            let longer = terms.norm.len().max(text.len()) as f64;
             0.9 * shorter / longer
         } else {
             0.0
@@ -310,17 +553,60 @@ impl KeywordIndex {
     }
 
     fn add_document(&mut self, target: MatchTarget, text: &str) {
-        if !self.seen_targets.insert(target.clone()) {
+        if self.seen_targets.len() != self.len() {
+            // Transient duplicate-rejection set is stale (fresh load from a
+            // snapshot): rebuild it from the documents.
+            let rebuilt: HashSet<MatchTarget> = (0..self.len()).map(|i| self.target(i)).collect();
+            self.seen_targets = rebuilt;
+        }
+        if self.seen_targets.contains(&target) {
             return;
         }
         let norm = normalize(text);
-        let doc = Document {
-            target,
-            tokens: tokenize(&norm),
-            trigrams: trigrams(&norm),
-            text: norm,
+        let (kind, id) = match &target {
+            MatchTarget::Relation(r) => (TARGET_RELATION, r.0),
+            MatchTarget::Attribute(a) => (TARGET_ATTRIBUTE, a.0),
+            MatchTarget::Value { attribute, value } => {
+                // The packed layout stores a value target as its attribute
+                // id only; the value text is recovered from the document
+                // text, so the two must agree.
+                debug_assert_eq!(
+                    value, &norm,
+                    "value target must be indexed under its own text"
+                );
+                (TARGET_VALUE, attribute.0)
+            }
         };
-        self.documents.push(doc);
+        self.seen_targets.insert(target);
+        self.target_kinds.push(kind);
+        self.target_ids.push(id);
+        self.text_blob.push_str(&norm);
+        self.text_ends.push(self.text_blob.len() as u32);
+        if self.token_lookup.len() != self.token_names.len() {
+            // Interning map is stale (post-finalize renumbering or fresh
+            // load): rebuild it from the dictionary.
+            self.token_lookup = self
+                .token_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), i as u32))
+                .collect();
+        }
+        for tok in tokenize(&norm) {
+            let id = match self.token_lookup.get(&tok) {
+                Some(&id) => id,
+                None => {
+                    let id = self.token_names.len() as u32;
+                    self.token_names.push(tok.clone());
+                    self.token_lookup.insert(tok, id);
+                    id
+                }
+            };
+            self.token_ids.push(id);
+        }
+        self.token_ends.push(self.token_ids.len() as u32);
+        self.doc_trigrams.extend(packed_trigrams(&norm));
+        self.trigram_ends.push(self.doc_trigrams.len() as u32);
     }
 
     /// True when the keyword would match (at or above the configured
@@ -339,14 +625,7 @@ impl KeywordIndex {
             return false;
         };
         terms.candidates.iter().any(|&idx| {
-            let rel = match &self.documents[idx].target {
-                MatchTarget::Relation(r) => Some(*r),
-                MatchTarget::Attribute(a) => catalog.attribute(*a).map(|attr| attr.relation),
-                MatchTarget::Value { attribute, .. } => {
-                    catalog.attribute(*attribute).map(|attr| attr.relation)
-                }
-            };
-            let Some(rel) = rel else {
+            let Some(rel) = self.target_relation(idx, catalog) else {
                 return false;
             };
             relations.contains(&rel) && self.score(&terms, idx) >= config.min_similarity
@@ -361,55 +640,178 @@ impl KeywordIndex {
     /// [`KeywordIndex::add_relation`] converge to the batch index — the
     /// golden-answer ingestion test relies on incrementally grown and
     /// from-scratch indexes being byte-identical.
-    fn canonical_key(catalog: &Catalog, target: &MatchTarget) -> (u8, u32, u32) {
-        match target {
-            MatchTarget::Relation(r) => (0, r.0, 0),
-            MatchTarget::Attribute(a) => match catalog.attribute(*a) {
+    fn canonical_key_of(&self, catalog: &Catalog, idx: usize) -> (u8, u32, u32) {
+        let id = self.target_ids[idx];
+        match self.target_kinds[idx] {
+            TARGET_RELATION => (0, id, 0),
+            TARGET_ATTRIBUTE => match catalog.attribute(AttributeId(id)) {
                 Some(attr) => (0, attr.relation.0, attr.position as u32 + 1),
-                None => (2, a.0, 0),
+                None => (2, id, 0),
             },
-            MatchTarget::Value { attribute, .. } => match catalog.attribute(*attribute) {
+            _ => match catalog.attribute(AttributeId(id)) {
                 Some(attr) => (1, attr.relation.0, attr.position as u32 + 1),
-                None => (2, attribute.0, u32::MAX),
+                None => (2, id, u32::MAX),
             },
         }
     }
 
+    /// Rebuild every per-document column in permuted order (`perm[new]` is
+    /// the old index of the document now at `new`).
+    fn permute_documents(&mut self, perm: &[u32]) {
+        let n = perm.len();
+        let mut kinds = Vec::with_capacity(n);
+        let mut ids = Vec::with_capacity(n);
+        let mut blob = String::with_capacity(self.text_blob.len());
+        let mut text_ends = Vec::with_capacity(n);
+        let mut token_ids = Vec::with_capacity(self.token_ids.len());
+        let mut token_ends = Vec::with_capacity(n);
+        let mut grams = Vec::with_capacity(self.doc_trigrams.len());
+        let mut trigram_ends = Vec::with_capacity(n);
+        for &old in perm {
+            let old = old as usize;
+            kinds.push(self.target_kinds[old]);
+            ids.push(self.target_ids[old]);
+            blob.push_str(self.doc_text(old));
+            text_ends.push(blob.len() as u32);
+            token_ids.extend_from_slice(self.doc_token_ids(old));
+            token_ends.push(token_ids.len() as u32);
+            grams.extend_from_slice(self.doc_trigram_keys(old));
+            trigram_ends.push(grams.len() as u32);
+        }
+        self.target_kinds = kinds;
+        self.target_ids = ids;
+        self.text_blob = blob;
+        self.text_ends = text_ends;
+        self.token_ids = token_ids;
+        self.token_ends = token_ends;
+        self.doc_trigrams = grams;
+        self.trigram_ends = trigram_ends;
+    }
+
     fn finalize(&mut self, catalog: &Catalog) {
-        self.documents
-            .sort_by_cached_key(|doc| Self::canonical_key(catalog, &doc.target));
-        self.token_postings.clear();
-        self.trigram_postings.clear();
-        self.idf.clear();
-        for (idx, doc) in self.documents.iter().enumerate() {
-            for t in doc.tokens.iter().collect::<HashSet<_>>() {
-                self.token_postings.entry(t.clone()).or_default().push(idx);
+        let n = self.len();
+        // 1. Canonical document order (stable permutation sort).
+        let keys: Vec<(u8, u32, u32)> = (0..n).map(|i| self.canonical_key_of(catalog, i)).collect();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| keys[i as usize]);
+        if perm.iter().enumerate().any(|(new, &old)| new as u32 != old) {
+            self.permute_documents(&perm);
+        }
+        // 2. Canonical token dictionary: sorted names, ids remapped. Token
+        //    names are distinct by construction, so the order is total.
+        if !self.token_names.windows(2).all(|w| w[0] < w[1]) {
+            let mut order: Vec<u32> = (0..self.token_names.len() as u32).collect();
+            order.sort_by(|&a, &b| self.token_names[a as usize].cmp(&self.token_names[b as usize]));
+            let mut remap = vec![0u32; order.len()];
+            for (new_id, &old_id) in order.iter().enumerate() {
+                remap[old_id as usize] = new_id as u32;
             }
-            for g in &doc.trigrams {
-                self.trigram_postings
-                    .entry(g.clone())
-                    .or_default()
-                    .push(idx);
+            for id in &mut self.token_ids {
+                *id = remap[*id as usize];
+            }
+            let mut sorted = Vec::with_capacity(self.token_names.len());
+            for &old in &order {
+                sorted.push(std::mem::take(&mut self.token_names[old as usize]));
+            }
+            self.token_names = sorted;
+        }
+        self.token_lookup.clear();
+        // 3. Token postings (distinct per document, ascending document
+        //    order) via a count-then-fill pass, and idf from the document
+        //    frequencies.
+        let token_count = self.token_names.len();
+        let mut df = vec![0u32; token_count];
+        let mut scratch: Vec<u32> = Vec::new();
+        for doc in 0..n {
+            scratch.clear();
+            scratch.extend_from_slice(self.doc_token_ids(doc));
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &t in &scratch {
+                df[t as usize] += 1;
             }
         }
-        let n = self.documents.len() as f64;
-        for (token, docs) in &self.token_postings {
-            let df = docs.len() as f64;
-            self.idf.insert(token.clone(), (1.0 + n / df).ln());
+        let mut token_posting_ends = Vec::with_capacity(token_count);
+        let mut total = 0u32;
+        for &d in &df {
+            total += d;
+            token_posting_ends.push(total);
         }
-        self.doc_norm_sq = self
-            .documents
+        let mut cursor: Vec<u32> = Vec::with_capacity(token_count);
+        let mut start = 0u32;
+        for &e in &token_posting_ends {
+            cursor.push(start);
+            start = e;
+        }
+        let mut token_postings = vec![0u32; total as usize];
+        for doc in 0..n {
+            scratch.clear();
+            scratch.extend_from_slice(self.doc_token_ids(doc));
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &t in &scratch {
+                token_postings[cursor[t as usize] as usize] = doc as u32;
+                cursor[t as usize] += 1;
+            }
+        }
+        self.token_postings = token_postings;
+        self.token_posting_ends = token_posting_ends;
+        let total_docs = n as f64;
+        self.idf = df
             .iter()
+            .map(|&d| (1.0 + total_docs / d as f64).ln())
+            .collect();
+        // 4. Per-document idf-weighted squared norms (token occurrence
+        //    order, duplicates included — identical accumulation order to a
+        //    per-document token walk).
+        let doc_norm_sq: Vec<f64> = (0..n)
             .map(|doc| {
-                doc.tokens
+                self.doc_token_ids(doc)
                     .iter()
-                    .map(|t| {
-                        let w = self.idf.get(t).copied().unwrap_or(1.0);
+                    .map(|&t| {
+                        let w = self.idf[t as usize];
                         w * w
                     })
                     .sum()
             })
             .collect();
+        self.doc_norm_sq = doc_norm_sq;
+        // 5. Trigram postings: sorted distinct keys, ascending document
+        //    indices per key (document trigram runs are already distinct).
+        let mut gram_df: HashMap<u64, u32> = HashMap::new();
+        for &g in &self.doc_trigrams {
+            *gram_df.entry(g).or_insert(0) += 1;
+        }
+        let mut keys: Vec<u64> = gram_df.keys().copied().collect();
+        keys.sort_unstable();
+        let pos_of: HashMap<u64, u32> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i as u32))
+            .collect();
+        let mut trigram_posting_ends = Vec::with_capacity(keys.len());
+        let mut total = 0u32;
+        for &g in &keys {
+            total += gram_df[&g];
+            trigram_posting_ends.push(total);
+        }
+        let mut cursor: Vec<u32> = Vec::with_capacity(keys.len());
+        let mut start = 0u32;
+        for &e in &trigram_posting_ends {
+            cursor.push(start);
+            start = e;
+        }
+        let mut trigram_postings = vec![0u32; total as usize];
+        for doc in 0..n {
+            for &g in self.doc_trigram_keys(doc) {
+                let p = pos_of[&g] as usize;
+                trigram_postings[cursor[p] as usize] = doc as u32;
+                cursor[p] += 1;
+            }
+        }
+        self.trigram_keys = keys;
+        self.trigram_postings = trigram_postings;
+        self.trigram_posting_ends = trigram_posting_ends;
     }
 }
 
@@ -440,25 +842,35 @@ impl ShardedKeywordIndex {
     /// shard 0.
     pub fn build(index: &KeywordIndex, catalog: &Catalog, plan: &ShardPlan) -> Self {
         let shards = plan.shards();
-        let mut shard_of_doc = Vec::with_capacity(index.documents.len());
+        let mut shard_of_doc = Vec::with_capacity(index.len());
         let mut postings_bytes = vec![0u64; shards];
-        for doc in &index.documents {
-            let relation = match &doc.target {
-                MatchTarget::Relation(r) => Some(*r),
-                MatchTarget::Attribute(a) => catalog.attribute(*a).map(|attr| attr.relation),
-                MatchTarget::Value { attribute, .. } => {
-                    catalog.attribute(*attribute).map(|attr| attr.relation)
-                }
-            };
-            let shard = relation.map_or(0, |r| plan.shard_of_relation(r));
+        for idx in 0..index.len() {
+            let shard = index
+                .target_relation(idx, catalog)
+                .map_or(0, |r| plan.shard_of_relation(r));
             shard_of_doc.push(shard as u32);
-            postings_bytes[shard] += doc_byte_estimate(doc);
+            postings_bytes[shard] += index.doc_byte_estimate(idx);
         }
         ShardedKeywordIndex {
             shard_of_doc,
             postings_bytes,
             shards,
         }
+    }
+
+    /// Reassemble a partition persisted by a snapshot.
+    pub fn from_parts(shard_of_doc: Vec<u32>, postings_bytes: Vec<u64>) -> Self {
+        let shards = postings_bytes.len();
+        ShardedKeywordIndex {
+            shard_of_doc,
+            postings_bytes,
+            shards,
+        }
+    }
+
+    /// Document index → owning shard (what a snapshot persists).
+    pub fn shard_of_doc(&self) -> &[u32] {
+        &self.shard_of_doc
     }
 
     /// Number of shards in the partition.
@@ -489,7 +901,7 @@ impl ShardedKeywordIndex {
         keyword: &str,
         config: &MatchConfig,
     ) -> Vec<KeywordMatch> {
-        debug_assert_eq!(self.shard_of_doc.len(), index.documents.len());
+        debug_assert_eq!(self.shard_of_doc.len(), index.len());
         let Some(terms) = index.query_terms(keyword) else {
             return Vec::new();
         };
@@ -512,7 +924,7 @@ impl ShardedKeywordIndex {
         let mut scored: Vec<KeywordMatch> = merged
             .into_iter()
             .map(|(idx, similarity)| KeywordMatch {
-                target: index.documents[idx].target.clone(),
+                target: index.target(idx),
                 similarity,
             })
             .collect();
@@ -521,17 +933,6 @@ impl ShardedKeywordIndex {
         scored.truncate(config.max_matches);
         scored
     }
-}
-
-/// Deterministic estimate of one document's postings footprint: normalised
-/// text, token strings + posting entries, trigram strings + posting entries,
-/// and the fixed per-document state (target, norm). An estimate — not an
-/// allocator measurement — but stable across builds, which is what the
-/// accounting tests and `/metrics` gauges need.
-fn doc_byte_estimate(doc: &Document) -> u64 {
-    let tokens: usize = doc.tokens.iter().map(|t| t.len() + 8).sum();
-    let trigrams = doc.trigrams.len() * (3 + 8);
-    (doc.text.len() + tokens + trigrams + 24) as u64
 }
 
 fn normalize(text: &str) -> String {
@@ -548,18 +949,41 @@ fn tokenize(text: &str) -> Vec<String> {
         .collect()
 }
 
-/// Character trigrams of the normalised text (with word boundary padding).
-fn trigrams(text: &str) -> HashSet<String> {
+/// Sorted distinct packed character trigrams of the normalised text (with
+/// word-boundary padding). Each of the three chars is a Unicode scalar
+/// value (≤ `0x10FFFF` < 2²¹) packed into its own 21-bit lane, so packing
+/// is injective and set operations over the keys equal set operations over
+/// the original trigram strings.
+fn packed_trigrams(text: &str) -> Vec<u64> {
     let padded = format!("  {}  ", normalize(text));
     let chars: Vec<char> = padded.chars().collect();
-    let mut grams = HashSet::new();
     if chars.len() < 3 {
-        return grams;
+        return Vec::new();
     }
-    for w in chars.windows(3) {
-        grams.insert(w.iter().collect());
-    }
+    let mut grams: Vec<u64> = chars
+        .windows(3)
+        .map(|w| ((w[0] as u64) << 42) | ((w[1] as u64) << 21) | (w[2] as u64))
+        .collect();
+    grams.sort_unstable();
+    grams.dedup();
     grams
+}
+
+/// Size of the intersection of two sorted distinct sequences.
+fn sorted_intersection_count(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut common) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common
 }
 
 #[cfg(test)]
@@ -681,8 +1105,9 @@ mod tests {
     #[test]
     fn incremental_add_relation_converges_to_the_batch_index() {
         // Grow an index one relation at a time and compare against the
-        // batch build over the final catalog: canonical document order makes
-        // them identical, so match lists (and downstream tie-breaks) cannot
+        // batch build over the final catalog: canonical document order and
+        // the canonical token dictionary make every persistent column
+        // identical, so match lists (and downstream tie-breaks) cannot
         // depend on which path built the index.
         let mut cat = Catalog::new();
         let incremental = {
@@ -706,13 +1131,83 @@ mod tests {
         };
         let batch = KeywordIndex::build(&cat);
         assert_eq!(incremental.len(), batch.len());
-        for (a, b) in incremental.documents.iter().zip(&batch.documents) {
-            assert_eq!(a, b);
-        }
+        assert_eq!(incremental.view(), batch.view());
         let cfg = MatchConfig::default();
         for kw in ["name", "membrane", "entry", "kringle"] {
             assert_eq!(incremental.matches(kw, &cfg), batch.matches(kw, &cfg));
         }
+    }
+
+    #[test]
+    fn from_parts_round_trip_preserves_columns_and_matching() {
+        let cat = catalog();
+        let idx = KeywordIndex::build(&cat);
+        let view = idx.view();
+        let parts = KeywordIndexParts {
+            target_kinds: view.target_kinds.to_vec(),
+            target_ids: view.target_ids.to_vec(),
+            text_blob: view.text_blob.to_string(),
+            text_ends: view.text_ends.to_vec(),
+            token_ids: view.token_ids.to_vec(),
+            token_ends: view.token_ends.to_vec(),
+            doc_trigrams: view.doc_trigrams.to_vec(),
+            trigram_ends: view.trigram_ends.to_vec(),
+            token_names: view.token_names.to_vec(),
+            token_postings: view.token_postings.to_vec(),
+            token_posting_ends: view.token_posting_ends.to_vec(),
+            trigram_keys: view.trigram_keys.to_vec(),
+            trigram_postings: view.trigram_postings.to_vec(),
+            trigram_posting_ends: view.trigram_posting_ends.to_vec(),
+            idf: view.idf.to_vec(),
+            doc_norm_sq: view.doc_norm_sq.to_vec(),
+        };
+        let loaded = KeywordIndex::from_parts(parts);
+        assert_eq!(loaded.view(), idx.view());
+        let cfg = MatchConfig {
+            min_similarity: 0.1,
+            max_matches: 16,
+        };
+        for kw in ["title", "plasma membrane", "term", "pub", "kinase", ""] {
+            assert_eq!(loaded.matches(kw, &cfg), idx.matches(kw, &cfg));
+        }
+    }
+
+    #[test]
+    fn loaded_index_accepts_further_relations() {
+        // A snapshot-loaded index must keep converging: its transient
+        // interning/dedup state is rebuilt lazily on the next add.
+        let mut cat = catalog();
+        let built = KeywordIndex::build(&cat);
+        let view = built.view();
+        let mut loaded = KeywordIndex::from_parts(KeywordIndexParts {
+            target_kinds: view.target_kinds.to_vec(),
+            target_ids: view.target_ids.to_vec(),
+            text_blob: view.text_blob.to_string(),
+            text_ends: view.text_ends.to_vec(),
+            token_ids: view.token_ids.to_vec(),
+            token_ends: view.token_ends.to_vec(),
+            doc_trigrams: view.doc_trigrams.to_vec(),
+            trigram_ends: view.trigram_ends.to_vec(),
+            token_names: view.token_names.to_vec(),
+            token_postings: view.token_postings.to_vec(),
+            token_posting_ends: view.token_posting_ends.to_vec(),
+            trigram_keys: view.trigram_keys.to_vec(),
+            trigram_postings: view.trigram_postings.to_vec(),
+            trigram_posting_ends: view.trigram_posting_ends.to_vec(),
+            idf: view.idf.to_vec(),
+            doc_norm_sq: view.doc_norm_sq.to_vec(),
+        });
+        let mut grown = built.clone();
+        let src = cat.add_source("new").unwrap();
+        let rel = cat
+            .add_relation(src, "journal", &["journal_id", "journal_name"])
+            .unwrap();
+        cat.insert_rows(rel, vec![vec![Value::from("J1"), Value::from("Nature")]])
+            .unwrap();
+        loaded.add_relation(&cat, rel);
+        grown.add_relation(&cat, rel);
+        assert_eq!(loaded.view(), grown.view());
+        assert_eq!(loaded.view(), KeywordIndex::build(&cat).view());
     }
 
     #[test]
@@ -774,5 +1269,27 @@ mod tests {
         assert!(matches
             .iter()
             .any(|m| m.target == MatchTarget::Relation(rel)));
+    }
+
+    #[test]
+    fn packed_trigrams_are_injective_over_scalars() {
+        // Distinct trigram strings must pack to distinct keys.
+        let a = packed_trigrams("abc");
+        let b = packed_trigrams("abd");
+        assert_ne!(a, b);
+        // Empty text still yields the padding-only trigram, like the
+        // string-set representation did.
+        assert_eq!(packed_trigrams("").len(), 1);
+        // Non-ASCII scalars stay in their 21-bit lanes.
+        let uni = packed_trigrams("δοκιμή");
+        assert!(!uni.is_empty());
+        assert!(uni.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+    }
+
+    #[test]
+    fn sorted_intersection_count_matches_set_semantics() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 5, 9]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_count(&[7], &[7]), 1);
     }
 }

@@ -31,10 +31,13 @@ pub use features::{
     bin_confidence, FeatureId, FeatureSpace, FeatureVector, WeightVector, CONFIDENCE_BINS,
 };
 pub use heap::IndexedHeap;
-pub use keyword::{KeywordIndex, KeywordMatch, MatchTarget, ShardedKeywordIndex};
+pub use keyword::{
+    KeywordIndex, KeywordIndexParts, KeywordIndexView, KeywordMatch, MatchTarget,
+    ShardedKeywordIndex,
+};
 pub use node::{Node, NodeId};
 pub use query_graph::{KeywordNode, QueryGraph};
-pub use search_graph::{AssociationProvenance, SearchGraph};
+pub use search_graph::{AssociationProvenance, SearchGraph, SearchGraphParts};
 pub use shard::{GraphShards, ShardPlan, ShardSet, ShardStamp};
 pub use steiner::{
     approx_top_k, approx_top_k_detailed, approx_top_k_detailed_fanned, approx_top_k_with,

@@ -43,6 +43,28 @@ pub struct AssociationProvenance {
     pub confidence: f64,
 }
 
+/// Owned persistent state of a [`SearchGraph`]: the exact field set a
+/// snapshot stores. [`SearchGraph::from_parts`] reconstructs a serving graph
+/// from these, re-deriving the lookup structures (node interning map,
+/// incremental adjacency, association map) instead of persisting them.
+#[derive(Debug, Clone, Default)]
+pub struct SearchGraphParts {
+    /// All nodes, in id order.
+    pub nodes: Vec<Node>,
+    /// All edges, in id order (with their feature vectors).
+    pub edges: Vec<Edge>,
+    /// The packed adjacency index (covers every edge).
+    pub csr: Csr,
+    /// The feature space (names + default weights, in id order).
+    pub features: FeatureSpace,
+    /// The learned weight vector.
+    pub weights: WeightVector,
+    /// The weight epoch at persist time.
+    pub weight_epoch: u64,
+    /// Matcher provenance per association edge, sorted by edge id.
+    pub provenance: Vec<(EdgeId, Vec<AssociationProvenance>)>,
+}
+
 /// The search graph.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SearchGraph {
@@ -90,6 +112,59 @@ impl SearchGraph {
             .intern("keyword_mismatch", KEYWORD_MISMATCH_WEIGHT);
         graph.weights = graph.features.default_weights();
         graph
+    }
+
+    /// Reconstruct a graph from persisted parts without re-running any
+    /// source scan or matcher: the node interning map, incremental adjacency
+    /// lists and association map are re-derived from the node/edge arrays,
+    /// and the CSR is taken as already covering every edge.
+    pub fn from_parts(parts: SearchGraphParts) -> Self {
+        let mut node_ids = HashMap::with_capacity(parts.nodes.len());
+        for (i, node) in parts.nodes.iter().enumerate() {
+            node_ids.insert(node.clone(), NodeId(i as u32));
+        }
+        let mut adjacency: Vec<Vec<EdgeId>> = vec![Vec::new(); parts.nodes.len()];
+        let mut associations = BTreeMap::new();
+        for edge in &parts.edges {
+            adjacency[edge.a.index()].push(edge.id);
+            if edge.a != edge.b {
+                adjacency[edge.b.index()].push(edge.id);
+            }
+            if edge.kind == EdgeKind::Association {
+                if let (Node::Attribute(a), Node::Attribute(b)) =
+                    (&parts.nodes[edge.a.index()], &parts.nodes[edge.b.index()])
+                {
+                    let key = if a <= b { (*a, *b) } else { (*b, *a) };
+                    associations.insert(key, edge.id);
+                }
+            }
+        }
+        let packed_edges = parts.edges.len();
+        SearchGraph {
+            nodes: parts.nodes,
+            node_ids,
+            edges: parts.edges,
+            adjacency,
+            csr: parts.csr,
+            packed_edges,
+            features: parts.features,
+            weights: parts.weights,
+            weight_epoch: parts.weight_epoch,
+            associations,
+            provenance: parts.provenance.into_iter().collect(),
+        }
+    }
+
+    /// Matcher provenance of every association edge, sorted by edge id (the
+    /// deterministic order a persistent snapshot stores).
+    pub fn provenance_sorted(&self) -> Vec<(EdgeId, &[AssociationProvenance])> {
+        let mut entries: Vec<(EdgeId, &[AssociationProvenance])> = self
+            .provenance
+            .iter()
+            .map(|(e, p)| (*e, p.as_slice()))
+            .collect();
+        entries.sort_unstable_by_key(|(e, _)| *e);
+        entries
     }
 
     /// Build the initial search graph from every source currently registered

@@ -65,6 +65,20 @@ impl ShardPlan {
         self.shards.max(1)
     }
 
+    /// The raw relation → shard assignment (what a persistent snapshot
+    /// stores).
+    pub fn relation_shards(&self) -> &[u32] {
+        &self.relation_shard
+    }
+
+    /// Reassemble a plan from its persisted parts.
+    pub fn from_parts(shards: usize, relation_shard: Vec<u32>) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            relation_shard,
+        }
+    }
+
     /// Shard owning a relation (0 for relations unknown to the plan).
     pub fn shard_of_relation(&self, relation: RelationId) -> usize {
         self.relation_shard
@@ -129,6 +143,37 @@ impl GraphShards {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.interior.len()
+    }
+
+    /// The per-shard interior sub-CSRs, in shard order.
+    pub fn interior_csrs(&self) -> &[Csr] {
+        &self.interior
+    }
+
+    /// The shared boundary CSR (cross-shard edges).
+    pub fn boundary_csr(&self) -> &Csr {
+        &self.boundary
+    }
+
+    /// Per-shard interior edge counts, in shard order.
+    pub fn interior_edge_counts(&self) -> &[usize] {
+        &self.interior_edge_counts
+    }
+
+    /// Reassemble a split from its persisted parts.
+    pub fn from_parts(
+        interior: Vec<Csr>,
+        boundary: Csr,
+        interior_edge_counts: Vec<usize>,
+        boundary_edge_count: usize,
+    ) -> Self {
+        debug_assert_eq!(interior.len(), interior_edge_counts.len());
+        GraphShards {
+            interior,
+            boundary,
+            interior_edge_counts,
+            boundary_edge_count,
+        }
     }
 
     /// Edges interior to one shard.
@@ -248,6 +293,26 @@ impl ShardSet {
         self.stamp == ShardStamp::current(catalog, graph, index)
     }
 
+    /// Reassemble a shard set from persisted parts. The freshness stamp is
+    /// re-derived from the structures the set serves — loading a snapshot
+    /// restores exactly the state the set was built against, so the stamp is
+    /// fresh by construction.
+    pub fn from_parts(
+        catalog: &Catalog,
+        graph: &SearchGraph,
+        index: &KeywordIndex,
+        plan: ShardPlan,
+        graph_shards: GraphShards,
+        keyword: ShardedKeywordIndex,
+    ) -> Self {
+        ShardSet {
+            plan,
+            graph_shards,
+            keyword,
+            stamp: ShardStamp::current(catalog, graph, index),
+        }
+    }
+
     /// The shard plan.
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
@@ -256,6 +321,11 @@ impl ShardSet {
     /// The graph-side split.
     pub fn graph_shards(&self) -> &GraphShards {
         &self.graph_shards
+    }
+
+    /// The keyword-index partition.
+    pub fn keyword_partition(&self) -> &ShardedKeywordIndex {
+        &self.keyword
     }
 
     /// Number of shards.

@@ -4,6 +4,7 @@
 //! ```text
 //! q-serve [--addr 127.0.0.1:8080] [--threads 8] [--gbco-rows 40]
 //!         [--gbco-seed 7] [--initial-sources N] [--port-file PATH]
+//!         [--snapshot-dir DIR] [--snapshot-keep N]
 //! ```
 //!
 //! `--initial-sources N` loads only the first N GBCO sources at boot; the
@@ -11,13 +12,23 @@
 //! this to exercise live ingestion). `--port-file` writes the bound
 //! `host:port` to a file once listening — the reliable way for a harness
 //! to discover an ephemeral (`:0`) port.
+//!
+//! `--snapshot-dir DIR` turns on the persistent snapshot store: at boot
+//! the newest `snap-<id>.qsnap` in DIR is loaded and served directly
+//! (skipping graph construction entirely); if the directory is empty or
+//! the file fails validation, the server logs why and falls back to a
+//! full rebuild — a corrupt snapshot never takes the server down. Every
+//! published snapshot is then written back to DIR by a background lane,
+//! keeping the newest `--snapshot-keep` files (default 2).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use q_core::{LiveServer, QConfig};
+use q_core::{latest_snapshot_path, GraphSnapshot, LiveServer, QConfig};
 use q_datasets::{gbco_source_specs_with_fks, GbcoConfig};
 use q_matchers::MetadataMatcher;
-use q_serve::{QServe, ServeOptions};
+use q_serve::{BootMode, BootStats, QServe, ServeOptions};
 
 struct Args {
     addr: String,
@@ -25,6 +36,8 @@ struct Args {
     gbco: GbcoConfig,
     initial_sources: Option<usize>,
     port_file: Option<String>,
+    snapshot_dir: Option<PathBuf>,
+    snapshot_keep: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         gbco: GbcoConfig::default(),
         initial_sources: None,
         port_file: None,
+        snapshot_dir: None,
+        snapshot_keep: 2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,10 +78,17 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--snapshot-dir" => args.snapshot_dir = Some(PathBuf::from(value("--snapshot-dir")?)),
+            "--snapshot-keep" => {
+                args.snapshot_keep = value("--snapshot-keep")?
+                    .parse()
+                    .map_err(|_| "--snapshot-keep must be a positive integer".to_string())?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: q-serve [--addr HOST:PORT] [--threads N] [--gbco-rows N] \
-                     [--gbco-seed N] [--initial-sources N] [--port-file PATH]"
+                     [--gbco-seed N] [--initial-sources N] [--port-file PATH] \
+                     [--snapshot-dir DIR] [--snapshot-keep N]"
                         .to_string(),
                 )
             }
@@ -74,6 +96,32 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Try the snapshot boot path: newest file in `dir`, validated load,
+/// serve-as-is. Any failure is reported and answered with `None` — the
+/// caller rebuilds; a missing or corrupt snapshot must never take the
+/// server down.
+fn boot_from_snapshot(dir: &std::path::Path) -> Option<LiveServer> {
+    let path = latest_snapshot_path(dir)?;
+    match GraphSnapshot::load(&path) {
+        Ok((snapshot, info)) => {
+            println!(
+                "q-serve booting from snapshot {} ({} bytes, id {})",
+                path.display(),
+                info.file_bytes,
+                snapshot.id(),
+            );
+            Some(LiveServer::from_snapshot(snapshot, QConfig::default()))
+        }
+        Err(err) => {
+            eprintln!(
+                "snapshot {} failed validation ({err}); falling back to a full rebuild",
+                path.display()
+            );
+            None
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -85,26 +133,53 @@ fn main() -> ExitCode {
         }
     };
 
+    let boot_start = Instant::now();
     let specs = gbco_source_specs_with_fks(&args.gbco);
     let initial = args
         .initial_sources
         .unwrap_or(specs.len())
         .clamp(1, specs.len());
-    let catalog = match q_storage::loader::load_catalog(&specs[..initial]) {
-        Ok(catalog) => catalog,
-        Err(err) => {
-            eprintln!("failed to load the GBCO catalog: {err}");
-            return ExitCode::FAILURE;
+
+    let restored = args.snapshot_dir.as_deref().and_then(boot_from_snapshot);
+    let boot_mode = if restored.is_some() {
+        BootMode::Snapshot
+    } else {
+        BootMode::Rebuild
+    };
+    let mut engine = match restored {
+        Some(engine) => engine,
+        None => {
+            let catalog = match q_storage::loader::load_catalog(&specs[..initial]) {
+                Ok(catalog) => catalog,
+                Err(err) => {
+                    eprintln!("failed to load the GBCO catalog: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            LiveServer::new(catalog, QConfig::default())
         }
     };
-    let mut engine = LiveServer::new(catalog, QConfig::default());
     engine.add_matcher(Box::new(MetadataMatcher::new()));
+    if let Some(dir) = &args.snapshot_dir {
+        if let Err(err) = engine.enable_persistence(dir.clone(), args.snapshot_keep) {
+            eprintln!(
+                "failed to enable snapshot persistence in {}: {err}",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let boot = BootStats {
+        mode: boot_mode,
+        wall: boot_start.elapsed(),
+    };
 
     let server = match QServe::start(
         engine,
         &args.addr,
         ServeOptions {
             threads: args.threads,
+            boot,
             ..ServeOptions::default()
         },
     ) {
@@ -115,13 +190,22 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "q-serve listening on {} ({} of {} GBCO sources loaded, snapshot {})",
-        server.addr(),
-        initial,
-        specs.len(),
-        server.engine().snapshot().id(),
-    );
+    match boot.mode {
+        BootMode::Snapshot => println!(
+            "q-serve listening on {} (snapshot boot in {} ms, snapshot {})",
+            server.addr(),
+            boot.wall.as_millis(),
+            server.engine().snapshot().id(),
+        ),
+        BootMode::Rebuild => println!(
+            "q-serve listening on {} ({} of {} GBCO sources loaded in {} ms, snapshot {})",
+            server.addr(),
+            initial,
+            specs.len(),
+            boot.wall.as_millis(),
+            server.engine().snapshot().id(),
+        ),
+    }
     if let Some(path) = &args.port_file {
         if let Err(err) = std::fs::write(path, server.addr().to_string()) {
             eprintln!("failed to write port file {path}: {err}");
@@ -131,7 +215,8 @@ fn main() -> ExitCode {
         }
     }
 
-    // Serve until a graceful POST /shutdown.
+    // Serve until a graceful POST /shutdown. Dropping the engine afterwards
+    // flushes any still-deposited snapshot to disk before the process exits.
     server.join();
     println!("q-serve stopped");
     ExitCode::SUCCESS

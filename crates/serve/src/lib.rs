@@ -37,5 +37,5 @@ pub mod wire;
 pub use client::HttpClient;
 pub use json::Json;
 pub use metrics::Metrics;
-pub use server::{QServe, ServeOptions};
+pub use server::{BootMode, BootStats, QServe, ServeOptions};
 pub use wire::{WireError, WireView, WIRE_VERSION};

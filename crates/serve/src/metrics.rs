@@ -27,6 +27,16 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Fresh computations that bypassed or refreshed the cache.
     pub cache_uncached: AtomicU64,
+    /// Cache entries that survived publish re-pricing, summed over every
+    /// ingest publish.
+    pub cache_kept: AtomicU64,
+    /// Cache entries dropped by publish re-pricing, summed over every
+    /// ingest publish.
+    pub cache_dropped: AtomicU64,
+    /// Snapshots the background persistence lane has written to disk.
+    /// Refreshed from the engine's persistence counters at each `/metrics`
+    /// scrape (0 when persistence is off).
+    pub snapshot_persist: AtomicU64,
     /// HTTP requests served, all endpoints.
     pub http_requests: AtomicU64,
     /// Requests answered with an error body.
@@ -47,6 +57,11 @@ pub struct Metrics {
     /// Accounted bytes per shard — updated wholesale at each publish, read
     /// only by `/metrics` scrapes, so a mutex (not the hot path) is fine.
     shard_bytes: Mutex<Vec<u64>>,
+    /// Boot wall time in milliseconds (gauge; set once at start-up).
+    boot_ms: AtomicU64,
+    /// 1 when the engine booted from a persisted snapshot, 0 when it was
+    /// rebuilt from the dataset (drives the `q_boot_mode` label).
+    boot_from_snapshot: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
@@ -61,6 +76,9 @@ impl Metrics {
             cache_revalidated: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_uncached: AtomicU64::new(0),
+            cache_kept: AtomicU64::new(0),
+            cache_dropped: AtomicU64::new(0),
+            snapshot_persist: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             ingests: AtomicU64::new(0),
@@ -69,6 +87,8 @@ impl Metrics {
             ingest_lag_us: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
             shard_bytes: Mutex::new(Vec::new()),
+            boot_ms: AtomicU64::new(0),
+            boot_from_snapshot: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_us: AtomicU64::new(0),
             latency_count: AtomicU64::new(0),
@@ -81,6 +101,32 @@ impl Metrics {
     pub fn set_snapshot_accounting(&self, total: u64, per_shard: Vec<u64>) {
         self.snapshot_bytes.store(total, Ordering::Relaxed);
         *self.shard_bytes.lock().expect("shard bytes lock") = per_shard;
+    }
+
+    /// Record how the engine booted: from a persisted snapshot or by
+    /// rebuilding from the dataset, and how long either path took. Called
+    /// once at start-up.
+    pub fn set_boot(&self, from_snapshot: bool, wall: Duration) {
+        self.boot_ms.store(
+            wall.as_millis().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        self.boot_from_snapshot
+            .store(u64::from(from_snapshot), Ordering::Relaxed);
+    }
+
+    /// The boot-mode label value (`"snapshot"` or `"rebuild"`).
+    pub fn boot_mode(&self) -> &'static str {
+        if self.boot_from_snapshot.load(Ordering::Relaxed) == 1 {
+            "snapshot"
+        } else {
+            "rebuild"
+        }
+    }
+
+    /// Boot wall time in milliseconds.
+    pub fn boot_ms(&self) -> u64 {
+        self.boot_ms.load(Ordering::Relaxed)
     }
 
     /// Record one answered query's service time.
@@ -155,6 +201,21 @@ impl Metrics {
             "q_cache_uncached_total",
             "Fresh computations that bypassed or refreshed the cache.",
             self.cache_uncached.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_cache_kept_total",
+            "Cache entries that survived a publish re-pricing, summed over publishes.",
+            self.cache_kept.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_cache_dropped_total",
+            "Cache entries dropped by a publish re-pricing, summed over publishes.",
+            self.cache_dropped.load(Ordering::Relaxed),
+        );
+        counter(
+            "q_snapshot_persist_total",
+            "Snapshots the background persistence lane wrote to disk.",
+            self.snapshot_persist.load(Ordering::Relaxed),
         );
         counter(
             "q_errors_total",
@@ -248,6 +309,20 @@ impl Metrics {
 
         let _ = writeln!(
             out,
+            "# HELP q_boot_ms Wall time of the boot path (snapshot load or rebuild), in milliseconds."
+        );
+        let _ = writeln!(out, "# TYPE q_boot_ms gauge");
+        let _ = writeln!(out, "q_boot_ms {}", self.boot_ms());
+
+        let _ = writeln!(
+            out,
+            "# HELP q_boot_mode How the serving engine was constructed at boot."
+        );
+        let _ = writeln!(out, "# TYPE q_boot_mode gauge");
+        let _ = writeln!(out, "q_boot_mode{{mode=\"{}\"}} 1", self.boot_mode());
+
+        let _ = writeln!(
+            out,
             "# HELP q_uptime_seconds Seconds since the server booted."
         );
         let _ = writeln!(out, "# TYPE q_uptime_seconds gauge");
@@ -285,6 +360,10 @@ mod tests {
         m.http_requests.fetch_add(3, Ordering::Relaxed);
         m.ingest_lag_us.store(1_500_000, Ordering::Relaxed);
         m.set_snapshot_accounting(4096, vec![2048, 1024, 512]);
+        m.set_boot(true, Duration::from_millis(42));
+        m.cache_kept.fetch_add(5, Ordering::Relaxed);
+        m.cache_dropped.fetch_add(2, Ordering::Relaxed);
+        m.snapshot_persist.store(3, Ordering::Relaxed);
         let text = m.render();
         for series in [
             "q_queries_total ",
@@ -292,6 +371,9 @@ mod tests {
             "q_cache_hits_total ",
             "q_cache_revalidated_total ",
             "q_cache_misses_total ",
+            "q_cache_kept_total 5",
+            "q_cache_dropped_total 2",
+            "q_snapshot_persist_total 3",
             "q_errors_total ",
             "q_ingests_total ",
             "q_qps ",
@@ -303,6 +385,8 @@ mod tests {
             "q_shard_bytes{shard=\"0\"} 2048",
             "q_shard_bytes{shard=\"1\"} 1024",
             "q_shard_bytes{shard=\"2\"} 512",
+            "q_boot_ms 42",
+            "q_boot_mode{mode=\"snapshot\"} 1",
             "q_uptime_seconds ",
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");

@@ -42,6 +42,38 @@ use crate::metrics::Metrics;
 use crate::wire;
 use crate::wire::WireError;
 
+/// How the serving engine was constructed at boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BootMode {
+    /// Built from the dataset: catalog load, graph construction, keyword
+    /// indexing and sharding all ran at boot.
+    #[default]
+    Rebuild,
+    /// Restored from a persisted snapshot file — none of the build
+    /// pipeline ran.
+    Snapshot,
+}
+
+impl BootMode {
+    /// The wire/metrics label value (`"snapshot"` or `"rebuild"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BootMode::Rebuild => "rebuild",
+            BootMode::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// How the engine booted and how long it took — reported on `/healthz` and
+/// `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BootStats {
+    /// Snapshot restore or full rebuild.
+    pub mode: BootMode,
+    /// Wall time of whichever boot path ran.
+    pub wall: Duration,
+}
+
 /// Tuning knobs for [`QServe::start`].
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -50,6 +82,10 @@ pub struct ServeOptions {
     /// How long a worker waits for the next request on an idle keep-alive
     /// connection before closing it.
     pub keep_alive_timeout: Duration,
+    /// How the engine handed to [`QServe::start`] was booted. Defaults to
+    /// a zero-duration rebuild for callers that construct the engine
+    /// inline (tests, embedded use).
+    pub boot: BootStats,
 }
 
 impl Default for ServeOptions {
@@ -57,6 +93,7 @@ impl Default for ServeOptions {
         ServeOptions {
             threads: 8,
             keep_alive_timeout: Duration::from_secs(5),
+            boot: BootStats::default(),
         }
     }
 }
@@ -91,6 +128,7 @@ impl QServe {
         let boot = engine.snapshot();
         let metrics = Metrics::new(boot.id());
         metrics.set_snapshot_accounting(boot.snapshot_bytes(), boot.shard_bytes());
+        metrics.set_boot(options.boot.mode == BootMode::Snapshot, options.boot.wall);
         let shared = Arc::new(Shared {
             metrics,
             published: Mutex::new(vec![boot]),
@@ -291,6 +329,14 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, &'static str, String) 
             shared.metrics.ingests.fetch_add(1, Ordering::Relaxed);
             shared
                 .metrics
+                .cache_kept
+                .fetch_add(report.cache_kept, Ordering::Relaxed);
+            shared
+                .metrics
+                .cache_dropped
+                .fetch_add(report.cache_dropped, Ordering::Relaxed);
+            shared
+                .metrics
                 .ingest_lag_us
                 .store(start.elapsed().as_micros() as u64, Ordering::Relaxed);
             Ok(wire::encode_ingest_response(&report))
@@ -305,17 +351,19 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, &'static str, String) 
             shared.metrics.feedbacks.fetch_add(1, Ordering::Relaxed);
             Ok(wire::encode_feedback_response(&report))
         }),
-        ("GET", "/healthz") => (
-            200,
-            "application/json",
-            wire::encode_health(shared.engine.snapshot().id()).encode(),
-        ),
-        ("GET", "/metrics") => (200, "text/plain; version=0.0.4", shared.metrics.render()),
-        ("POST", "/shutdown") => (
-            200,
-            "application/json",
-            wire::encode_health(shared.engine.snapshot().id()).encode(),
-        ),
+        ("GET", "/healthz") => (200, "application/json", encode_health(shared)),
+        ("GET", "/metrics") => {
+            // Persistence runs on its own thread; pull its counters into
+            // the scrape (monotone: the lane's counts only grow).
+            if let Some(stats) = shared.engine.persist_stats() {
+                shared
+                    .metrics
+                    .snapshot_persist
+                    .store(stats.persisted, Ordering::Relaxed);
+            }
+            (200, "text/plain; version=0.0.4", shared.metrics.render())
+        }
+        ("POST", "/shutdown") => (200, "application/json", encode_health(shared)),
         (
             _,
             "/query" | "/query/batch" | "/ingest" | "/feedback" | "/shutdown" | "/healthz"
@@ -329,6 +377,15 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, &'static str, String) 
             (err.status, "application/json", err.to_json().encode())
         }
     }
+}
+
+fn encode_health(shared: &Shared) -> String {
+    wire::encode_health(
+        shared.engine.snapshot().id(),
+        shared.metrics.boot_mode(),
+        shared.metrics.boot_ms(),
+    )
+    .encode()
 }
 
 /// Parse-body + handle + encode-error plumbing shared by the POST

@@ -1060,12 +1060,17 @@ pub fn decode_feedback_response(json: &Json) -> Result<WireFeedbackResponse, Wir
     })
 }
 
-/// Encode the `GET /healthz` body.
-pub fn encode_health(snapshot: u64) -> Json {
+/// Encode the `GET /healthz` body. `boot_mode` is how the serving engine
+/// was constructed (`"snapshot"` when restored from a persisted file,
+/// `"rebuild"` when built from the dataset) and `boot_ms` the boot wall
+/// time in milliseconds.
+pub fn encode_health(snapshot: u64, boot_mode: &str, boot_ms: u64) -> Json {
     Json::object([
         ("v", Json::Int(WIRE_VERSION)),
         ("status", Json::Str("ok".into())),
         ("snapshot", Json::Int(snapshot as i64)),
+        ("boot_mode", Json::Str(boot_mode.into())),
+        ("boot_ms", Json::Int(boot_ms as i64)),
     ])
 }
 

@@ -1,0 +1,827 @@
+//! The on-disk container: header, section table, checksummed payloads, and
+//! the atomic write / validating read entry points.
+//!
+//! ## File layout (format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     8  magic  89 51 53 4E 41 50 0D 0A  ("\x89QSNAP\r\n")
+//!      8     4  format version (u32 LE)
+//!     12     4  section count N (u32 LE)
+//!     16     8  checksum64 of the N*32-byte section table (u64 LE)
+//!     24  N*32  section table: per section
+//!                 kind (u16 LE) | pad (u16) | reserved (u32) |
+//!                 payload offset (u64 LE) | payload len (u64 LE) |
+//!                 payload checksum64 (u64 LE)
+//!   ....        contiguous section payloads
+//! ```
+//!
+//! The magic borrows PNG's trick: a high-bit first byte plus an embedded
+//! `\r\n` so text-mode transfer mangling is caught before any parsing.
+//! Validation is strictly layered — magic, version, table bounds, table
+//! checksum, per-section bounds, then per-section decode with invariant
+//! checks, then cross-validation against the meta section. A file failing
+//! any layer yields a typed [`SnapError`] and **no** partially constructed
+//! graph.
+//!
+//! The reader never buffers the whole file: payloads stream off the
+//! descriptor section by section through [`SectionStream`], which digests
+//! every byte as it lands in its final allocation. Small sections are
+//! checksum-verified before they decode; the two big streaming sections
+//! (catalog, keyword) decode as they stream, so corrupted bytes there may
+//! surface as a decode-invariant error instead of a checksum mismatch —
+//! either way typed, and the checksum is still verified for any section that
+//! parses.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use q_graph::keyword::KeywordIndex;
+use q_graph::{GraphShards, SearchGraph, ShardSet, ShardedKeywordIndex};
+use q_storage::Catalog;
+
+use crate::bytes::{checksum64, ByteReader, ByteWriter};
+use crate::codec;
+use crate::error::SnapError;
+use crate::stream::SectionStream;
+
+/// First eight bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = [0x89, b'Q', b'S', b'N', b'A', b'P', 0x0D, 0x0A];
+
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + section count + table checksum.
+const HEADER_BYTES: usize = 24;
+/// Bytes per section-table entry.
+const TABLE_ENTRY_BYTES: usize = 32;
+/// Upper bound on the section count — a real snapshot has `7 + K` sections,
+/// so anything near this is a corrupt header, rejected before the table is
+/// even sized.
+const MAX_SECTIONS: usize = 4096;
+
+/// What each section of the file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// Snapshot id and structure counts (the cross-validation anchor).
+    Meta,
+    /// The catalog: sources, relations, tuples, attributes, foreign keys.
+    Catalog,
+    /// Search graph nodes, edges, cost model, provenance.
+    Graph,
+    /// The graph's packed global CSR adjacency.
+    GraphCsr,
+    /// The columnar keyword index.
+    Keyword,
+    /// Shard plan, keyword partition and per-shard CSR dimensions.
+    ShardMeta,
+    /// One shard's interior sub-CSR, headerless (payload length is exactly
+    /// the CSR's `byte_size`). Appears once per shard, in shard order.
+    ShardInterior,
+    /// The shared boundary CSR, headerless like the interiors.
+    ShardBoundary,
+}
+
+impl SectionKind {
+    fn to_u16(self) -> u16 {
+        match self {
+            SectionKind::Meta => 1,
+            SectionKind::Catalog => 2,
+            SectionKind::Graph => 3,
+            SectionKind::GraphCsr => 4,
+            SectionKind::Keyword => 5,
+            SectionKind::ShardMeta => 6,
+            SectionKind::ShardInterior => 7,
+            SectionKind::ShardBoundary => 8,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<Self, SnapError> {
+        Ok(match v {
+            1 => SectionKind::Meta,
+            2 => SectionKind::Catalog,
+            3 => SectionKind::Graph,
+            4 => SectionKind::GraphCsr,
+            5 => SectionKind::Keyword,
+            6 => SectionKind::ShardMeta,
+            7 => SectionKind::ShardInterior,
+            8 => SectionKind::ShardBoundary,
+            _ => {
+                return Err(SnapError::Corrupt {
+                    context: "unknown section kind",
+                })
+            }
+        })
+    }
+}
+
+/// Borrowed inputs to [`write_snapshot`] — exactly what a serving
+/// `GraphSnapshot` holds.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotComponents<'a> {
+    /// Snapshot id (the weight epoch it serves).
+    pub id: u64,
+    /// The catalog.
+    pub catalog: &'a Catalog,
+    /// The search graph.
+    pub graph: &'a SearchGraph,
+    /// The keyword index.
+    pub keyword: &'a KeywordIndex,
+    /// The shard structure.
+    pub shards: &'a ShardSet,
+}
+
+/// Owned output of [`read_snapshot`]: every component reconstructed, ready
+/// to serve without re-running matching or finalization.
+#[derive(Debug)]
+pub struct SnapshotParts {
+    /// Snapshot id persisted at write time.
+    pub id: u64,
+    /// `ShardSet::total_bytes` persisted at write time (revalidated against
+    /// the reconstructed set).
+    pub accounted_bytes: u64,
+    /// The catalog.
+    pub catalog: Catalog,
+    /// The search graph (CSR included).
+    pub graph: SearchGraph,
+    /// The keyword index.
+    pub keyword: KeywordIndex,
+    /// The shard structure, with a freshly derived stamp.
+    pub shards: ShardSet,
+}
+
+/// Section accounting returned by both the writer and the reader.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotInfo {
+    /// `(kind, payload bytes)` per section, in file order.
+    pub sections: Vec<(SectionKind, u64)>,
+    /// Sum of all section payload bytes.
+    pub payload_bytes: u64,
+    /// Total file size including header and table.
+    pub file_bytes: u64,
+}
+
+impl SnapshotInfo {
+    /// Payload bytes of every section of one kind (the shard CSR sections
+    /// appear multiple times).
+    pub fn kind_bytes(&self, kind: SectionKind) -> u64 {
+        self.sections
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, len)| len)
+            .sum()
+    }
+}
+
+fn encode_meta(c: &SnapshotComponents<'_>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(c.id);
+    w.u32(c.shards.shard_count() as u32);
+    w.u64(c.graph.node_count() as u64);
+    w.u64(c.graph.edge_count() as u64);
+    w.u64(c.keyword.len() as u64);
+    w.u64(c.catalog.relations().len() as u64);
+    w.u64(c.shards.total_bytes());
+    w.into_bytes()
+}
+
+#[derive(Debug)]
+struct Meta {
+    id: u64,
+    shard_count: usize,
+    node_count: usize,
+    edge_count: usize,
+    doc_count: usize,
+    relation_count: usize,
+    accounted_bytes: u64,
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<Meta, SnapError> {
+    let mut r = ByteReader::new(bytes, "meta");
+    let meta = Meta {
+        id: r.u64()?,
+        shard_count: r.u32()? as usize,
+        node_count: r.u64()? as usize,
+        edge_count: r.u64()? as usize,
+        doc_count: r.u64()? as usize,
+        relation_count: r.u64()? as usize,
+        accounted_bytes: r.u64()?,
+    };
+    r.expect_end()?;
+    Ok(meta)
+}
+
+/// Serialise every component into the versioned section container and write
+/// it to `path` atomically: the bytes go to a `.tmp` sibling first, are
+/// fsynced, and only then renamed over the target, so a crash mid-write can
+/// never leave a half-written file under the snapshot name.
+pub fn write_snapshot(
+    path: &Path,
+    components: &SnapshotComponents<'_>,
+) -> Result<SnapshotInfo, SnapError> {
+    let shards = components.shards;
+    let graph_shards = shards.graph_shards();
+    let shard_meta = codec::ShardMeta {
+        plan: shards.plan().clone(),
+        shard_of_doc: shards.keyword_partition().shard_of_doc().to_vec(),
+        postings_bytes: shards.keyword_partition().postings_bytes().to_vec(),
+        interior_dims: graph_shards
+            .interior_csrs()
+            .iter()
+            .map(|c| (c.offsets().len(), c.targets().len()))
+            .collect(),
+        interior_edge_counts: graph_shards.interior_edge_counts().to_vec(),
+        boundary_dims: (
+            graph_shards.boundary_csr().offsets().len(),
+            graph_shards.boundary_csr().targets().len(),
+        ),
+        boundary_edge_count: graph_shards.boundary_edge_count(),
+    };
+
+    let mut sections: Vec<(SectionKind, Vec<u8>)> = vec![
+        (SectionKind::Meta, encode_meta(components)),
+        (
+            SectionKind::Catalog,
+            codec::encode_catalog(components.catalog),
+        ),
+        (SectionKind::Graph, codec::encode_graph(components.graph)),
+        (
+            SectionKind::GraphCsr,
+            codec::encode_graph_csr(components.graph.csr()),
+        ),
+        (
+            SectionKind::Keyword,
+            codec::encode_keyword(&components.keyword.view()),
+        ),
+        (
+            SectionKind::ShardMeta,
+            codec::encode_shard_meta(&shard_meta),
+        ),
+    ];
+    for csr in graph_shards.interior_csrs() {
+        sections.push((SectionKind::ShardInterior, codec::encode_csr_raw(csr)));
+    }
+    sections.push((
+        SectionKind::ShardBoundary,
+        codec::encode_csr_raw(graph_shards.boundary_csr()),
+    ));
+
+    // Assemble header + table + payloads.
+    let mut table = ByteWriter::with_capacity(sections.len() * TABLE_ENTRY_BYTES);
+    let mut offset = (HEADER_BYTES + sections.len() * TABLE_ENTRY_BYTES) as u64;
+    for (kind, payload) in &sections {
+        table.u16(kind.to_u16());
+        table.u16(0);
+        table.u32(0);
+        table.u64(offset);
+        table.u64(payload.len() as u64);
+        table.u64(checksum64(payload));
+        offset += payload.len() as u64;
+    }
+    let table = table.into_bytes();
+    let mut file = ByteWriter::with_capacity(offset as usize);
+    file.raw(&MAGIC);
+    file.u32(FORMAT_VERSION);
+    file.u32(sections.len() as u32);
+    file.u64(checksum64(&table));
+    file.raw(&table);
+    let mut info = SnapshotInfo::default();
+    for (kind, payload) in &sections {
+        file.raw(payload);
+        info.sections.push((*kind, payload.len() as u64));
+        info.payload_bytes += payload.len() as u64;
+    }
+    let bytes = file.into_bytes();
+    info.file_bytes = bytes.len() as u64;
+
+    // Atomic replace: temp sibling, fsync, rename, best-effort dir fsync.
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or(SnapError::Corrupt {
+            context: "snapshot path has no file name",
+        })?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    let write_result = (|| {
+        let mut f = fs::File::create(&tmp).map_err(|e| SnapError::io("creating temp file", e))?;
+        f.write_all(&bytes)
+            .map_err(|e| SnapError::io("writing snapshot bytes", e))?;
+        f.sync_all()
+            .map_err(|e| SnapError::io("fsyncing snapshot", e))?;
+        fs::rename(&tmp, path).map_err(|e| SnapError::io("renaming snapshot into place", e))
+    })();
+    if let Err(err) = write_result {
+        let _ = fs::remove_file(&tmp);
+        return Err(err);
+    }
+    if let Some(dir) = path.parent() {
+        // Durability of the rename itself; failure here does not invalidate
+        // the written file.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(info)
+}
+
+struct TableEntry {
+    kind: SectionKind,
+    len: usize,
+    checksum: u64,
+}
+
+/// Read exactly `buf.len()` bytes, mapping a short read to [`SnapError::Truncated`].
+fn read_exact(file: &mut fs::File, buf: &mut [u8], context: &'static str) -> Result<(), SnapError> {
+    file.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapError::Truncated { context }
+        } else {
+            SnapError::io("reading snapshot file", e)
+        }
+    })
+}
+
+/// Parse and validate the header and section table from the front of the
+/// file, leaving the cursor at the first payload byte. `file_len` bounds the
+/// contiguous-tiling check the old whole-file reader did with `bytes.len()`.
+fn read_table(file: &mut fs::File, file_len: u64) -> Result<Vec<TableEntry>, SnapError> {
+    let mut header = [0u8; HEADER_BYTES];
+    read_exact(file, &mut header, "file header")?;
+    if header[..8] != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let mut r = ByteReader::new(&header[8..], "file header");
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let section_count = r.u32()? as usize;
+    if section_count == 0 || section_count > MAX_SECTIONS {
+        return Err(SnapError::Corrupt {
+            context: "implausible section count",
+        });
+    }
+    let table_checksum = r.u64()?;
+    let mut table_bytes = vec![0u8; section_count * TABLE_ENTRY_BYTES];
+    read_exact(file, &mut table_bytes, "section table")?;
+    if checksum64(&table_bytes) != table_checksum {
+        return Err(SnapError::ChecksumMismatch {
+            region: "section table",
+        });
+    }
+    let mut entries = Vec::with_capacity(section_count);
+    let mut r = ByteReader::new(&table_bytes, "section table");
+    let mut expected_offset = (HEADER_BYTES + table_bytes.len()) as u64;
+    for _ in 0..section_count {
+        let kind = SectionKind::from_u16(r.u16()?)?;
+        r.u16()?;
+        r.u32()?;
+        let offset = r.u64()?;
+        let len = r.u64()?;
+        let checksum = r.u64()?;
+        // Payloads must tile the rest of the file contiguously, which is
+        // what lets the reader stream them without seeking.
+        if offset != expected_offset || offset.checked_add(len).is_none_or(|e| e > file_len) {
+            return Err(SnapError::Truncated {
+                context: "section payload",
+            });
+        }
+        expected_offset = offset + len;
+        entries.push(TableEntry {
+            kind,
+            len: usize::try_from(len).map_err(|_| SnapError::Truncated {
+                context: "section payload",
+            })?,
+            checksum,
+        });
+    }
+    if expected_offset != file_len {
+        return Err(SnapError::Corrupt {
+            context: "trailing bytes after last section",
+        });
+    }
+    Ok(entries)
+}
+
+/// Require the fully-drained stream's digest to match the table entry.
+fn verify_digest<R: Read>(
+    stream: &SectionStream<'_, R>,
+    entry: &TableEntry,
+) -> Result<(), SnapError> {
+    stream.expect_end()?;
+    if stream.digest() != entry.checksum {
+        return Err(SnapError::ChecksumMismatch {
+            region: "section payload",
+        });
+    }
+    Ok(())
+}
+
+fn no_dup<T>(slot: &Option<T>) -> Result<(), SnapError> {
+    if slot.is_some() {
+        Err(SnapError::Corrupt {
+            context: "duplicate section",
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn require<T>(slot: Option<T>) -> Result<T, SnapError> {
+    slot.ok_or(SnapError::Corrupt {
+        context: "missing required section",
+    })
+}
+
+/// Read and fully validate a snapshot file, reconstructing every serving
+/// component.
+///
+/// Sections stream off the descriptor in file order, each through its own
+/// [`SectionStream`] that checksums bytes as they land in their final
+/// allocations — the big arrays are faulted in exactly once, which is what
+/// keeps a ~100 MB boot under the millisecond budget.
+pub fn read_snapshot(path: &Path) -> Result<(SnapshotParts, SnapshotInfo), SnapError> {
+    let mut file = fs::File::open(path).map_err(|e| SnapError::io("opening snapshot file", e))?;
+    let file_len = file
+        .metadata()
+        .map_err(|e| SnapError::io("statting snapshot file", e))?
+        .len();
+    let entries = read_table(&mut file, file_len)?;
+
+    let mut meta: Option<Meta> = None;
+    let mut catalog: Option<Catalog> = None;
+    let mut graph_bytes: Option<Vec<u8>> = None;
+    let mut csr: Option<q_graph::Csr> = None;
+    let mut keyword: Option<KeywordIndex> = None;
+    let mut shard_meta: Option<codec::ShardMeta> = None;
+    let mut interior_bytes: Vec<Vec<u8>> = Vec::new();
+    let mut boundary_bytes: Option<Vec<u8>> = None;
+
+    for entry in &entries {
+        match entry.kind {
+            // The two big sections decode while they stream; every other
+            // section is small enough to drain first (checksum before
+            // decode) and hand to its ByteReader decoder.
+            SectionKind::Catalog => {
+                no_dup(&catalog)?;
+                let mut s = SectionStream::new(&mut file, entry.len, "catalog");
+                let decoded = codec::decode_catalog(&mut s)?;
+                verify_digest(&s, entry)?;
+                catalog = Some(decoded);
+            }
+            SectionKind::Keyword => {
+                no_dup(&keyword)?;
+                let mut s = SectionStream::new(&mut file, entry.len, "keyword index");
+                let decoded = codec::decode_keyword(&mut s)?;
+                verify_digest(&s, entry)?;
+                keyword = Some(decoded);
+            }
+            kind => {
+                let context = match kind {
+                    SectionKind::Meta => "meta",
+                    SectionKind::Graph => "graph",
+                    SectionKind::GraphCsr => "graph csr",
+                    SectionKind::ShardMeta => "shard meta",
+                    SectionKind::ShardInterior => "interior csr",
+                    _ => "boundary csr",
+                };
+                let mut s = SectionStream::new(&mut file, entry.len, context);
+                let payload = s.take_rest()?;
+                verify_digest(&s, entry)?;
+                match kind {
+                    SectionKind::Meta => {
+                        no_dup(&meta)?;
+                        meta = Some(decode_meta(&payload)?);
+                    }
+                    SectionKind::Graph => {
+                        no_dup(&graph_bytes)?;
+                        graph_bytes = Some(payload);
+                    }
+                    SectionKind::GraphCsr => {
+                        no_dup(&csr)?;
+                        csr = Some(codec::decode_graph_csr(&payload)?);
+                    }
+                    SectionKind::ShardMeta => {
+                        no_dup(&shard_meta)?;
+                        shard_meta = Some(codec::decode_shard_meta(&payload)?);
+                    }
+                    SectionKind::ShardInterior => interior_bytes.push(payload),
+                    _ => {
+                        no_dup(&boundary_bytes)?;
+                        boundary_bytes = Some(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    let meta = require(meta)?;
+    let catalog = require(catalog)?;
+    let keyword = require(keyword)?;
+    let shard_meta = require(shard_meta)?;
+    let graph = codec::decode_graph(&require(graph_bytes)?, require(csr)?)?;
+
+    // Cross-validate the decoded structures against the meta anchor before
+    // assembling anything shard-shaped.
+    if graph.node_count() != meta.node_count
+        || graph.edge_count() != meta.edge_count
+        || keyword.len() != meta.doc_count
+        || catalog.relations().len() != meta.relation_count
+        || shard_meta.plan.shards() != meta.shard_count
+    {
+        return Err(SnapError::Corrupt {
+            context: "meta section disagrees with decoded structures",
+        });
+    }
+    if shard_meta.shard_of_doc.len() != keyword.len() {
+        return Err(SnapError::Corrupt {
+            context: "keyword partition does not cover the index",
+        });
+    }
+
+    if interior_bytes.len() != meta.shard_count {
+        return Err(SnapError::Corrupt {
+            context: "interior section count disagrees with shard count",
+        });
+    }
+    let expected_offsets_len = meta.node_count + 1;
+    let mut interior_csrs = Vec::with_capacity(interior_bytes.len());
+    for (payload, dims) in interior_bytes.iter().zip(&shard_meta.interior_dims) {
+        if dims.0 != expected_offsets_len {
+            return Err(SnapError::Corrupt {
+                context: "interior csr not sized for the graph",
+            });
+        }
+        interior_csrs.push(codec::decode_csr_raw(
+            payload,
+            dims.0,
+            dims.1,
+            "interior csr",
+        )?);
+    }
+    let boundary_payload = require(boundary_bytes)?;
+    if shard_meta.boundary_dims.0 != expected_offsets_len {
+        return Err(SnapError::Corrupt {
+            context: "boundary csr not sized for the graph",
+        });
+    }
+    let boundary = codec::decode_csr_raw(
+        &boundary_payload,
+        shard_meta.boundary_dims.0,
+        shard_meta.boundary_dims.1,
+        "boundary csr",
+    )?;
+    let interior_total: usize = shard_meta.interior_edge_counts.iter().sum();
+    if interior_total + shard_meta.boundary_edge_count != meta.edge_count {
+        return Err(SnapError::Corrupt {
+            context: "shard edge counts do not tile the graph",
+        });
+    }
+
+    let graph_shards = GraphShards::from_parts(
+        interior_csrs,
+        boundary,
+        shard_meta.interior_edge_counts,
+        shard_meta.boundary_edge_count,
+    );
+    let keyword_shards =
+        ShardedKeywordIndex::from_parts(shard_meta.shard_of_doc, shard_meta.postings_bytes);
+    let shards = ShardSet::from_parts(
+        &catalog,
+        &graph,
+        &keyword,
+        shard_meta.plan,
+        graph_shards,
+        keyword_shards,
+    );
+    if shards.total_bytes() != meta.accounted_bytes {
+        return Err(SnapError::Corrupt {
+            context: "reconstructed shard bytes disagree with persisted accounting",
+        });
+    }
+
+    let mut info = SnapshotInfo::default();
+    for e in &entries {
+        info.sections.push((e.kind, e.len as u64));
+        info.payload_bytes += e.len as u64;
+    }
+    info.file_bytes = file_len;
+
+    Ok((
+        SnapshotParts {
+            id: meta.id,
+            accounted_bytes: meta.accounted_bytes,
+            catalog,
+            graph,
+            keyword,
+            shards,
+        },
+        info,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use q_graph::keyword::MatchConfig;
+    use q_storage::{RelationSpec, SourceSpec};
+
+    fn components() -> (Catalog, SearchGraph, KeywordIndex, ShardSet) {
+        let mut cat = Catalog::new();
+        SourceSpec::new("go")
+            .relation(
+                RelationSpec::new("go_term", &["acc", "name", "term_type"])
+                    .row(["GO:0005134", "plasma membrane", "component"])
+                    .row(["GO:0007652", "kinase activity", "function"]),
+            )
+            .load_into(&mut cat)
+            .unwrap();
+        SourceSpec::new("interpro")
+            .relation(
+                RelationSpec::new("entry", &["entry_ac", "name"]).row(["IPR000001", "Kringle"]),
+            )
+            .relation(
+                RelationSpec::new("interpro2go", &["entry_ac", "go_id"])
+                    .row(["IPR000001", "GO:0005134"]),
+            )
+            .foreign_key("interpro2go.entry_ac", "entry.entry_ac")
+            .foreign_key("interpro2go.go_id", "go_term.acc")
+            .load_into(&mut cat)
+            .unwrap();
+        let mut graph = SearchGraph::from_catalog(&cat);
+        let a = cat.resolve_qualified("go_term.acc").unwrap();
+        let b = cat.resolve_qualified("interpro2go.go_id").unwrap();
+        graph.add_association(a, b, "mad", 0.83);
+        let index = KeywordIndex::build(&cat);
+        let shards = ShardSet::build(&cat, &graph, &index, 2);
+        (cat, graph, index, shards)
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("q-snap-file-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_round_trip_restores_every_component() {
+        let (cat, graph, index, shards) = components();
+        let path = tmp_path("round_trip.qsnap");
+        let written = write_snapshot(
+            &path,
+            &SnapshotComponents {
+                id: 41,
+                catalog: &cat,
+                graph: &graph,
+                keyword: &index,
+                shards: &shards,
+            },
+        )
+        .unwrap();
+        let (parts, read_info) = read_snapshot(&path).unwrap();
+        assert_eq!(parts.id, 41);
+        assert_eq!(parts.accounted_bytes, shards.total_bytes());
+        assert_eq!(parts.catalog.relations(), cat.relations());
+        assert_eq!(parts.graph.edges(), graph.edges());
+        assert_eq!(parts.graph.csr().offsets(), graph.csr().offsets());
+        assert_eq!(parts.keyword.view(), index.view());
+        assert_eq!(parts.shards.shard_count(), shards.shard_count());
+        assert_eq!(parts.shards.shard_bytes(), shards.shard_bytes());
+        assert_eq!(parts.shards.total_bytes(), shards.total_bytes());
+        assert!(parts
+            .shards
+            .is_fresh(&parts.catalog, &parts.graph, &parts.keyword));
+        assert_eq!(written.sections.len(), read_info.sections.len());
+        assert_eq!(written.payload_bytes, read_info.payload_bytes);
+        assert_eq!(
+            written.file_bytes,
+            fs::metadata(&path).unwrap().len(),
+            "info reports the real file size"
+        );
+        // Matching through the restored shards is identical.
+        let cfg = MatchConfig::default();
+        for kw in ["membrane", "kinase", "kringle", "name"] {
+            assert_eq!(
+                parts.shards.keyword_matches(&parts.keyword, kw, &cfg),
+                shards.keyword_matches(&index, kw, &cfg),
+            );
+        }
+    }
+
+    #[test]
+    fn shard_sections_reconcile_with_in_memory_accounting() {
+        let (cat, graph, index, shards) = components();
+        let path = tmp_path("accounting.qsnap");
+        let info = write_snapshot(
+            &path,
+            &SnapshotComponents {
+                id: 1,
+                catalog: &cat,
+                graph: &graph,
+                keyword: &index,
+                shards: &shards,
+            },
+        )
+        .unwrap();
+        let csr_disk_bytes = info.kind_bytes(SectionKind::ShardInterior)
+            + info.kind_bytes(SectionKind::ShardBoundary);
+        let postings: u64 = shards.keyword_partition().postings_bytes().iter().sum();
+        assert_eq!(csr_disk_bytes + postings, shards.total_bytes());
+    }
+
+    #[test]
+    fn non_snapshot_file_is_bad_magic() {
+        let path = tmp_path("not_a_snapshot.qsnap");
+        fs::write(&path, b"definitely not a snapshot").unwrap();
+        assert!(matches!(read_snapshot(&path), Err(SnapError::BadMagic)));
+    }
+
+    #[test]
+    fn future_version_is_unsupported() {
+        let (cat, graph, index, shards) = components();
+        let path = tmp_path("future.qsnap");
+        write_snapshot(
+            &path,
+            &SnapshotComponents {
+                id: 1,
+                catalog: &cat,
+                graph: &graph,
+                keyword: &index,
+                shards: &shards,
+            },
+        )
+        .unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapError::UnsupportedVersion {
+                found: 2,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        let path = tmp_path("never_written.qsnap");
+        let _ = fs::remove_file(&path);
+        assert!(matches!(read_snapshot(&path), Err(SnapError::Io { .. })));
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_mismatch() {
+        let (cat, graph, index, shards) = components();
+        let path = tmp_path("flip.qsnap");
+        write_snapshot(
+            &path,
+            &SnapshotComponents {
+                id: 1,
+                catalog: &cat,
+                graph: &graph,
+                keyword: &index,
+                shards: &shards,
+            },
+        )
+        .unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_typed_not_panic() {
+        let (cat, graph, index, shards) = components();
+        let path = tmp_path("trunc.qsnap");
+        write_snapshot(
+            &path,
+            &SnapshotComponents {
+                id: 1,
+                catalog: &cat,
+                graph: &graph,
+                keyword: &index,
+                shards: &shards,
+            },
+        )
+        .unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for keep in [0, 7, 23, 24, 100, bytes.len() - 1] {
+            fs::write(&path, &bytes[..keep.min(bytes.len())]).unwrap();
+            assert!(
+                read_snapshot(&path).is_err(),
+                "truncation to {keep} bytes must fail"
+            );
+        }
+    }
+}

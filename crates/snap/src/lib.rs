@@ -1,0 +1,32 @@
+//! Persistent snapshot store: a versioned on-disk format for the full
+//! serving state — catalog, search graph, packed CSR adjacency, columnar
+//! keyword index and shard structure — so a server boots by loading flat
+//! arrays instead of re-running matching and finalization.
+//!
+//! The format is a small section container (see [`mod@file`] for the layout
+//! diagram): a PNG-style magic, a format version, a checksummed section
+//! table, and one checksummed little-endian payload per component. Writes
+//! are atomic (temp sibling + fsync + rename); reads validate magic,
+//! version, table and per-section checksums and every decode-level invariant
+//! before any structure is assembled, so a truncated, bit-flipped or
+//! foreign file always surfaces as a typed [`SnapError`] — never a panic,
+//! never a partially-loaded graph.
+//!
+//! The per-shard CSR sections are stored headerless: their payload sizes are
+//! exactly the in-memory [`q_graph::Csr::byte_size`] accounting, which lets
+//! the serving layer's `q_snapshot_bytes` gauge reconcile byte-for-byte with
+//! what is on disk.
+
+pub mod bytes;
+pub mod codec;
+pub mod error;
+pub mod file;
+pub mod stream;
+
+pub use bytes::{checksum64, Checksummer};
+pub use error::SnapError;
+pub use file::{
+    read_snapshot, write_snapshot, SectionKind, SnapshotComponents, SnapshotInfo, SnapshotParts,
+    FORMAT_VERSION, MAGIC,
+};
+pub use stream::SectionStream;

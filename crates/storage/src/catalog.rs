@@ -41,6 +41,26 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// Reassemble a catalog from its persisted arrays (what a snapshot
+    /// stores), rebuilding the source-name lookup map. The arrays must be in
+    /// id order with internally consistent cross-references — exactly what
+    /// the borrowed accessors of a previously built catalog yield.
+    pub fn from_parts(
+        sources: Vec<Source>,
+        relations: Vec<Relation>,
+        attributes: Vec<Attribute>,
+        foreign_keys: Vec<ForeignKey>,
+    ) -> Self {
+        let source_by_name = sources.iter().map(|s| (s.name.clone(), s.id)).collect();
+        Catalog {
+            sources,
+            relations,
+            attributes,
+            foreign_keys,
+            source_by_name,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Registration
     // ------------------------------------------------------------------

@@ -21,6 +21,11 @@
 //!   and workloads used by the experiments.
 //! * [`serve`] — the network serving layer: an HTTP/1.1 front end over
 //!   [`LiveServer`] with a versioned JSON wire API and Prometheus metrics.
+//! * [`snap`] — the persistent snapshot store: a versioned, checksummed
+//!   on-disk format for [`GraphSnapshot`] enabling millisecond
+//!   boot-and-serve ([`GraphSnapshot::save`](q_core::GraphSnapshot::save) /
+//!   [`GraphSnapshot::load`](q_core::GraphSnapshot::load), the
+//!   [`SnapshotPersister`] background lane, `q-serve --snapshot-dir`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the reproduction methodology and experiment write-ups.
@@ -70,12 +75,14 @@ pub use q_graph as graph;
 pub use q_learn as learn;
 pub use q_matchers as matchers;
 pub use q_serve as serve;
+pub use q_snap as snap;
 pub use q_storage as storage;
 
 pub use q_core::{
-    BatchOptions, BatchOutcome, CachePolicy, CacheStatus, Feedback, FeedbackOutcome,
-    FeedbackRequest, FeedbackTarget, GraphSnapshot, IngestReport, LiveFeedbackReport, LiveServer,
-    QConfig, QError, QSystem, QSystemBuilder, QueryOutcome, QueryRequest, SearchStrategy,
+    latest_snapshot_path, BatchOptions, BatchOutcome, CachePolicy, CacheStatus, Feedback,
+    FeedbackOutcome, FeedbackRequest, FeedbackTarget, GraphSnapshot, IngestReport,
+    LiveFeedbackReport, LiveServer, PersistStats, QConfig, QError, QSystem, QSystemBuilder,
+    QueryOutcome, QueryRequest, SearchStrategy, SnapError, SnapshotInfo, SnapshotPersister,
 };
-pub use q_serve::{QServe, ServeOptions};
+pub use q_serve::{BootMode, BootStats, QServe, ServeOptions};
 pub use q_storage::{Catalog, RelationSpec, SourceSpec, StorageError, Value};

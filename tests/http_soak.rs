@@ -235,6 +235,9 @@ fn soak_concurrent_http_clients_replay_byte_identical_while_sources_stream_in() 
         "q_cache_revalidated_total",
         "q_cache_misses_total",
         "q_cache_uncached_total",
+        "q_cache_kept_total",
+        "q_cache_dropped_total",
+        "q_snapshot_persist_total",
         "q_errors_total",
         "q_ingests_total",
         "q_feedback_total",
@@ -254,6 +257,8 @@ fn soak_concurrent_http_clients_replay_byte_identical_while_sources_stream_in() 
         "q_ingest_lag_seconds",
         "q_snapshot_bytes",
         "q_shard_bytes{shard=\"0\"}",
+        "q_boot_ms",
+        "q_boot_mode{mode=\"rebuild\"}",
         "q_uptime_seconds",
         "q_query_latency_seconds{quantile=\"0.5\"}",
         "q_query_latency_seconds{quantile=\"0.99\"}",
@@ -292,7 +297,8 @@ fn soak_concurrent_http_clients_replay_byte_identical_while_sources_stream_in() 
         "a clean soak serves no errors"
     );
 
-    // The health body names a published snapshot.
+    // The health body names a published snapshot and reports how (and how
+    // fast) the engine booted.
     let health = client
         .request("GET", "/healthz", None)
         .expect("healthz answers");
@@ -304,6 +310,29 @@ fn soak_concurrent_http_clients_replay_byte_identical_while_sources_stream_in() 
             _ => None,
         }),
         Some("ok")
+    );
+    let health_snapshot = health_json.get("snapshot").and_then(|s| match s {
+        json::Json::Int(id) => Some(*id as u64),
+        _ => None,
+    });
+    assert!(
+        server
+            .snapshots()
+            .iter()
+            .any(|s| Some(s.id()) == health_snapshot),
+        "healthz names a published snapshot: {health_snapshot:?}"
+    );
+    assert_eq!(
+        health_json.get("boot_mode").and_then(|s| match s {
+            json::Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }),
+        Some("rebuild"),
+        "an engine constructed in-process reports a rebuild boot"
+    );
+    assert!(
+        matches!(health_json.get("boot_ms"), Some(json::Json::Int(ms)) if *ms >= 0),
+        "healthz reports the boot wall time"
     );
 
     // ----- Graceful shutdown before the replay. --------------------------
