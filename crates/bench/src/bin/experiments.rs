@@ -162,8 +162,11 @@ fn ingest(config: &LiveIngestConfig) {
         result.stop_world_qps, result.live_vs_stop_world
     );
     println!(
-        "cache across publishes: {} kept by the survival rule, {} dropped",
-        result.cache_kept, result.cache_dropped
+        "cache across publishes: {} kept byte-identical, {} repriced warm, {} dropped cold ({} parked for the lane)",
+        result.cache_kept,
+        result.revalidation_repriced,
+        result.cache_dropped,
+        result.cache_parked,
     );
     println!(
         "replayed {} sampled concurrent answers against their snapshots: deterministic = {}",

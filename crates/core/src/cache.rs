@@ -46,7 +46,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use q_graph::keyword::MatchConfig;
-use q_graph::{EdgeId, FeatureVector, KeywordIndex, SearchGraph};
+use q_graph::{DeltaPricer, EdgeId, FeatureVector, KeywordIndex, MatchTarget, NodeId, SearchGraph};
 use q_storage::{Catalog, RelationId};
 
 use crate::answer::RankedView;
@@ -212,16 +212,62 @@ pub struct IngestionDelta<'a> {
     /// Relations the ingestion added (the new source's relations; empty for
     /// a pure association publish).
     pub new_relations: &'a [RelationId],
-    /// Smallest current cost over the ingestion's *bridge* edges — new edges
-    /// with at least one endpoint in the pre-existing graph. Any join tree
-    /// the ingestion enables for an old query must contain one, so this is a
-    /// lower bound on the cost of any new competing tree.
-    /// [`f64::INFINITY`] when the ingestion added no bridge (the new source
-    /// is unreachable from the old graph).
-    pub bridge_floor: f64,
+    /// The *new* snapshot's merged search graph: per-entry reachability
+    /// pricing runs over it, so new join paths may route through the grown
+    /// part and still be priced correctly.
+    pub graph: &'a SearchGraph,
+    /// Seeds of the reachability pricing: both endpoints of every *bridge*
+    /// edge — a new edge with at least one endpoint in the pre-existing
+    /// graph — each carrying that bridge's cost as its starting distance.
+    /// Any join tree the ingestion enables for an old query must contain a
+    /// bridge, so the multi-source distance into an entry's match nodes
+    /// lower-bounds every new competing tree. Empty when the ingestion
+    /// added no bridge (nothing new is reachable from the old graph).
+    pub bridge_seeds: &'a [(NodeId, f64)],
     /// Edge count of the new snapshot's graph (keeps the topology-growth
     /// detector of later [`QueryCache::sync_epoch`] calls aligned).
     pub edge_count: usize,
+}
+
+/// One entry removed by [`QueryCache::sync_ingestion`]'s cheap bound and
+/// handed to the background re-validation lane instead of being forgotten:
+/// everything the lane needs to recompute the answer against the new
+/// snapshot and decide whether the old bytes still stand.
+#[derive(Debug, Clone)]
+pub struct ParkedEntry {
+    /// Cache key (normalized keywords plus parameter fingerprint).
+    pub key: QueryKey,
+    /// The view the entry served before the publish.
+    pub view: Arc<RankedView>,
+    /// The view's cost model, in search-graph terms (stable across
+    /// publishes — the lane compares it against the recompute's model to
+    /// detect answers that only shifted query-graph terminal ids).
+    pub model: RevalidationModel,
+    /// Snapshot that priced `view`.
+    pub snapshot: u64,
+}
+
+/// Outcome of one [`QueryCache::sync_ingestion`] publish: what stayed, what
+/// was handed to the re-validation lane, what dropped outright.
+#[derive(Debug, Default)]
+pub struct IngestionSync {
+    /// Entries whose ranked list provably survived (still cached; hits
+    /// report [`CacheStatus::Revalidated`](crate::CacheStatus)).
+    pub kept: u64,
+    /// Entries that failed the cheap reachability bound: removed from the
+    /// cache (lookups miss — no stale bytes can be served) and returned for
+    /// background re-pricing.
+    pub parked: Vec<ParkedEntry>,
+    /// Entries dropped outright — no re-costing argument applies to them
+    /// (non-revalidatable strategy, malformed model).
+    pub dropped: u64,
+}
+
+/// Three-way verdict of the per-entry ingestion survival rule.
+enum Survival {
+    Keep,
+    Park,
+    Drop,
 }
 
 /// Answer cache for the query path. See the module docs for the coherence
@@ -241,6 +287,9 @@ pub struct QueryCache {
     revalidations: u64,
     /// Graph edge count at the last sync; a difference means topology grew.
     synced_edge_count: usize,
+    /// Reusable multi-source Dijkstra buffers for the ingestion survival
+    /// rule (grown once, reused every publish).
+    pricer: DeltaPricer,
 }
 
 /// Default maximum number of cached views.
@@ -268,6 +317,7 @@ impl QueryCache {
             invalidations: 0,
             revalidations: 0,
             synced_edge_count: 0,
+            pricer: DeltaPricer::default(),
         }
     }
 
@@ -368,58 +418,89 @@ impl QueryCache {
     ///
     /// Ingesting a source grows the topology, which under
     /// [`QueryCache::sync_epoch`] would drop everything (the seed rule).
-    /// Live ingestion knows *what* grew, so entries survive when the new
-    /// source provably cannot place a tree into their ranked list:
+    /// Live ingestion knows *what* grew, so each entry is priced
+    /// individually: one multi-source Dijkstra over the new graph, seeded
+    /// at the publish's bridge edges ([`IngestionDelta::bridge_seeds`]),
+    /// yields `dist(v)` — a lower bound on any new join tree that touches
+    /// `v`. An entry's price is the max over its keywords of the cheapest
+    /// distance into that keyword's match nodes (every new competing tree
+    /// must reach *all* of them), and the entry is **kept** when
     ///
-    /// 1. none of the entry's keywords match any document of the new
-    ///    source's relations (no new Steiner terminals can appear), and
-    /// 2. every join tree the new source enables costs at least
-    ///    [`IngestionDelta::bridge_floor`] — any such tree must cross a
-    ///    bridge edge — and that floor is strictly above the entry's
-    ///    displacement threshold: the worst ranked cost when the list is
-    ///    full, the request's cost budget when it is not.
+    /// 1. none of its keywords match any document of the new source's
+    ///    relations (no new Steiner terminals or match edges appear), and
+    /// 2. its price is strictly above its displacement threshold: the worst
+    ///    ranked cost when the list is full, the request's cost budget when
+    ///    it is not.
     ///
-    /// Surviving entries keep serving their original snapshot's answer
+    /// Kept entries keep serving their original snapshot's answer
     /// byte-for-byte (their [`CacheLookup::snapshot`] does not advance) and
     /// report [`CacheStatus::Revalidated`](crate::CacheStatus) on hits.
-    /// Everything else falls back to the seed drop rule. Returns
-    /// `(kept, dropped)`.
-    pub fn sync_ingestion(&mut self, epoch: u64, delta: &IngestionDelta) -> (u64, u64) {
+    /// Entries failing the bound are **parked**: removed from the cache (a
+    /// lookup misses — conservatism never serves stale bytes) and returned
+    /// in [`IngestionSync::parked`] for the background re-validation lane
+    /// to re-price against the new snapshot. Only entries with no
+    /// re-costing argument at all (non-revalidatable strategy, malformed
+    /// model) drop outright.
+    pub fn sync_ingestion(&mut self, epoch: u64, delta: &IngestionDelta) -> IngestionSync {
         self.epoch = epoch;
-        let mut kept = 0u64;
-        let mut dropped = 0u64;
-        self.entries.retain(|key, entry| {
-            if Self::survives_ingestion(key, entry, delta) {
-                entry.revalidated = true;
-                kept += 1;
-                true
-            } else {
-                dropped += 1;
-                false
-            }
-        });
-        self.invalidations += dropped;
-        self.revalidations += kept;
-        if dropped > 0 {
+        self.pricer.run(delta.graph, delta.bridge_seeds);
+        let mut sync = IngestionSync::default();
+        let pricer = &self.pricer;
+        let entries = &mut self.entries;
+        entries.retain(
+            |key, entry| match Self::survives_ingestion(key, entry, delta, pricer) {
+                Survival::Keep => {
+                    entry.revalidated = true;
+                    sync.kept += 1;
+                    true
+                }
+                Survival::Park => {
+                    sync.parked.push(ParkedEntry {
+                        key: key.clone(),
+                        view: Arc::clone(&entry.view),
+                        model: entry.model.clone(),
+                        snapshot: entry.snapshot,
+                    });
+                    false
+                }
+                Survival::Drop => {
+                    sync.dropped += 1;
+                    false
+                }
+            },
+        );
+        self.invalidations += sync.dropped;
+        self.revalidations += sync.kept;
+        if sync.dropped > 0 || !sync.parked.is_empty() {
             self.insertion_order
                 .retain(|k| self.entries.contains_key(k));
         }
         self.synced_edge_count = delta.edge_count;
         self.enforce_capacity();
-        (kept, dropped)
+        sync
     }
 
-    /// The ingestion survival rule for one entry (see
+    /// The per-entry ingestion survival rule (see
     /// [`QueryCache::sync_ingestion`]).
-    fn survives_ingestion(key: &QueryKey, entry: &CacheEntry, delta: &IngestionDelta) -> bool {
+    fn survives_ingestion(
+        key: &QueryKey,
+        entry: &CacheEntry,
+        delta: &IngestionDelta,
+        pricer: &DeltaPricer,
+    ) -> Survival {
         let model = &entry.model;
         if !model.revalidatable || model.trees.len() != entry.view.queries.len() {
-            return false;
+            return Survival::Drop;
         }
-        // A keyword matching the new source's documents adds match edges —
-        // and possibly terminals — to a fresh query graph: no cost argument
-        // covers that, so the entry drops.
-        if key.keywords.iter().any(|kw| {
+        // Every candidate tree a publish enables either touches the new
+        // region — and must then cross a bridge edge, so the reachability
+        // price below bounds it — or uses only pre-existing nodes and so
+        // pre-existed. The one escape is a tree living *entirely* inside
+        // the new source: it crosses no bridge and no cost argument covers
+        // it. Such a tree needs a match for every keyword among the new
+        // relations, so only an entry whose whole keyword set matches there
+        // parks unconditionally.
+        if key.keywords.iter().all(|kw| {
             delta.keyword_index.keyword_matches_in(
                 kw,
                 delta.catalog,
@@ -427,7 +508,7 @@ impl QueryCache {
                 delta.match_config,
             )
         }) {
-            return false;
+            return Survival::Park;
         }
         // Displacement threshold: what a new tree would have to beat. A full
         // ranked list is guarded by its worst cost; a partial list accepts
@@ -442,11 +523,46 @@ impl QueryCache {
         } else {
             model.budget
         };
-        // Every tree the new source enables contains a bridge edge, so it
-        // costs at least the floor (edge costs are kept positive by the
+        // Any tree the publish enables for this entry crosses a bridge and
+        // connects *every* keyword's match node, so it costs at least the
+        // entry's reachability price (edge costs are kept positive by the
         // learner). Strictly above: a tie could reorder a fresh search's
         // stable sort.
-        delta.bridge_floor > threshold
+        if Self::ingestion_price(key, delta, pricer) > threshold {
+            Survival::Keep
+        } else {
+            Survival::Park
+        }
+    }
+
+    /// Per-entry lower bound on any new competing tree: the max over the
+    /// entry's keywords of the cheapest bridge-seeded distance into that
+    /// keyword's match nodes in the *new* snapshot. A keyword with no
+    /// matches (or none that resolve to a graph node) contributes ∞ — a
+    /// tree cannot connect what does not exist.
+    fn ingestion_price(key: &QueryKey, delta: &IngestionDelta, pricer: &DeltaPricer) -> f64 {
+        let mut price: f64 = 0.0;
+        for kw in &key.keywords {
+            let mut cheapest = f64::INFINITY;
+            for m in delta.keyword_index.matches(kw, delta.match_config) {
+                let node = match &m.target {
+                    MatchTarget::Relation(r) => delta.graph.relation_node(*r),
+                    // A value node attaches to its attribute at zero cost,
+                    // so the attribute's distance bounds the value's too.
+                    MatchTarget::Attribute(a) | MatchTarget::Value { attribute: a, .. } => {
+                        delta.graph.attribute_node(*a)
+                    }
+                };
+                if let Some(n) = node {
+                    cheapest = cheapest.min(pricer.dist(n));
+                }
+            }
+            price = price.max(cheapest);
+            if price.is_infinite() {
+                break;
+            }
+        }
+        price
     }
 
     /// Re-price one entry under the graph's current weights; true when it
@@ -524,6 +640,39 @@ impl QueryCache {
             revalidated: false,
             snapshot: self.epoch,
         };
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = entry;
+            return;
+        }
+        self.insertion_order.push_back(key.clone());
+        self.entries.insert(key, entry);
+        self.enforce_capacity();
+    }
+
+    /// Re-admit an entry the background re-validation lane has verified (or
+    /// recomputed) against the snapshot `snapshot`. Unlike [`insert`], the
+    /// snapshot stamp is the caller's — a byte-identical survivor keeps
+    /// reporting the snapshot that originally priced it — and the entry is
+    /// marked revalidated so hits report
+    /// [`CacheStatus::Revalidated`](crate::CacheStatus). The caller is
+    /// responsible for checking the cache epoch first (under the same lock)
+    /// so a superseded lane result is discarded, not re-admitted.
+    ///
+    /// [`insert`]: QueryCache::insert
+    pub fn reinsert_revalidated(
+        &mut self,
+        key: QueryKey,
+        view: Arc<RankedView>,
+        model: RevalidationModel,
+        snapshot: u64,
+    ) {
+        let entry = CacheEntry {
+            view,
+            model,
+            revalidated: true,
+            snapshot,
+        };
+        self.revalidations += 1;
         if let Some(slot) = self.entries.get_mut(&key) {
             *slot = entry;
             return;
@@ -924,12 +1073,17 @@ mod tests {
     }
 
     /// Ingest source `c` (relation `r3`, disjoint vocabulary) bridged to
-    /// `r1.x` with the given matcher confidence; returns the delta inputs.
+    /// `r1.x` with the given matcher confidence; returns the new keyword
+    /// index, the new relation and the bridge edge.
     fn ingest_r3(
         cat: &mut q_storage::Catalog,
         g: &mut SearchGraph,
         confidence: f64,
-    ) -> (q_graph::KeywordIndex, q_storage::RelationId, f64) {
+    ) -> (
+        q_graph::KeywordIndex,
+        q_storage::RelationId,
+        q_graph::EdgeId,
+    ) {
         use q_storage::{RelationSpec, SourceSpec};
         SourceSpec::new("c")
             .relation(RelationSpec::new("r3", &["z"]))
@@ -942,8 +1096,14 @@ mod tests {
         let bridge = g.add_association(x, z, "mad", confidence);
         let idx = q_graph::KeywordIndex::build(cat);
         let r3 = cat.relation_by_name("r3").unwrap().id;
-        let floor = g.edge_cost(bridge);
-        (idx, r3, floor)
+        (idx, r3, bridge)
+    }
+
+    /// Reachability seeds of a single bridge edge: both endpoints at the
+    /// edge's cost (exactly what the live serving layer builds).
+    fn seeds_of(g: &SearchGraph, edge: q_graph::EdgeId) -> Vec<(q_graph::NodeId, f64)> {
+        let e = &g.edges()[edge.index()];
+        vec![(e.a, g.edge_cost(edge)), (e.b, g.edge_cost(edge))]
     }
 
     #[test]
@@ -955,24 +1115,29 @@ mod tests {
         let (v, mut model) = priced_view(&g, e);
         model.top_k = 1; // the ranked list is full
         let entry_cost = v.queries[0].cost;
-        cache.insert(key(&["q"]), v, model);
+        // The keyword resolves to relation r1 — right next to where the
+        // bridge lands, so the price really is the bridge's own cost.
+        cache.insert(key(&["r1"]), v, model);
 
-        // A low-confidence bridge prices every new join path above the
-        // cached tree: the entry provably keeps its top-k.
-        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.05);
-        assert!(floor > entry_cost, "fixture: bridge must cost more");
+        // A low-confidence bridge prices every new join path into the
+        // entry's terminals above the cached tree: the entry provably keeps
+        // its top-k.
+        let (idx, r3, bridge) = ingest_r3(&mut cat, &mut g, 0.05);
+        let seeds = seeds_of(&g, bridge);
+        assert!(g.edge_cost(bridge) > entry_cost, "fixture: bridge costlier");
         let delta = IngestionDelta {
             catalog: &cat,
             keyword_index: &idx,
             match_config: &MatchConfig::default(),
             new_relations: &[r3],
-            bridge_floor: floor,
+            graph: &g,
+            bridge_seeds: &seeds,
             edge_count: g.edge_count(),
         };
-        let (kept, dropped) = cache.sync_ingestion(7, &delta);
-        assert_eq!((kept, dropped), (1, 0));
+        let sync = cache.sync_ingestion(7, &delta);
+        assert_eq!((sync.kept, sync.parked.len(), sync.dropped), (1, 0, 0));
         assert_eq!(cache.epoch(), 7);
-        let hit = cache.get(&key(&["q"])).expect("entry survived");
+        let hit = cache.get(&key(&["r1"])).expect("entry survived");
         assert!(hit.revalidated, "survivors report Revalidated on hits");
         assert_eq!(
             hit.snapshot, snap0,
@@ -987,36 +1152,80 @@ mod tests {
     }
 
     #[test]
-    fn ingestion_sync_drops_when_the_bridge_could_displace_the_top_k() {
+    fn ingestion_sync_parks_entries_the_bridge_prices_into() {
         let (mut cat, mut g, e) = ingestion_fixture();
         let mut cache = QueryCache::default();
         cache.sync_epoch(g.weight_epoch(), &g);
+        let snap0 = cache.epoch();
         let (v, mut model) = priced_view(&g, e);
         model.top_k = 1;
-        cache.insert(key(&["q"]), v, model);
-        // A high-confidence bridge costs the same as the cached tree: even
-        // the tie must drop (a fresh search may order tied trees apart).
-        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.9);
+        let view = Arc::clone(&v);
+        cache.insert(key(&["r1"]), v, model);
+        // A high-confidence bridge reaches r1 at exactly the cached tree's
+        // cost: even the tie must leave the cache (a fresh search may order
+        // tied trees apart) — but it parks for re-validation, not drops.
+        let (idx, r3, bridge) = ingest_r3(&mut cat, &mut g, 0.9);
+        let seeds = seeds_of(&g, bridge);
         let delta = IngestionDelta {
             catalog: &cat,
             keyword_index: &idx,
             match_config: &MatchConfig::default(),
             new_relations: &[r3],
-            bridge_floor: floor,
+            graph: &g,
+            bridge_seeds: &seeds,
             edge_count: g.edge_count(),
         };
-        let (kept, dropped) = cache.sync_ingestion(7, &delta);
-        assert_eq!((kept, dropped), (0, 1));
-        assert!(cache.is_empty());
+        let sync = cache.sync_ingestion(7, &delta);
+        assert_eq!((sync.kept, sync.parked.len(), sync.dropped), (0, 1, 0));
+        assert!(cache.is_empty(), "parked entries leave the cache");
+        let parked = &sync.parked[0];
+        assert_eq!(parked.key, key(&["r1"]));
+        assert_eq!(parked.snapshot, snap0);
+        assert!(Arc::ptr_eq(&parked.view, &view));
     }
 
     #[test]
-    fn ingestion_sync_drops_partial_lists_and_keyword_matches() {
+    fn pricing_is_per_entry_not_a_global_floor() {
+        let (mut cat, mut g, e) = ingestion_fixture();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        // Two full-list entries with the same displacement threshold; they
+        // differ only in where their keyword sits relative to the bridge.
+        let (near, mut m_near) = priced_view(&g, e);
+        m_near.top_k = 1;
+        cache.insert(key(&["r1"]), near, m_near);
+        let (far, mut m_far) = priced_view(&g, e);
+        m_far.top_k = 1;
+        cache.insert(key(&["r2"]), far, m_far);
+
+        // The bridge lands on r1.x at exactly the entries' own cost: the
+        // old global floor (floor > threshold fails) dropped *both*. The
+        // per-entry price keeps r2 — reaching it costs bridge + association,
+        // strictly above the threshold — and parks only r1.
+        let (idx, r3, bridge) = ingest_r3(&mut cat, &mut g, 0.9);
+        let seeds = seeds_of(&g, bridge);
+        let delta = IngestionDelta {
+            catalog: &cat,
+            keyword_index: &idx,
+            match_config: &MatchConfig::default(),
+            new_relations: &[r3],
+            graph: &g,
+            bridge_seeds: &seeds,
+            edge_count: g.edge_count(),
+        };
+        let sync = cache.sync_ingestion(7, &delta);
+        assert_eq!((sync.kept, sync.parked.len(), sync.dropped), (1, 1, 0));
+        assert_eq!(sync.parked[0].key, key(&["r1"]), "near entry parks");
+        assert!(cache.get(&key(&["r2"])).is_some(), "far entry survives");
+    }
+
+    #[test]
+    fn ingestion_sync_parks_partial_lists_and_keyword_matches() {
         let (mut cat, mut g, e) = ingestion_fixture();
         let mut cache = QueryCache::default();
         cache.sync_epoch(g.weight_epoch(), &g);
         // Entry 1: partial ranked list (top_k 5, one tree) with no budget —
-        // any affordable new tree could extend it, so it cannot survive.
+        // any affordable new tree could extend it, so it cannot be kept.
         let (v1, mut m1) = priced_view(&g, e);
         m1.top_k = 5;
         cache.insert(key(&["q"]), v1, m1);
@@ -1024,25 +1233,27 @@ mod tests {
         let (v2, mut m2) = priced_view(&g, e);
         m2.top_k = 1;
         cache.insert(key(&["r3"]), v2, m2);
-        // Entry 3: partial list guarded by a budget below the bridge floor —
-        // new trees are provably unaffordable, so it survives.
+        // Entry 3: partial list guarded by a budget below every new path's
+        // price — new trees are provably unaffordable, so it survives.
         let (v3, mut m3) = priced_view(&g, e);
         m3.top_k = 5;
         m3.budget = 1.0;
         cache.insert(key(&["q", "also"]), v3, m3);
 
-        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.05);
-        assert!(floor > 1.0);
+        let (idx, r3, bridge) = ingest_r3(&mut cat, &mut g, 0.05);
+        let seeds = seeds_of(&g, bridge);
+        assert!(g.edge_cost(bridge) > 1.0);
         let delta = IngestionDelta {
             catalog: &cat,
             keyword_index: &idx,
             match_config: &MatchConfig::default(),
             new_relations: &[r3],
-            bridge_floor: floor,
+            graph: &g,
+            bridge_seeds: &seeds,
             edge_count: g.edge_count(),
         };
-        let (kept, dropped) = cache.sync_ingestion(9, &delta);
-        assert_eq!((kept, dropped), (1, 2));
+        let sync = cache.sync_ingestion(9, &delta);
+        assert_eq!((sync.kept, sync.parked.len(), sync.dropped), (1, 2, 0));
         assert!(cache.get(&key(&["q"])).is_none(), "partial, unbounded");
         assert!(cache.get(&key(&["r3"])).is_none(), "keyword matches source");
         assert!(cache.get(&key(&["q", "also"])).is_some(), "budget-guarded");
@@ -1057,17 +1268,59 @@ mod tests {
         model.top_k = 1;
         model.revalidatable = false;
         cache.insert(key(&["q"]), v, model);
-        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.05);
+        let (idx, r3, bridge) = ingest_r3(&mut cat, &mut g, 0.05);
+        let seeds = seeds_of(&g, bridge);
         let delta = IngestionDelta {
             catalog: &cat,
             keyword_index: &idx,
             match_config: &MatchConfig::default(),
             new_relations: &[r3],
-            bridge_floor: floor,
+            graph: &g,
+            bridge_seeds: &seeds,
             edge_count: g.edge_count(),
         };
-        let (kept, dropped) = cache.sync_ingestion(3, &delta);
-        assert_eq!((kept, dropped), (0, 1));
+        let sync = cache.sync_ingestion(3, &delta);
+        assert_eq!((sync.kept, sync.parked.len(), sync.dropped), (0, 0, 1));
+    }
+
+    #[test]
+    fn reinsert_revalidated_restores_a_parked_entry_with_its_stamp() {
+        let (mut cat, mut g, e) = ingestion_fixture();
+        let mut cache = QueryCache::default();
+        cache.sync_epoch(g.weight_epoch(), &g);
+        let (v, mut model) = priced_view(&g, e);
+        model.top_k = 1;
+        cache.insert(key(&["r1"]), v, model);
+        let (idx, r3, bridge) = ingest_r3(&mut cat, &mut g, 0.9);
+        let seeds = seeds_of(&g, bridge);
+        let delta = IngestionDelta {
+            catalog: &cat,
+            keyword_index: &idx,
+            match_config: &MatchConfig::default(),
+            new_relations: &[r3],
+            graph: &g,
+            bridge_seeds: &seeds,
+            edge_count: g.edge_count(),
+        };
+        let sync = cache.sync_ingestion(7, &delta);
+        let parked = &sync.parked[0];
+        assert!(cache.get(&parked.key).is_none());
+
+        // The lane verified the old bytes still stand: re-admit them under
+        // the original pricing snapshot.
+        cache.reinsert_revalidated(
+            parked.key.clone(),
+            Arc::clone(&parked.view),
+            RevalidationModel {
+                top_k: 1,
+                ..RevalidationModel::default()
+            },
+            parked.snapshot,
+        );
+        let hit = cache.get(&parked.key).expect("re-admitted");
+        assert!(hit.revalidated, "lane survivors report Revalidated");
+        assert_eq!(hit.snapshot, parked.snapshot);
+        assert!(Arc::ptr_eq(&hit.view, &parked.view));
     }
 
     #[test]
@@ -1107,13 +1360,15 @@ mod tests {
         g.set_weights(w);
         cache.sync_epoch(g.weight_epoch(), &g);
         assert!(cache.len() <= cache.capacity());
-        let (idx, r3, floor) = ingest_r3(&mut cat, &mut g, 0.05);
+        let (idx, r3, bridge) = ingest_r3(&mut cat, &mut g, 0.05);
+        let seeds = seeds_of(&g, bridge);
         let delta = IngestionDelta {
             catalog: &cat,
             keyword_index: &idx,
             match_config: &MatchConfig::default(),
             new_relations: &[r3],
-            bridge_floor: floor,
+            graph: &g,
+            bridge_seeds: &seeds,
             edge_count: g.edge_count(),
         };
         cache.sync_ingestion(5, &delta);

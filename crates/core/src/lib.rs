@@ -31,6 +31,7 @@ pub mod evaluation;
 pub mod feedback;
 pub mod live;
 pub mod request;
+pub mod revalidate;
 pub mod snapstore;
 pub mod system;
 pub mod translate;
@@ -38,8 +39,8 @@ pub mod translate;
 pub use answer::{Answer, RankedQuery, RankedView, ViewId};
 pub use builder::QSystemBuilder;
 pub use cache::{
-    normalize_keywords, CacheLookup, CostTerm, IngestionDelta, QueryCache, QueryKey,
-    RevalidationModel, TreeCostModel,
+    normalize_keywords, CacheLookup, CostTerm, IngestionDelta, IngestionSync, ParkedEntry,
+    QueryCache, QueryKey, RevalidationModel, TreeCostModel,
 };
 pub use config::{AlignmentStrategy, QConfig};
 pub use error::QError;
@@ -53,5 +54,6 @@ pub use q_snap::{SnapError, SnapshotInfo};
 pub use request::{
     CachePolicy, CacheStatus, QueryOutcome, QueryParamsKey, QueryRequest, SearchStrategy,
 };
+pub use revalidate::RevalidationStats;
 pub use snapstore::{latest_snapshot_path, PersistStats, SnapshotPersister};
 pub use system::{BatchOptions, BatchOutcome, QSystem, RegistrationReport};

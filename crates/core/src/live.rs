@@ -34,14 +34,20 @@
 //! 1. The writer builds the next snapshot off to the side (readers are
 //!    untouched).
 //! 2. It summarises what changed into an [`IngestionDelta`] — the new
-//!    relations and the *bridge-cost floor*, the cheapest new edge incident
-//!    to the pre-existing graph — and calls
-//!    [`QueryCache::sync_ingestion`]: entries survive when the new source
-//!    provably cannot place a tree into their ranked answers (no keyword of
-//!    theirs matches the new documents, and the floor is strictly above
-//!    their displacement threshold); everything else falls back to the seed
-//!    drop rule.
-//! 3. It swaps the snapshot pointer.
+//!    relations and the *bridge seeds*, every new edge incident to the
+//!    pre-existing graph with its cost — and calls
+//!    [`QueryCache::sync_ingestion`], which prices the delta per entry
+//!    (one multi-source Dijkstra from the bridge seeds,
+//!    [`q_graph::DeltaPricer`]): an entry is **kept** when the cheapest
+//!    bridge-crossing path into its keywords' match nodes is strictly above
+//!    its displacement threshold, **dropped** when it carries no
+//!    re-validation model, and **parked** otherwise.
+//! 3. It swaps the snapshot pointer and deposits the parked entries with
+//!    the background [`RevalidationLane`](crate::revalidate), which settles
+//!    each one by fresh recompute — re-admitting identical bytes under
+//!    their original snapshot, changed bytes under the new one — so the
+//!    next hit serves a provably-fresh entry or misses normally, never a
+//!    cold start caused purely by the bound's conservatism.
 //!
 //! A reader that computed an answer against snapshot `N` concurrently with
 //! the publish cannot pollute the cache: inserts are guarded by the cache's
@@ -60,11 +66,12 @@ use q_matchers::{AttributeAlignment, SchemaMatcher};
 use q_storage::{AttributeId, Catalog, RelationId, SourceId, SourceSpec};
 
 use crate::answer::RankedView;
-use crate::cache::{normalize_keywords, IngestionDelta, QueryCache, QueryKey};
+use crate::cache::{normalize_keywords, IngestionDelta, QueryCache, QueryKey, RevalidationModel};
 use crate::config::QConfig;
 use crate::error::QError;
 use crate::feedback::{FeedbackOutcome, FeedbackRequest, FeedbackTarget};
 use crate::request::{CachePolicy, CacheStatus, QueryOutcome, QueryRequest};
+use crate::revalidate::{RevalidationLane, RevalidationStats};
 use crate::snapstore::{PersistStats, SnapshotPersister};
 use crate::system::{answer_keywords, learn_feedback, ServeParams};
 
@@ -216,6 +223,34 @@ impl GraphSnapshot {
         )
         .map(|(view, _, _)| view)
     }
+
+    /// Recompute the answer a cache key describes against this snapshot,
+    /// together with the re-validation model a re-admitted entry needs —
+    /// the [`RevalidationLane`](crate::revalidate)'s ground-truth recompute.
+    /// Cache keys hold normalized keywords, and normalization never changes
+    /// the answer (that is what makes cache sharing across equivalent
+    /// requests sound in the first place), so these are the bytes the
+    /// original request would be served fresh.
+    pub(crate) fn recompute_for_key(
+        &self,
+        config: &QConfig,
+        key: &QueryKey,
+        scratch: &mut SteinerScratch,
+    ) -> Result<(RankedView, RevalidationModel), QError> {
+        let refs: Vec<&str> = key.keywords.iter().map(String::as_str).collect();
+        let (view, _, model) = answer_keywords(
+            &self.catalog,
+            &self.graph,
+            &self.keyword_index,
+            config,
+            &refs,
+            ServeParams::resolve_key(config, &key.params),
+            true,
+            Some(&self.shards),
+            scratch,
+        )?;
+        Ok((view, model.expect("build_model always yields a model")))
+    }
 }
 
 /// Report of one [`LiveServer::ingest_source`] publish.
@@ -229,12 +264,15 @@ pub struct IngestReport {
     /// their association edges were added.
     pub alignments: Vec<AttributeAlignment>,
     /// Cheapest new edge bridging the new source into the pre-existing
-    /// graph ([`f64::INFINITY`] when unbridged) — the lower bound the cache
-    /// survival rule compared against.
+    /// graph ([`f64::INFINITY`] when unbridged) — the cheapest seed the
+    /// per-entry reachability pricing started from.
     pub bridge_floor: f64,
-    /// Cached entries that survived the publish.
+    /// Cached entries the pricing proved safe at publish time.
     pub cache_kept: u64,
-    /// Cached entries dropped by the publish.
+    /// Cached entries handed to the background re-validation lane (they
+    /// miss until the lane re-admits them).
+    pub cache_parked: u64,
+    /// Cached entries dropped outright by the publish.
     pub cache_dropped: u64,
 }
 
@@ -278,8 +316,13 @@ pub struct LiveFeedbackReport {
 pub struct LiveServer {
     config: QConfig,
     current: RwLock<Arc<GraphSnapshot>>,
-    cache: Mutex<QueryCache>,
+    /// Shared with the re-validation lane's worker, which re-admits settled
+    /// entries under this lock.
+    cache: Arc<Mutex<QueryCache>>,
     writer: Mutex<WriterState>,
+    /// Background re-validation lane: publishes deposit their parked cache
+    /// entries here; the worker settles each by fresh recompute.
+    revalidator: RevalidationLane,
     /// Background snapshot persistence lane ([`SnapshotPersister`]), off by
     /// default. Publishes deposit into its latest-only mailbox and never
     /// wait for the disk.
@@ -314,10 +357,12 @@ impl LiveServer {
         let snapshot = Arc::new(snapshot);
         let mut cache = QueryCache::default();
         cache.sync_epoch(snapshot.graph.weight_epoch(), &snapshot.graph);
+        let cache = Arc::new(Mutex::new(cache));
         LiveServer {
+            revalidator: RevalidationLane::start(config, Arc::clone(&cache)),
             config,
             current: RwLock::new(snapshot),
-            cache: Mutex::new(cache),
+            cache,
             writer: Mutex::new(WriterState {
                 matchers: Vec::new(),
                 mira: Mira::new(),
@@ -378,7 +423,18 @@ impl LiveServer {
         let snapshot = self.snapshot();
         let mut cache = QueryCache::with_capacity(capacity);
         cache.sync_epoch(snapshot.graph.weight_epoch(), &snapshot.graph);
-        *self.cache.get_mut().expect("cache lock poisoned") = cache;
+        *self.cache.lock().expect("cache lock poisoned") = cache;
+    }
+
+    /// Counters of the background re-validation lane.
+    pub fn revalidation_stats(&self) -> RevalidationStats {
+        self.revalidator.stats()
+    }
+
+    /// Block until every parked cache entry has been settled by the
+    /// re-validation lane.
+    pub fn flush_revalidation(&self) {
+        self.revalidator.flush();
     }
 
     /// The serving configuration.
@@ -534,12 +590,21 @@ impl LiveServer {
             alignments.extend(proposed);
         }
 
-        // Lower bound on any join tree the ingestion enables for an old
-        // query: the cheapest new edge touching the pre-existing graph.
-        let bridge_floor = graph.edges()[old_edges..]
+        // Every new edge touching the pre-existing graph seeds the
+        // per-entry reachability pricing: any join tree the ingestion
+        // enables for an old query crosses one of these bridges, so both
+        // endpoints enter the multi-source Dijkstra at the bridge's cost.
+        let bridge_seeds: Vec<(q_graph::NodeId, f64)> = graph.edges()[old_edges..]
             .iter()
             .filter(|e| e.a.index() < old_nodes || e.b.index() < old_nodes)
-            .map(|e| graph.edge_cost(e.id))
+            .flat_map(|e| {
+                let cost = graph.edge_cost(e.id);
+                [(e.a, cost), (e.b, cost)]
+            })
+            .collect();
+        let bridge_floor = bridge_seeds
+            .iter()
+            .map(|&(_, cost)| cost)
             .fold(f64::INFINITY, f64::min);
 
         let next = Arc::new(GraphSnapshot::build(
@@ -548,13 +613,14 @@ impl LiveServer {
             keyword_index,
             self.config.shards,
         ));
-        let (cache_kept, cache_dropped) = {
+        let sync = {
             let delta = IngestionDelta {
                 catalog: &next.catalog,
                 keyword_index: &next.keyword_index,
                 match_config: &self.config.match_config,
                 new_relations: &new_relations,
-                bridge_floor,
+                graph: &next.graph,
+                bridge_seeds: &bridge_seeds,
                 edge_count: next.graph.edge_count(),
             };
             // Sync the cache before the pointer swap: from this moment on,
@@ -565,6 +631,8 @@ impl LiveServer {
                 .sync_ingestion(next.id, &delta)
         };
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        let cache_parked = sync.parked.len() as u64;
+        self.revalidator.enqueue(Arc::clone(&next), sync.parked);
         self.deposit_for_persistence(&next);
         drop(writer);
 
@@ -573,8 +641,9 @@ impl LiveServer {
             snapshot: next,
             alignments,
             bridge_floor,
-            cache_kept,
-            cache_dropped,
+            cache_kept: sync.kept,
+            cache_parked,
+            cache_dropped: sync.dropped,
         })
     }
 
@@ -595,29 +664,30 @@ impl LiveServer {
         let old_edges = graph.edge_count();
         let edge = graph.add_association(a, b, "manual", confidence);
         let grew = graph.edge_count() > old_edges;
-        let bridge_floor = if grew {
-            graph.edge_cost(edge)
-        } else {
-            f64::INFINITY
-        };
         let next = Arc::new(GraphSnapshot::build(
             base.catalog.clone(),
             graph,
             base.keyword_index.clone(),
             self.config.shards,
         ));
-        {
+        let parked = {
             let mut cache = self.cache.lock().expect("cache lock poisoned");
             if grew {
+                // A pure bridge publish: the one new edge seeds the
+                // per-entry pricing from both its endpoints.
+                let cost = next.graph.edge_cost(edge);
+                let e = &next.graph.edges()[edge.index()];
+                let bridge_seeds = [(e.a, cost), (e.b, cost)];
                 let delta = IngestionDelta {
                     catalog: &next.catalog,
                     keyword_index: &next.keyword_index,
                     match_config: &self.config.match_config,
                     new_relations: &[],
-                    bridge_floor,
+                    graph: &next.graph,
+                    bridge_seeds: &bridge_seeds,
                     edge_count: next.graph.edge_count(),
                 };
-                cache.sync_ingestion(next.id, &delta);
+                cache.sync_ingestion(next.id, &delta).parked
             } else {
                 // Merged matcher opinion: same topology, re-priced edge.
                 // Entries whose costs the merge touched must drop — a live
@@ -625,9 +695,11 @@ impl LiveServer {
                 // re-pricing (the QSystem sync_epoch rule) would serve
                 // bytes the named snapshot never produced.
                 cache.sync_repricing_publish(next.id, &next.graph);
+                Vec::new()
             }
-        }
+        };
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        self.revalidator.enqueue(Arc::clone(&next), parked);
         self.deposit_for_persistence(&next);
         drop(writer);
         next
@@ -825,29 +897,48 @@ mod tests {
             .resolve_qualified("interpro2go.go_id")
             .unwrap();
         server.publish_association(acc, go_id, 0.95);
-        // Warm two entries: one whose keywords the new source matches (must
-        // drop) and one with keywords the new source cannot touch *and* a
-        // full ranked list (may survive if the bridge floor allows).
+        // Warm two entries: one whose keywords the new source matches (it
+        // must at least leave the cache for re-validation) and one with
+        // keywords the new source cannot touch *and* a full ranked list
+        // (may be kept outright if the pricing allows).
         let touched = QueryRequest::new(["entry ac", "title"]);
         let safe = QueryRequest::new(["plasma membrane"]).top_k(1);
         server.query(&touched).unwrap();
         let safe_before = server.query(&safe).unwrap();
 
         let report = server.ingest_source(&new_pub_source()).unwrap();
-        assert!(report.cache_dropped >= 1, "touched entry must drop");
-        // The safe entry's fate depends on the bridge floor; whatever it
-        // was, a repeat request must still be byte-consistent with a
-        // published snapshot's sequential answer.
+        assert!(
+            report.cache_parked >= 1,
+            "the touched entry cannot be proven safe at publish time"
+        );
+        // Settle the lane so the outcome below is deterministic. Whatever
+        // each entry's fate was, a repeat request must be byte-consistent
+        // with the sequential answer of the snapshot it reports.
+        server.flush_revalidation();
         let after = server.query(&safe).unwrap();
         let snapshot_of = after.snapshot.expect("live serving stamps snapshots");
         if after.cache == CacheStatus::Revalidated {
-            assert_eq!(snapshot_of, safe_before.snapshot.unwrap());
-            assert!(Arc::ptr_eq(&safe_before.view, &after.view));
+            if snapshot_of == safe_before.snapshot.unwrap() {
+                // Kept — at publish time or by the lane's byte-equal proof.
+                assert!(Arc::ptr_eq(&safe_before.view, &after.view));
+            } else {
+                // Re-priced by the lane: fresh bytes under the new snapshot.
+                assert_eq!(snapshot_of, report.snapshot.id());
+                let reference = report.snapshot.answer(server.config(), &safe).unwrap();
+                assert_eq!(&*after.view, &reference);
+            }
         } else {
             assert_eq!(snapshot_of, report.snapshot.id());
             let reference = report.snapshot.answer(server.config(), &safe).unwrap();
             assert_eq!(&*after.view, &reference);
         }
+        // The lane settled everything it was handed.
+        let lane = server.revalidation_stats();
+        assert_eq!(lane.depth, 0);
+        assert_eq!(
+            lane.kept + lane.repriced + lane.dropped,
+            report.cache_parked
+        );
     }
 
     #[test]

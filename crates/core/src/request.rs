@@ -180,9 +180,9 @@ impl QueryRequest {
 /// [`QueryRequest::params_key`]; `Default` is "no overrides".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct QueryParamsKey {
-    top_k: Option<usize>,
-    strategy: Option<SearchStrategy>,
-    budget_bits: Option<u64>,
+    pub(crate) top_k: Option<usize>,
+    pub(crate) strategy: Option<SearchStrategy>,
+    pub(crate) budget_bits: Option<u64>,
 }
 
 /// How a [`QueryOutcome`] was obtained from the cache's point of view.

@@ -1,0 +1,261 @@
+//! Background re-validation lane: parked cache entries are re-priced off
+//! the publish path, so conservatism never costs a reader a cold start.
+//!
+//! [`QueryCache::sync_ingestion`](crate::QueryCache::sync_ingestion) is a
+//! cheap lower-bound test — entries it cannot *prove* safe are parked, not
+//! dropped, because most of them are in fact untouched (the bound prices
+//! the delta's reach, not the actual new top-k). The [`RevalidationLane`]
+//! settles each parked entry with the ground truth: a fresh recompute of
+//! the entry's request against the snapshot that parked it, off the writer
+//! and reader paths, on a single background thread fed through the same
+//! **latest-only mailbox** as the persistence lane
+//! ([`SnapshotPersister`](crate::SnapshotPersister)). A publish deposits
+//! its batch of parked entries and returns immediately; if a newer publish
+//! lands before the worker drains the batch, the superseded batch is
+//! discarded wholesale (counted as dropped — its snapshot is no longer
+//! current, so its recomputes could never be re-admitted anyway).
+//!
+//! Per entry the worker recomputes, then re-admits under the cache lock
+//! only if the cache epoch still names the batch's snapshot:
+//!
+//! * **kept** — the recompute found the same answer (same trees, same
+//!   costs, same projected columns; view bytes are compared in search-graph
+//!   terms because each publish renumbers query-graph terminal ids): the
+//!   ingestion did not touch this answer after all. The original `Arc` goes
+//!   back in under its *original* pricing snapshot, whose sequential answer
+//!   it is byte-identical to.
+//! * **repriced** — the answer changed: the fresh view is admitted under
+//!   the batch's snapshot id. The next hit serves the new bytes warm.
+//! * **dropped** — a newer publish won the race (or superseded the batch):
+//!   the entry misses normally next time.
+//!
+//! Either way the byte contract holds: everything the cache serves is the
+//! sequential answer of the snapshot stamped on it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use q_graph::SteinerScratch;
+
+use crate::cache::{ParkedEntry, QueryCache};
+use crate::config::QConfig;
+use crate::live::GraphSnapshot;
+
+/// Point-in-time counters of a [`RevalidationLane`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RevalidationStats {
+    /// Parked entries whose recompute found the same answer (same trees,
+    /// costs and columns) — re-admitted under their original pricing
+    /// snapshot.
+    pub kept: u64,
+    /// Parked entries whose recompute differed — re-admitted with the fresh
+    /// bytes under the parking snapshot.
+    pub repriced: u64,
+    /// Parked entries discarded: superseded by a newer publish, beaten to
+    /// the cache by one, or failing recompute.
+    pub dropped: u64,
+    /// Parked entries deposited but not yet settled.
+    pub depth: u64,
+}
+
+struct Batch {
+    snapshot: Arc<GraphSnapshot>,
+    entries: Vec<ParkedEntry>,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    next: Option<Batch>,
+    in_flight: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    mailbox: Mutex<Mailbox>,
+    /// Signals the worker (new deposit / shutdown) and flush waiters (batch
+    /// settled).
+    signal: Condvar,
+    kept: AtomicU64,
+    repriced: AtomicU64,
+    dropped: AtomicU64,
+    depth: AtomicU64,
+}
+
+/// Background re-validation lane. See the module docs for the protocol.
+/// Dropping the lane settles any deposited batch and joins the worker.
+pub(crate) struct RevalidationLane {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RevalidationLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RevalidationLane")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl RevalidationLane {
+    /// Start the lane re-admitting into `cache`, recomputing with `config`.
+    pub(crate) fn start(config: QConfig, cache: Arc<Mutex<QueryCache>>) -> Self {
+        let shared = Arc::new(Shared {
+            mailbox: Mutex::new(Mailbox::default()),
+            signal: Condvar::new(),
+            kept: AtomicU64::new(0),
+            repriced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("q-revalidate".into())
+            .spawn(move || worker_loop(worker_shared, config, cache))
+            .expect("spawning re-validation thread");
+        RevalidationLane {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Deposit a publish's parked entries for re-validation against the
+    /// snapshot that parked them, and return immediately. An unsettled
+    /// earlier batch is superseded wholesale (counted as dropped — its
+    /// snapshot is no longer the cache epoch).
+    pub(crate) fn enqueue(&self, snapshot: Arc<GraphSnapshot>, entries: Vec<ParkedEntry>) {
+        if entries.is_empty() {
+            return;
+        }
+        let mut mailbox = self
+            .shared
+            .mailbox
+            .lock()
+            .expect("revalidate lock poisoned");
+        self.shared
+            .depth
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        if let Some(old) = mailbox.next.replace(Batch { snapshot, entries }) {
+            let n = old.entries.len() as u64;
+            self.shared.dropped.fetch_add(n, Ordering::Relaxed);
+            self.shared.depth.fetch_sub(n, Ordering::Relaxed);
+        }
+        self.shared.signal.notify_all();
+    }
+
+    /// Block until every deposited entry has been settled.
+    pub(crate) fn flush(&self) {
+        let mut mailbox = self
+            .shared
+            .mailbox
+            .lock()
+            .expect("revalidate lock poisoned");
+        while mailbox.next.is_some() || mailbox.in_flight {
+            mailbox = self
+                .shared
+                .signal
+                .wait(mailbox)
+                .expect("revalidate lock poisoned");
+        }
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> RevalidationStats {
+        RevalidationStats {
+            kept: self.shared.kept.load(Ordering::Relaxed),
+            repriced: self.shared.repriced.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            depth: self.shared.depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for RevalidationLane {
+    fn drop(&mut self) {
+        {
+            let mut mailbox = self
+                .shared
+                .mailbox
+                .lock()
+                .expect("revalidate lock poisoned");
+            mailbox.shutdown = true;
+            self.shared.signal.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, config: QConfig, cache: Arc<Mutex<QueryCache>>) {
+    let mut scratch = SteinerScratch::default();
+    loop {
+        let batch = {
+            let mut mailbox = shared.mailbox.lock().expect("revalidate lock poisoned");
+            loop {
+                if let Some(batch) = mailbox.next.take() {
+                    mailbox.in_flight = true;
+                    break batch;
+                }
+                if mailbox.shutdown {
+                    return;
+                }
+                mailbox = shared
+                    .signal
+                    .wait(mailbox)
+                    .expect("revalidate lock poisoned");
+            }
+        };
+        for parked in batch.entries {
+            let counter = settle(&config, &batch.snapshot, &cache, parked, &mut scratch);
+            counter(&shared).fetch_add(1, Ordering::Relaxed);
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        let mut mailbox = shared.mailbox.lock().expect("revalidate lock poisoned");
+        mailbox.in_flight = false;
+        shared.signal.notify_all();
+    }
+}
+
+/// Settle one parked entry: recompute outside the cache lock, then re-admit
+/// under it only if the batch's snapshot is still the cache epoch. Returns
+/// which outcome counter to bump.
+fn settle(
+    config: &QConfig,
+    snapshot: &Arc<GraphSnapshot>,
+    cache: &Mutex<QueryCache>,
+    parked: ParkedEntry,
+    scratch: &mut SteinerScratch,
+) -> fn(&Shared) -> &AtomicU64 {
+    let Ok((view, model)) = snapshot.recompute_for_key(config, &parked.key, scratch) else {
+        return |s| &s.dropped;
+    };
+    // Compare in search-graph terms, not view bytes: every publish appends
+    // nodes, which renumbers the query-graph terminal ids baked into a
+    // view's trees even when the answer itself is untouched. The cost
+    // models (search-graph edge ids + local feature vectors) and the
+    // projected columns are renumbering-stable; equal means the recompute
+    // found the same trees at the same costs projecting the same columns.
+    let identical = model.trees == parked.model.trees
+        && view.columns == parked.view.columns
+        && view.column_sources == parked.view.column_sources;
+    let mut cache = cache.lock().expect("cache lock poisoned");
+    if cache.epoch() != snapshot.id() {
+        // A newer publish re-synced the cache while we recomputed: this
+        // verdict is against a superseded snapshot, so it cannot be
+        // re-admitted.
+        return |s| &s.dropped;
+    }
+    if identical {
+        // The ingestion did not touch this answer: the original bytes (and
+        // Arc) go back in under their original pricing snapshot.
+        cache.reinsert_revalidated(parked.key, parked.view, model, parked.snapshot);
+        |s| &s.kept
+    } else {
+        // The answer really did change: serve the fresh bytes warm, stamped
+        // with the snapshot they are the sequential answer of.
+        let id = snapshot.id();
+        cache.reinsert_revalidated(parked.key, Arc::new(view), model, id);
+        |s| &s.repriced
+    }
+}

@@ -107,11 +107,13 @@ pub struct QSystem {
     /// make starting the next search O(1), so they must not be rebuilt per
     /// query.
     scratch: SteinerScratch,
-    /// Shard structure over the current catalog/graph/index, rebuilt lazily
-    /// whenever a serving path finds it stale (a source or association
-    /// arrived since). Sharding never changes answers — see
-    /// [`q_graph::shard`] — so staleness is a freshness concern, not a
-    /// correctness one.
+    /// Shard structure over the current catalog/graph/index. Topology
+    /// mutators (`register_source`, `add_manual_association`,
+    /// `add_alignments`) rebuild it eagerly before returning, so readers
+    /// normally never pay for a rebuild; the serving paths still refresh
+    /// lazily as a backstop (e.g. after direct `graph_mut` manipulation).
+    /// Sharding never changes answers — see [`q_graph::shard`] — so
+    /// staleness is a freshness concern, not a correctness one.
     shards: Option<ShardSet>,
 }
 
@@ -694,6 +696,10 @@ impl QSystem {
         }
 
         report.refreshed_views = self.refresh_all_views();
+        // Rebuild the shard set on the writer path: the registration already
+        // holds exclusive access, so paying here keeps the next reader's
+        // query at pure serving latency instead of charging it the rebuild.
+        self.refresh_shards();
         Ok(report)
     }
 
@@ -776,6 +782,7 @@ impl QSystem {
     /// attributes.
     pub fn add_manual_association(&mut self, a: AttributeId, b: AttributeId, confidence: f64) {
         self.graph.add_association(a, b, "manual", confidence);
+        self.refresh_shards();
     }
 
     /// Add a batch of matcher alignments to the search graph under the given
@@ -790,6 +797,7 @@ impl QSystem {
                 a.confidence,
             );
         }
+        self.refresh_shards();
     }
 
     // ------------------------------------------------------------------
@@ -968,6 +976,23 @@ impl ServeParams {
         }
         if let Some(budget) = request.cost_budget_override() {
             params.max_cost = budget;
+        }
+        params
+    }
+
+    /// Merge a cache key's recorded overrides over the config defaults: the
+    /// re-validation lane recomputes a parked entry exactly as the request
+    /// that priced it would be served today.
+    pub(crate) fn resolve_key(config: &QConfig, key: &crate::request::QueryParamsKey) -> Self {
+        let mut params = ServeParams::defaults(config);
+        if let Some(top_k) = key.top_k {
+            params.top_k = top_k;
+        }
+        if let Some(strategy) = key.strategy {
+            params.strategy = strategy;
+        }
+        if let Some(bits) = key.budget_bits {
+            params.max_cost = f64::from_bits(bits);
         }
         params
     }

@@ -15,6 +15,7 @@
 //!   algorithms that turn the query graph into ranked join trees.
 
 pub mod csr;
+pub mod delta;
 pub mod edge;
 pub mod features;
 pub mod heap;
@@ -26,6 +27,7 @@ pub mod shard;
 pub mod steiner;
 
 pub use csr::{Csr, CsrDelta};
+pub use delta::DeltaPricer;
 pub use edge::{Edge, EdgeId, EdgeKind};
 pub use features::{
     bin_confidence, FeatureId, FeatureSpace, FeatureVector, WeightVector, CONFIDENCE_BINS,

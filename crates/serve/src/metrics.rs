@@ -33,6 +33,19 @@ pub struct Metrics {
     /// Cache entries dropped by publish re-pricing, summed over every
     /// ingest publish.
     pub cache_dropped: AtomicU64,
+    /// Cache entries parked for background re-validation, summed over every
+    /// ingest publish.
+    pub cache_parked: AtomicU64,
+    /// Parked entries awaiting re-validation (gauge; refreshed from the
+    /// engine's lane counters at each `/metrics` scrape).
+    pub revalidation_depth: AtomicU64,
+    /// Parked entries the lane settled with a byte-identical recompute.
+    pub revalidation_kept: AtomicU64,
+    /// Parked entries the lane re-admitted with changed bytes.
+    pub revalidation_repriced: AtomicU64,
+    /// Parked entries the lane discarded (superseded or raced by a newer
+    /// publish).
+    pub revalidation_dropped: AtomicU64,
     /// Snapshots the background persistence lane has written to disk.
     /// Refreshed from the engine's persistence counters at each `/metrics`
     /// scrape (0 when persistence is off).
@@ -78,6 +91,11 @@ impl Metrics {
             cache_uncached: AtomicU64::new(0),
             cache_kept: AtomicU64::new(0),
             cache_dropped: AtomicU64::new(0),
+            cache_parked: AtomicU64::new(0),
+            revalidation_depth: AtomicU64::new(0),
+            revalidation_kept: AtomicU64::new(0),
+            revalidation_repriced: AtomicU64::new(0),
+            revalidation_dropped: AtomicU64::new(0),
             snapshot_persist: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -213,6 +231,11 @@ impl Metrics {
             self.cache_dropped.load(Ordering::Relaxed),
         );
         counter(
+            "q_cache_parked_total",
+            "Cache entries parked for background re-validation, summed over publishes.",
+            self.cache_parked.load(Ordering::Relaxed),
+        );
+        counter(
             "q_snapshot_persist_total",
             "Snapshots the background persistence lane wrote to disk.",
             self.snapshot_persist.load(Ordering::Relaxed),
@@ -268,6 +291,34 @@ impl Metrics {
             out,
             "q_snapshot_id {}",
             self.snapshot_id.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP q_revalidation_total Parked cache entries settled by the re-validation lane, by outcome."
+        );
+        let _ = writeln!(out, "# TYPE q_revalidation_total counter");
+        for (outcome, value) in [
+            ("kept", &self.revalidation_kept),
+            ("repriced", &self.revalidation_repriced),
+            ("dropped", &self.revalidation_dropped),
+        ] {
+            let _ = writeln!(
+                out,
+                "q_revalidation_total{{outcome=\"{outcome}\"}} {}",
+                value.load(Ordering::Relaxed)
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP q_revalidation_lane_depth Parked cache entries awaiting background re-validation."
+        );
+        let _ = writeln!(out, "# TYPE q_revalidation_lane_depth gauge");
+        let _ = writeln!(
+            out,
+            "q_revalidation_lane_depth {}",
+            self.revalidation_depth.load(Ordering::Relaxed)
         );
 
         let _ = writeln!(
@@ -363,6 +414,10 @@ mod tests {
         m.set_boot(true, Duration::from_millis(42));
         m.cache_kept.fetch_add(5, Ordering::Relaxed);
         m.cache_dropped.fetch_add(2, Ordering::Relaxed);
+        m.cache_parked.fetch_add(4, Ordering::Relaxed);
+        m.revalidation_depth.store(1, Ordering::Relaxed);
+        m.revalidation_kept.store(2, Ordering::Relaxed);
+        m.revalidation_repriced.store(1, Ordering::Relaxed);
         m.snapshot_persist.store(3, Ordering::Relaxed);
         let text = m.render();
         for series in [
@@ -373,6 +428,11 @@ mod tests {
             "q_cache_misses_total ",
             "q_cache_kept_total 5",
             "q_cache_dropped_total 2",
+            "q_cache_parked_total 4",
+            "q_revalidation_total{outcome=\"kept\"} 2",
+            "q_revalidation_total{outcome=\"repriced\"} 1",
+            "q_revalidation_total{outcome=\"dropped\"} 0",
+            "q_revalidation_lane_depth 1",
             "q_snapshot_persist_total 3",
             "q_errors_total ",
             "q_ingests_total ",

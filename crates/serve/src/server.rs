@@ -337,6 +337,10 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, &'static str, String) 
                 .fetch_add(report.cache_dropped, Ordering::Relaxed);
             shared
                 .metrics
+                .cache_parked
+                .fetch_add(report.cache_parked, Ordering::Relaxed);
+            shared
+                .metrics
                 .ingest_lag_us
                 .store(start.elapsed().as_micros() as u64, Ordering::Relaxed);
             Ok(wire::encode_ingest_response(&report))
@@ -361,6 +365,26 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, &'static str, String) 
                     .snapshot_persist
                     .store(stats.persisted, Ordering::Relaxed);
             }
+            // Same for the re-validation lane: its worker settles parked
+            // entries on its own thread; the scrape reads its counters
+            // (kept/repriced/dropped are monotone, depth is a gauge).
+            let lane = shared.engine.revalidation_stats();
+            shared
+                .metrics
+                .revalidation_kept
+                .store(lane.kept, Ordering::Relaxed);
+            shared
+                .metrics
+                .revalidation_repriced
+                .store(lane.repriced, Ordering::Relaxed);
+            shared
+                .metrics
+                .revalidation_dropped
+                .store(lane.dropped, Ordering::Relaxed);
+            shared
+                .metrics
+                .revalidation_depth
+                .store(lane.depth, Ordering::Relaxed);
             (200, "text/plain; version=0.0.4", shared.metrics.render())
         }
         ("POST", "/shutdown") => (200, "application/json", encode_health(shared)),

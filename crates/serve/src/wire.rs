@@ -953,6 +953,8 @@ pub struct WireIngestResponse {
     pub alignments: u64,
     /// Cached entries that survived the publish.
     pub cache_kept: u64,
+    /// Cached entries handed to the background re-validation lane.
+    pub cache_parked: u64,
     /// Cached entries the publish dropped.
     pub cache_dropped: u64,
 }
@@ -965,6 +967,7 @@ pub fn encode_ingest_response(report: &IngestReport) -> Json {
         ("source", Json::Int(report.source.0 as i64)),
         ("alignments", Json::Int(report.alignments.len() as i64)),
         ("cache_kept", Json::Int(report.cache_kept as i64)),
+        ("cache_parked", Json::Int(report.cache_parked as i64)),
         ("cache_dropped", Json::Int(report.cache_dropped as i64)),
     ])
 }
@@ -980,6 +983,7 @@ pub fn decode_ingest_response(json: &Json) -> Result<WireIngestResponse, WireErr
             "source",
             "alignments",
             "cache_kept",
+            "cache_parked",
             "cache_dropped",
         ],
     )?;
@@ -988,6 +992,7 @@ pub fn decode_ingest_response(json: &Json) -> Result<WireIngestResponse, WireErr
         source: require_u64(fields, "source", CTX)? as u32,
         alignments: require_u64(fields, "alignments", CTX)?,
         cache_kept: require_u64(fields, "cache_kept", CTX)?,
+        cache_parked: require_u64(fields, "cache_parked", CTX)?,
         cache_dropped: require_u64(fields, "cache_dropped", CTX)?,
     })
 }

@@ -216,9 +216,10 @@ pub fn execute(catalog: &Catalog, query: &ConjunctiveQuery) -> Result<ResultSet,
 ///
 /// The result is exactly `execute(..).rows.truncate(limit)` — binding
 /// enumeration order is deterministic, so the prefix is well-defined — but
-/// the projection stops cloning values once the limit is reached. The view
-/// materialiser uses this to avoid paying for thousands of rows that its
-/// answer cap would immediately throw away.
+/// the join enumeration itself stops once `limit` complete bindings exist,
+/// not just the projection. The view materialiser uses this to avoid paying
+/// for thousands of join results that its answer cap would immediately
+/// throw away.
 pub fn execute_limited(
     catalog: &Catalog,
     query: &ConjunctiveQuery,
@@ -264,8 +265,31 @@ pub fn execute_limited(
         candidates.push(keep);
     }
 
-    // Join atoms left to right.
-    let mut bindings: Vec<Binding> = candidates[0].iter().map(|t| vec![*t]).collect();
+    // Join atoms left to right, streaming bindings depth-first. The
+    // enumeration order is the lexicographic order over per-atom candidate
+    // positions — identical to the breadth-first join this replaces — but
+    // complete bindings surface one by one, so the walk can stop at `limit`
+    // instead of materialising every intermediate binding of the full join
+    // first. That intermediate blow-up is what a low-selectivity association
+    // join hits: thousands of half-joined bindings allocated, joined onward
+    // and then thrown away by the cap.
+    enum JoinStep<'n> {
+        /// No predicate connects the atom to earlier atoms (degenerate
+        /// single-keyword queries only): every candidate joins.
+        Cross,
+        /// Hash join: the atom's candidates hashed on the join key, probed
+        /// with values read from the partial binding. Keys borrow from the
+        /// per-query normalised columns — no string is allocated on either
+        /// side of the join — and the columns are resolved once per join
+        /// step, not once per binding.
+        Hash {
+            probe_cols: Vec<(usize, Option<&'n NormColumn>)>,
+            hashed: HashMap<Vec<&'n str>, Vec<usize>>,
+        },
+    }
+
+    let mut steps: Vec<JoinStep> = Vec::with_capacity(query.atoms.len());
+    steps.push(JoinStep::Cross); // atom 0 binds every candidate
     for (atom_idx, atom_candidates) in candidates.iter().enumerate().skip(1) {
         // Join predicates connecting this atom to already-bound atoms.
         let preds: Vec<(AttrRef, AttrRef)> = query
@@ -281,82 +305,91 @@ pub fn execute_limited(
                 }
             })
             .collect();
-
-        let mut next: Vec<Binding> = Vec::new();
-
         if preds.is_empty() {
-            // Cross product.
-            for b in &bindings {
-                for t in atom_candidates {
-                    let mut nb = b.clone();
-                    nb.push(*t);
-                    next.push(nb);
-                }
-            }
-        } else {
-            // Hash the new atom's candidate tuples on the join key composed
-            // of all predicates' right-hand attributes. Keys borrow from the
-            // per-query normalised columns — no string is allocated on
-            // either side of the join — and the columns themselves are
-            // resolved once per join step, not once per binding.
-            let build_cols: Vec<Option<&NormColumn>> =
-                preds.iter().map(|(_, right)| norm.column(right)).collect();
-            let probe_cols: Vec<(usize, Option<&NormColumn>)> = preds
-                .iter()
-                .map(|(left, _)| (left.atom, norm.column(left)))
-                .collect();
-            let mut hashed: HashMap<Vec<&str>, Vec<usize>> = HashMap::new();
-            for t in atom_candidates {
-                let mut key = Vec::with_capacity(preds.len());
-                let mut valid = true;
-                for col in &build_cols {
-                    match col.and_then(|c| c.value(*t)) {
-                        Some(v) => key.push(v),
-                        None => {
-                            valid = false;
-                            break;
-                        }
+            steps.push(JoinStep::Cross);
+            continue;
+        }
+        let build_cols: Vec<Option<&NormColumn>> =
+            preds.iter().map(|(_, right)| norm.column(right)).collect();
+        let probe_cols: Vec<(usize, Option<&NormColumn>)> = preds
+            .iter()
+            .map(|(left, _)| (left.atom, norm.column(left)))
+            .collect();
+        let mut hashed: HashMap<Vec<&str>, Vec<usize>> = HashMap::new();
+        for t in atom_candidates {
+            let mut key = Vec::with_capacity(preds.len());
+            let mut valid = true;
+            for col in &build_cols {
+                match col.and_then(|c| c.value(*t)) {
+                    Some(v) => key.push(v),
+                    None => {
+                        valid = false;
+                        break;
                     }
                 }
-                if valid {
-                    hashed.entry(key).or_default().push(*t);
+            }
+            if valid {
+                hashed.entry(key).or_default().push(*t);
+            }
+        }
+        steps.push(JoinStep::Hash { probe_cols, hashed });
+    }
+
+    /// Extend `partial` with atoms `depth..`, pushing each complete binding;
+    /// true once `cap` complete bindings exist (callers unwind immediately).
+    fn descend(
+        depth: usize,
+        candidates: &[Vec<usize>],
+        steps: &[JoinStep<'_>],
+        partial: &mut Binding,
+        out: &mut Vec<Binding>,
+        cap: usize,
+    ) -> bool {
+        if depth == candidates.len() {
+            out.push(partial.clone());
+            return out.len() >= cap;
+        }
+        match &steps[depth] {
+            JoinStep::Cross => {
+                for t in &candidates[depth] {
+                    partial.push(*t);
+                    let full = descend(depth + 1, candidates, steps, partial, out, cap);
+                    partial.pop();
+                    if full {
+                        return true;
+                    }
                 }
             }
-            // Probe with a reused buffer (`Vec<&str>: Borrow<[&str]>`).
-            let mut probe: Vec<&str> = Vec::with_capacity(preds.len());
-            for b in &bindings {
-                probe.clear();
-                let mut valid = true;
-                for (left_atom, col) in &probe_cols {
-                    match col.and_then(|c| c.value(b[*left_atom])) {
+            JoinStep::Hash { probe_cols, hashed } => {
+                let mut probe: Vec<&str> = Vec::with_capacity(probe_cols.len());
+                for (left_atom, col) in probe_cols {
+                    match col.and_then(|c| c.value(partial[*left_atom])) {
                         Some(v) => probe.push(v),
-                        None => {
-                            valid = false;
-                            break;
-                        }
+                        // A null join key matches nothing: this partial
+                        // binding is a dead end.
+                        None => return false,
                     }
-                }
-                if !valid {
-                    continue;
                 }
                 if let Some(matches) = hashed.get(probe.as_slice()) {
                     for t in matches {
-                        let mut nb = b.clone();
-                        nb.push(*t);
-                        next.push(nb);
+                        partial.push(*t);
+                        let full = descend(depth + 1, candidates, steps, partial, out, cap);
+                        partial.pop();
+                        if full {
+                            return true;
+                        }
                     }
                 }
             }
         }
-        bindings = next;
-        if bindings.is_empty() {
-            break;
-        }
+        false
     }
 
-    // Project the select list (at most `limit` rows).
-    if let Some(limit) = limit {
-        bindings.truncate(limit);
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut bindings: Vec<Binding> = Vec::new();
+    let mut partial: Binding = Vec::with_capacity(query.atoms.len());
+    if cap > 0 {
+        descend(0, &candidates, &steps, &mut partial, &mut bindings, cap);
     }
     let columns: Vec<AttributeId> = query.select.iter().map(|s| s.attribute).collect();
     let mut rows = Vec::with_capacity(bindings.len());

@@ -237,6 +237,10 @@ fn soak_concurrent_http_clients_replay_byte_identical_while_sources_stream_in() 
         "q_cache_uncached_total",
         "q_cache_kept_total",
         "q_cache_dropped_total",
+        "q_cache_parked_total",
+        "q_revalidation_total{outcome=\"kept\"}",
+        "q_revalidation_total{outcome=\"repriced\"}",
+        "q_revalidation_total{outcome=\"dropped\"}",
         "q_snapshot_persist_total",
         "q_errors_total",
         "q_ingests_total",
@@ -254,6 +258,7 @@ fn soak_concurrent_http_clients_replay_byte_identical_while_sources_stream_in() 
     for series in [
         "q_qps",
         "q_snapshot_id",
+        "q_revalidation_lane_depth",
         "q_ingest_lag_seconds",
         "q_snapshot_bytes",
         "q_shard_bytes{shard=\"0\"}",

@@ -1,0 +1,209 @@
+//! Property-based soundness of the ingest-surviving query cache.
+//!
+//! The contract under test: after a publish, every warm cache entry —
+//! kept outright by the per-entry reachability pricing, or parked and
+//! settled by the background re-validation lane — serves bytes identical
+//! to `GraphSnapshot::answer` on the snapshot the outcome is *stamped*
+//! with. Identity to the post-ingest snapshot specifically is only
+//! possible for lane-repriced entries: every publish appends graph nodes,
+//! which renumbers the query-graph terminal ids baked into a view, so a
+//! kept entry's bytes legitimately belong to the older snapshot that
+//! priced it (and that snapshot stays in the publish log for replay).
+//!
+//! The corpora, the queried keywords, the new source's vocabulary (which
+//! may or may not overlap the queries) and the bridge confidence are all
+//! randomized, so the three survival verdicts — keep, park-then-keep,
+//! park-then-reprice — are each exercised across the case set.
+
+use proptest::prelude::*;
+
+use q_core::{CacheStatus, LiveServer, QConfig, QueryRequest};
+use q_matchers::AttributeAlignment;
+use q_matchers::SchemaMatcher;
+use q_storage::{Catalog, RelationId, RelationSpec, SourceSpec};
+
+/// A matcher proposing one fixed alignment at a fixed confidence — the
+/// property drives the bridge edge's cost through `confidence` alone.
+struct FixedMatcher {
+    new_relation: String,
+    existing_attribute: String,
+    new_attribute: String,
+    confidence: f64,
+}
+
+impl SchemaMatcher for FixedMatcher {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+
+    fn match_relations(
+        &self,
+        catalog: &Catalog,
+        new_relation: RelationId,
+        existing_relation: RelationId,
+        _top_y: usize,
+    ) -> Vec<AttributeAlignment> {
+        if catalog.relation(new_relation).map(|r| r.name.as_str()) != Some(&self.new_relation) {
+            return Vec::new();
+        }
+        match (
+            catalog.resolve_qualified(&self.new_attribute),
+            catalog.resolve_qualified(&self.existing_attribute),
+        ) {
+            (Some(new), Some(existing))
+                if catalog.attribute(existing).map(|a| a.relation) == Some(existing_relation) =>
+            {
+                vec![AttributeAlignment::new(new, existing, self.confidence)]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Tokens the base corpus and the queries draw from. The new source draws
+/// from a pool sharing a prefix with this one, so keyword overlap between
+/// a cached query and the incoming source happens in a fair fraction of
+/// cases (exercising the unconditional park rule) without being certain.
+const POOL: &[&str] = &[
+    "membrane",
+    "kinase",
+    "insulin",
+    "receptor",
+    "cytokine",
+    "kringle",
+    "domain",
+    "secretion",
+];
+
+fn base_sources(names: &[usize]) -> Vec<SourceSpec> {
+    let mut go = RelationSpec::new("go_term", &["acc", "name"]);
+    for (i, &t) in names.iter().enumerate() {
+        go = go.row([format!("GO:{i}"), POOL[t].to_string()]);
+    }
+    let mut i2g = RelationSpec::new("interpro2go", &["go_id", "entry_ac"]);
+    let mut entry = RelationSpec::new("entry", &["entry_ac", "name"]);
+    for (i, &t) in names.iter().enumerate() {
+        i2g = i2g.row([format!("GO:{i}"), format!("IPR{i}")]);
+        // Offset vocabulary: entry names walk the pool out of phase with
+        // go_term names, so two-keyword queries usually span relations.
+        entry = entry.row([format!("IPR{i}"), POOL[(t + 3) % POOL.len()].to_string()]);
+    }
+    vec![
+        SourceSpec::new("go").relation(go),
+        SourceSpec::new("interpro")
+            .relation(i2g)
+            .relation(entry)
+            .foreign_key("interpro2go.entry_ac", "entry.entry_ac"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized corpora and bridge costs; the byte contract must hold
+    /// for every warm entry at three probe points: right after the
+    /// publish (pricing-kept entries), after the lane settles (parked
+    /// entries re-admitted as kept or repriced), and once more after a
+    /// repeat query round (nothing destabilizes a settled cache).
+    #[test]
+    fn warm_entries_serve_their_stamped_snapshots_answer(
+        base in proptest::collection::vec(0usize..POOL.len(), 3..7),
+        fresh in proptest::collection::vec(0usize..POOL.len(), 1..4),
+        confidence in 0.05f64..0.95,
+        top_k in 1usize..4,
+    ) {
+        let specs = base_sources(&base);
+        let catalog = q_storage::loader::load_catalog(&specs).expect("base corpus loads");
+        let mut server = LiveServer::new(catalog, QConfig::default());
+        server.add_matcher(Box::new(FixedMatcher {
+            new_relation: "xq_row".into(),
+            existing_attribute: "go_term.acc".into(),
+            new_attribute: "xq_uid".into(),
+            confidence,
+        }));
+        let snap = server.snapshot();
+        let acc = snap.catalog().resolve_qualified("go_term.acc").unwrap();
+        let go_id = snap.catalog().resolve_qualified("interpro2go.go_id").unwrap();
+        server.publish_association(acc, go_id, 0.95);
+
+        // Warm the cache: single-keyword probes plus a join query per
+        // distinct base token (duplicates would share one cache entry and
+        // skew the verdict accounting below). Every keyword exists in the
+        // corpus, so every request answers and lands a cache entry.
+        let mut tokens = base.clone();
+        tokens.sort_unstable();
+        tokens.dedup();
+        let mut requests: Vec<QueryRequest> = Vec::new();
+        for &t in &tokens {
+            requests.push(QueryRequest::new([POOL[t]]).top_k(top_k));
+            requests.push(QueryRequest::new([POOL[t], "entry"]).top_k(top_k));
+        }
+        let mut published = vec![server.snapshot()];
+        for request in &requests {
+            server.query(request).expect("warm-up answers");
+        }
+
+        // One publish with randomized vocabulary and bridge cost.
+        let mut xq = RelationSpec::new("xq_row", &["xq_uid", "xq_val"]);
+        for (i, &t) in fresh.iter().enumerate() {
+            xq = xq.row([format!("UU{i}"), POOL[t].to_string()]);
+        }
+        let report = server
+            .ingest_source(&SourceSpec::new("xlog").relation(xq))
+            .expect("random source ingests");
+        prop_assert_eq!(
+            report.cache_kept + report.cache_parked + report.cache_dropped,
+            requests.len() as u64,
+            "every entry gets a verdict"
+        );
+        published.push(report.snapshot.clone());
+
+        // The byte contract, checked against the full publish log.
+        let check_round = |label: &str| {
+            for request in &requests {
+                let outcome = server.query(request).expect("warm round answers");
+                let named = outcome.snapshot.expect("live serving stamps snapshots");
+                let snap = published
+                    .iter()
+                    .find(|s| s.id() == named)
+                    .expect("stamped snapshot is published");
+                let reference = snap.answer(server.config(), request).expect("replay answers");
+                prop_assert_eq!(
+                    format!("{:?}", outcome.view),
+                    format!("{reference:?}"),
+                    "{} bytes diverged from stamped snapshot {} for {:?}",
+                    label,
+                    named,
+                    request.keywords()
+                );
+            }
+        };
+        check_round("post-publish");
+
+        // Settle the lane, then re-check: parked entries are now warm
+        // again (kept under their original stamp, or repriced under the
+        // publishing snapshot's stamp) and the verdict counts reconcile.
+        server.flush_revalidation();
+        let lane = server.revalidation_stats();
+        prop_assert_eq!(lane.depth, 0, "flush drains the lane");
+        prop_assert_eq!(
+            lane.kept + lane.repriced + lane.dropped,
+            report.cache_parked,
+            "every parked entry settles exactly once"
+        );
+        check_round("lane-settled");
+        check_round("steady-state");
+
+        // After settling, the workload serves warm: a settled cache has an
+        // entry (kept, lane-kept or lane-repriced) for every request the
+        // previous rounds re-admitted, and repeats never recompute.
+        for request in &requests {
+            let outcome = server.query(request).expect("settled answers");
+            prop_assert!(
+                outcome.cache != CacheStatus::Miss,
+                "settled cache must serve {:?} warm",
+                request.keywords()
+            );
+        }
+    }
+}
